@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks for the numerical kernels: Omega
+// recursion, Poisson masses, Gauss-Seidel sweeps, BSCC detection, the DFPG
+// path explorer, and one discretization step-sweep.
+#include <benchmark/benchmark.h>
+
+#include "checker/steady.hpp"
+#include "core/transform.hpp"
+#include "graph/scc.hpp"
+#include "linalg/gauss_seidel.hpp"
+#include "models/random_mrm.hpp"
+#include "models/tmr.hpp"
+#include "numeric/discretization.hpp"
+#include "numeric/omega.hpp"
+#include "numeric/path_explorer.hpp"
+#include "numeric/poisson.hpp"
+
+namespace {
+
+using namespace csrlmrm;
+
+void BM_OmegaEvaluate(benchmark::State& state) {
+  const auto count = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    // Fresh evaluator per iteration: measures the full memoized recursion.
+    numeric::OmegaEvaluator evaluator({5.0, 3.0, 1.0, 0.0}, 1.7);
+    benchmark::DoNotOptimize(evaluator.evaluate({count, count, count, count}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OmegaEvaluate)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_OmegaMemoizedRequery(benchmark::State& state) {
+  numeric::OmegaEvaluator evaluator({5.0, 3.0, 1.0, 0.0}, 1.7);
+  evaluator.evaluate({32, 32, 32, 32});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate({32, 32, 32, 32}));
+  }
+}
+BENCHMARK(BM_OmegaMemoizedRequery);
+
+void BM_PoissonPmf(benchmark::State& state) {
+  std::size_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numeric::poisson_pmf(n++ % 256, 42.0));
+  }
+}
+BENCHMARK(BM_PoissonPmf);
+
+void BM_GaussSeidelSweeps(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  linalg::CsrBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.add(i, i, 4.0);
+    if (i > 0) builder.add(i, i - 1, -1.0);
+    if (i + 1 < n) builder.add(i, i + 1, -1.0);
+  }
+  const auto matrix = builder.build();
+  const std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    std::vector<double> x(n, 0.0);
+    benchmark::DoNotOptimize(linalg::gauss_seidel_solve(matrix, b, x));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GaussSeidelSweeps)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_BsccDetection(benchmark::State& state) {
+  models::RandomMrmConfig config;
+  config.num_states = static_cast<std::size_t>(state.range(0));
+  config.edge_probability = 8.0 / static_cast<double>(state.range(0));  // sparse
+  const core::Mrm model = models::make_random_mrm(99, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::bottom_sccs(model.rates().matrix()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BsccDetection)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_DfpgTmrUntil(benchmark::State& state) {
+  const double t = static_cast<double>(state.range(0));
+  const core::Mrm model = models::make_tmr(models::TmrConfig{});
+  const auto sup = model.labels().states_with("Sup");
+  const auto failed = model.labels().states_with("failed");
+  std::vector<bool> absorb(model.num_states());
+  std::vector<bool> dead(model.num_states());
+  for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+    absorb[s] = !sup[s] || failed[s];
+    dead[s] = !sup[s] && !failed[s];
+  }
+  numeric::UniformizationUntilEngine engine(core::make_absorbing(model, absorb), failed, dead);
+  numeric::PathExplorerOptions options;
+  options.truncation_probability = 1e-11;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute(0, t, 3000.0, options));
+  }
+}
+BENCHMARK(BM_DfpgTmrUntil)->Arg(50)->Arg(100)->Arg(200)->Arg(300);
+
+void BM_DiscretizationTmrUntil(benchmark::State& state) {
+  const core::Mrm model = models::make_tmr(models::TmrConfig{});
+  const auto sup = model.labels().states_with("Sup");
+  const auto failed = model.labels().states_with("failed");
+  std::vector<bool> absorb(model.num_states());
+  for (core::StateIndex s = 0; s < model.num_states(); ++s) absorb[s] = !sup[s] || failed[s];
+  const core::Mrm transformed = core::make_absorbing(model, absorb);
+  numeric::DiscretizationOptions options;
+  // Coarse grid (a microbenchmark, not an accuracy run); 0.5 still divides
+  // the TMR repair impulses (2.5 / 5).
+  options.step = 0.5;
+  const double t = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        numeric::until_probability_discretization(transformed, failed, 0, t, 3000.0, options));
+  }
+}
+BENCHMARK(BM_DiscretizationTmrUntil)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SteadyStateNmr(benchmark::State& state) {
+  models::TmrConfig config;
+  config.num_modules = static_cast<unsigned>(state.range(0));
+  const core::Mrm model = models::make_tmr(config);
+  const auto failed = model.labels().states_with("failed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker::steady_state_probability_of_set(model, failed));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SteadyStateNmr)->Arg(3)->Arg(11)->Arg(41)->Arg(101);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Table 5.3 — "Maintaining Constant Value for Truncation Probability":
+// TMR system, P(>0.1)[Sup U[0,t][0,3000] failed] from the fully operational
+// state, w = 1e-11 fixed, t = 50..500.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "models/tmr.hpp"
+
+int main() {
+  using namespace csrlmrm;
+  const models::TmrConfig config;
+  const core::Mrm model = models::make_tmr(config);
+  benchsupport::UntilExperiment experiment(model, "Sup", "failed");
+
+  benchsupport::print_header(
+      "Table 5.3 - constant truncation probability w = 1e-11 (TMR)",
+      "Table 5.2 rates: module failure 0.0004/h, voter failure 0.0001/h,\n"
+      "module repair 0.05/h, voter repair 0.06/h\n"
+      "P(>0.1)[Sup U[0,t][0,3000] failed] from state 1 (= all modules up)");
+
+  // Paper columns for side-by-side comparison (P, E as printed in the table).
+  const double paper_p[] = {0.005087386344177422, 0.010200965534212462, 0.015292345758962047,
+                            0.020357846035241836, 0.025397296769503298, 0.0304108011763401,
+                            0.035398424356873154, 0.037778881862768586, 0.035702997386052426,
+                            0.033399142731982794};
+  const double paper_e[] = {2.4358698148888235e-9, 1.2515341178826049e-8,
+                            3.082240323341275e-8,  9.586925654419818e-8,
+                            2.23071030162702e-7,   3.719970665306907e-7,
+                            8.059405465802234e-7,  1.8187796388985496e-5,
+                            2.09565155821465e-3,   1.19809420907302e-2};
+
+  std::printf("%-5s  %-22s  %-13s  %-8s  %-22s  %-13s\n", "t", "P", "E", "T(s)", "paper P",
+              "paper E");
+  int row = 0;
+  for (double t = 50.0; t <= 500.0; t += 50.0, ++row) {
+    const auto result = experiment.uniformization(0, t, 3000.0, 1e-11);
+    std::printf("%-5.0f  %-22.17g  %-13.6e  %-8.3f  %-22.17g  %-13.6e\n", t,
+                result.probability, result.error_bound, result.seconds, paper_p[row],
+                paper_e[row]);
+  }
+  std::printf(
+      "\nExpected shape: P grows ~linearly, then stalls/declines past t ~ 400 as the\n"
+      "fixed w discards ever more of the (longer) relevant paths; E explodes there.\n");
+  return 0;
+}

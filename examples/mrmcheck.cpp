@@ -1,0 +1,158 @@
+// mrmcheck — the command-line model checker of the thesis appendix:
+//
+//   mrmcheck <model.tra> <model.lab> <model.rewr> [model.rewi]
+//            [u=<w> | d=<step>] [NP] "<CSRL formula>"
+//   mrmcheck <model.spec> [u=<w> | d=<step>] [NP] "<CSRL formula>"
+//
+// Reads an MRM from the four file formats (or builds it from a
+// guarded-command .spec file, see src/lang/spec.hpp), checks the formula,
+// and prints the satisfying states (and, unless NP is given, the computed
+// per-state probabilities for the outermost S/P/R operator). Defaults to
+// uniformization with w = 1e-8, exactly like the original tool.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "checker/sat.hpp"
+#include "io/model_files.hpp"
+#include "lang/builder.hpp"
+#include "logic/parser.hpp"
+#include "logic/printer.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: mrmcheck <model.tra> <model.lab> <model.rewr> [model.rewi]\n"
+               "                [u=<w> | d=<step>] [NP] \"<CSRL formula>\"\n"
+               "       mrmcheck <model.spec> [u=<w> | d=<step>] [NP] \"<CSRL formula>\"\n"
+               "\n"
+               "  u=<w>     until formulas by uniformization, truncation probability w\n"
+               "            (default: u=1e-8)\n"
+               "  d=<step>  until formulas by discretization with the given step\n"
+               "  NP        do not print per-state probabilities\n"
+               "\n"
+               "formula syntax (appendix of the thesis, plus the R extension):\n"
+               "  TT FF ! && || S(op p) f P(op p)[f U[t1,t2][r1,r2] f]\n"
+               "  P(op p)[X[t1,t2][r1,r2] f] R(op x)[C[0,t]] R(op x)[F f] R(op x)[S]\n"
+               "  with op in < <= > >=, ~ = infinity\n");
+}
+
+bool ends_with(const std::string& text, const char* suffix) {
+  const std::string s(suffix);
+  return text.size() >= s.size() && text.compare(text.size() - s.size(), s.size(), s) == 0;
+}
+
+csrlmrm::core::Mrm load_spec_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto built = csrlmrm::lang::build_model_from_text(buffer.str());
+  return std::move(*built.model);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csrlmrm;
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+
+  try {
+    int arg = 1;
+    const bool from_spec = ends_with(argv[1], ".spec");
+    std::string tra;
+    std::string lab;
+    std::string rewr;
+    std::string rewi;
+    std::string spec_path;
+    if (from_spec) {
+      spec_path = argv[arg++];
+    } else {
+      if (argc < 5) {
+        usage();
+        return 2;
+      }
+      tra = argv[arg++];
+      lab = argv[arg++];
+      rewr = argv[arg++];
+      if (arg < argc && std::strstr(argv[arg], ".rewi") != nullptr) rewi = argv[arg++];
+    }
+
+    checker::CheckerOptions options;
+    bool print_probabilities = true;
+    std::string formula_text;
+    for (; arg < argc; ++arg) {
+      const std::string token = argv[arg];
+      if (token.rfind("u=", 0) == 0) {
+        options.until_method = checker::UntilMethod::kUniformization;
+        options.uniformization.truncation_probability = std::stod(token.substr(2));
+      } else if (token.rfind("d=", 0) == 0) {
+        options.until_method = checker::UntilMethod::kDiscretization;
+        options.discretization.step = std::stod(token.substr(2));
+      } else if (token == "NP") {
+        print_probabilities = false;
+      } else {
+        formula_text = token;
+      }
+    }
+    if (formula_text.empty()) {
+      usage();
+      return 2;
+    }
+
+    const core::Mrm model =
+        from_spec ? load_spec_model(spec_path) : io::load_mrm(tra, lab, rewr, rewi);
+    std::printf("model: %zu states, %zu transitions, impulse rewards: %s\n",
+                model.num_states(), model.rates().matrix().non_zeros(),
+                model.has_impulse_rewards() ? "yes" : "no");
+
+    const logic::FormulaPtr formula = logic::parse_formula(formula_text);
+    std::printf("formula: %s\n", logic::to_string(formula).c_str());
+
+    checker::ModelChecker checker(model, options);
+
+    if (print_probabilities &&
+        (formula->kind == logic::FormulaKind::kProbUntil ||
+         formula->kind == logic::FormulaKind::kProbNext)) {
+      const auto values = checker.path_probabilities(formula);
+      for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+        std::printf("  P(state %zu) = %.17g", s + 1, values[s].probability);
+        if (values[s].error_bound > 0.0) std::printf("  (error <= %.3e)", values[s].error_bound);
+        std::printf("\n");
+      }
+    }
+    if (print_probabilities && formula->kind == logic::FormulaKind::kSteady) {
+      const auto values = checker.steady_probabilities(formula);
+      for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+        std::printf("  pi(state %zu) = %.17g\n", s + 1, values[s]);
+      }
+    }
+    if (print_probabilities && formula->kind == logic::FormulaKind::kExpectedReward) {
+      const auto values = checker.expected_rewards(formula);
+      for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+        std::printf("  E(state %zu) = %.17g\n", s + 1, values[s]);
+      }
+    }
+
+    const std::vector<bool>& sat = checker.satisfaction_set(formula);
+    std::printf("satisfying states (1-based):");
+    bool any = false;
+    for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+      if (sat[s]) {
+        std::printf(" %zu", s + 1);
+        any = true;
+      }
+    }
+    std::printf("%s\n", any ? "" : " (none)");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrmcheck: %s\n", error.what());
+    return 1;
+  }
+}

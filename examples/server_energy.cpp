@@ -1,0 +1,67 @@
+// Energy-aware server (M/M/1/K queue): performability analysis with state
+// and impulse rewards — blocking probability, energy budgets, expected
+// consumption, and what the wake-up impulse adds.
+#include <cstdio>
+
+#include "checker/performability.hpp"
+#include "checker/sat.hpp"
+#include "logic/parser.hpp"
+#include "models/mm1k.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace csrlmrm;
+
+  models::Mm1kConfig config;  // K=8, lambda=0.8, mu=1, idle 1W, busy 5W, wakeup 2J
+  const core::Mrm model = models::make_mm1k(config);
+  std::printf("energy-aware M/M/1/%u server: lambda=%.2f mu=%.2f idle=%.0fW busy=%.0fW "
+              "wakeup=%.0fJ\n\n",
+              config.capacity, config.arrival_rate, config.service_rate, config.idle_power,
+              config.busy_power, config.wakeup_energy);
+
+  checker::CheckerOptions options;
+  options.uniformization.truncation_probability = 1e-10;
+  checker::ModelChecker checker(model, options);
+
+  // Service-level statements in CSRL.
+  for (const char* text : {
+           "S(<0.05) full",                      // blocking below 5% in the long run
+           "S(>0.3) empty",                      // the server can nap often
+           "P(<0.3)[TT U[0,5][0,50] full]",      // no overload soon, within energy budget
+           "P(>0.5)[!full U[0,5][0,75] empty]",  // drains before overflowing
+       }) {
+    const auto formula = logic::parse_formula(text);
+    std::printf("%-38s -> from empty: %s\n", text,
+                checker.satisfies(0, formula) ? "SATISFIED" : "not satisfied");
+  }
+
+  // Performability: distribution of consumed energy over a 5-hour shift.
+  std::printf("\nPr{ energy(t=5) <= r } from the empty queue:\n  r: ");
+  const std::vector<double> budgets{12, 16, 20, 24, 32};
+  const auto cdf = checker::performability_cdf(model, 0, 5.0, budgets, options);
+  for (std::size_t i = 0; i < budgets.size(); ++i) std::printf(" %6.0f", budgets[i]);
+  std::printf("\n  P: ");
+  for (const auto& value : cdf) std::printf(" %6.4f", value.probability);
+
+  const double expected = checker::expected_accumulated_reward(model, 0, 5.0);
+  const auto rate = checker::long_run_reward_rate(model);
+  std::printf("\n\nexpected energy over the 5h shift: %.3f (long-run %.4f per hour)\n",
+              expected, rate[0]);
+
+  // Quantify the wake-up impulse: compare with an impulse-free twin.
+  models::Mm1kConfig no_wakeup = config;
+  no_wakeup.wakeup_energy = 0.0;
+  const core::Mrm baseline = models::make_mm1k(no_wakeup);
+  const double baseline_expected = checker::expected_accumulated_reward(baseline, 0, 5.0);
+  std::printf("without the wake-up impulse it would be %.3f -> the impulse structure\n"
+              "accounts for %.3f units (%.1f%% of the bill), invisible to rate-only "
+              "models.\n",
+              baseline_expected, expected - baseline_expected,
+              100.0 * (expected - baseline_expected) / expected);
+
+  // Cross-check by simulation (the library's third, independent engine).
+  const auto simulated = sim::estimate_expected_reward(model, 0, 5.0, {100000, 2024});
+  std::printf("\nMonte Carlo cross-check: %.3f +- %.3f (95%% CI, %zu samples)\n",
+              simulated.mean, simulated.half_width_95, simulated.samples);
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "checker/absorption.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "graph/reachability.hpp"
+#include "linalg/gauss_seidel.hpp"
+
+namespace csrlmrm::checker {
+
+namespace {
+
+/// Shared first-step solve: per-state one-step cost `immediate(s)` plus
+/// per-transition cost `edge(s, s')`, zero on targets, infinity where the
+/// hitting probability is below 1 (determined exactly by graph analysis:
+/// P(s, Diamond target) = 1 iff s cannot reach any state from which the
+/// target is unreachable).
+template <typename ImmediateCost, typename EdgeCost>
+std::vector<double> expected_cost_to_hit(const core::Mrm& model,
+                                         const std::vector<bool>& target,
+                                         const linalg::IterativeOptions& solver,
+                                         ImmediateCost immediate, EdgeCost edge) {
+  const std::size_t n = model.num_states();
+  if (target.size() != n) {
+    throw std::invalid_argument("expected_cost_to_hit: target mask size mismatch");
+  }
+  bool any_target = false;
+  for (bool b : target) any_target = any_target || b;
+  if (!any_target) {
+    throw std::invalid_argument("expected_cost_to_hit: empty target set");
+  }
+
+  const auto& adjacency = model.rates().matrix();
+  const std::vector<bool> can_reach = graph::backward_reachable(adjacency, target);
+  std::vector<bool> doomed(n, false);  // cannot reach the target at all
+  for (core::StateIndex s = 0; s < n; ++s) doomed[s] = !can_reach[s];
+  // States with hitting probability < 1: those that can reach a doomed state.
+  const std::vector<bool> sub_one = graph::backward_reachable(adjacency, doomed);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> result(n, kInf);
+  std::vector<core::StateIndex> unknown;
+  std::vector<std::size_t> unknown_index(n, n);
+  for (core::StateIndex s = 0; s < n; ++s) {
+    if (target[s]) {
+      result[s] = 0.0;
+    } else if (!sub_one[s]) {
+      unknown_index[s] = unknown.size();
+      unknown.push_back(s);
+    }
+  }
+  if (unknown.empty()) return result;
+
+  // (I - P_UU) x = b over the almost-surely-hitting states.
+  linalg::CsrBuilder builder(unknown.size(), unknown.size());
+  std::vector<double> rhs(unknown.size(), 0.0);
+  for (std::size_t i = 0; i < unknown.size(); ++i) {
+    const core::StateIndex s = unknown[i];
+    const double exit = model.rates().exit_rate(s);
+    // Almost-sure hitting from a non-target state implies a way out.
+    builder.add(i, i, 1.0);
+    rhs[i] = immediate(s);
+    for (const auto& e : model.rates().transitions(s)) {
+      const double p = e.value / exit;
+      rhs[i] += p * edge(s, e.col);
+      if (!target[e.col]) {
+        // sub_one successors are impossible here (P = 1 is closed under
+        // successors), so e.col is another unknown.
+        builder.add(i, unknown_index[e.col], -p);
+      }
+    }
+  }
+  std::vector<double> x(unknown.size(), 0.0);
+  const auto outcome = linalg::gauss_seidel_solve(builder.build(), rhs, x, solver);
+  if (!outcome.converged) {
+    throw std::runtime_error("expected_cost_to_hit: Gauss-Seidel did not converge");
+  }
+  for (std::size_t i = 0; i < unknown.size(); ++i) result[unknown[i]] = x[i];
+  return result;
+}
+
+}  // namespace
+
+std::vector<double> expected_time_to_hit(const core::Mrm& model,
+                                         const std::vector<bool>& target,
+                                         const linalg::IterativeOptions& solver) {
+  return expected_cost_to_hit(
+      model, target, solver,
+      [&](core::StateIndex s) { return 1.0 / model.rates().exit_rate(s); },
+      [](core::StateIndex, core::StateIndex) { return 0.0; });
+}
+
+std::vector<double> expected_reward_to_hit(const core::Mrm& model,
+                                           const std::vector<bool>& target,
+                                           const linalg::IterativeOptions& solver) {
+  return expected_cost_to_hit(
+      model, target, solver,
+      [&](core::StateIndex s) {
+        return model.state_reward(s) / model.rates().exit_rate(s);
+      },
+      [&](core::StateIndex s, core::StateIndex s2) { return model.impulse_reward(s, s2); });
+}
+
+}  // namespace csrlmrm::checker

@@ -1,0 +1,60 @@
+#include "checker/next.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace csrlmrm::checker {
+
+std::optional<logic::Interval> next_time_window(const core::Mrm& model, core::StateIndex from,
+                                                core::StateIndex to,
+                                                const logic::Interval& time_bound,
+                                                const logic::Interval& reward_bound) {
+  const double rho = model.state_reward(from);
+  const double iota = model.impulse_reward(from, to);
+
+  double lower = time_bound.lower();
+  double upper = time_bound.upper();
+  if (rho > 0.0) {
+    // rho x + iota in [J.lo, J.hi]  <=>  x in [(J.lo - iota)/rho, (J.hi - iota)/rho]
+    lower = std::max(lower, (reward_bound.lower() - iota) / rho);
+    if (!reward_bound.is_upper_unbounded()) {
+      upper = std::min(upper, (reward_bound.upper() - iota) / rho);
+    }
+  } else {
+    // Zero state reward: the accumulated reward at the jump equals iota.
+    if (!reward_bound.contains(iota)) return std::nullopt;
+  }
+  lower = std::max(lower, 0.0);
+  if (lower > upper) return std::nullopt;
+  return logic::Interval(lower, upper);
+}
+
+std::vector<double> next_probabilities(const core::Mrm& model, const std::vector<bool>& sat_phi,
+                                       const logic::Interval& time_bound,
+                                       const logic::Interval& reward_bound) {
+  const std::size_t n = model.num_states();
+  if (sat_phi.size() != n) {
+    throw std::invalid_argument("next_probabilities: mask size mismatch");
+  }
+
+  std::vector<double> result(n, 0.0);
+  for (core::StateIndex s = 0; s < n; ++s) {
+    const double exit = model.rates().exit_rate(s);
+    if (exit == 0.0) continue;  // absorbing: no next state ever
+    double probability = 0.0;
+    for (const auto& e : model.rates().transitions(s)) {
+      if (!sat_phi[e.col]) continue;
+      const auto window = next_time_window(model, s, e.col, time_bound, reward_bound);
+      if (!window) continue;
+      const double survive_to_lower = std::exp(-exit * window->lower());
+      const double survive_to_upper =
+          window->is_upper_unbounded() ? 0.0 : std::exp(-exit * window->upper());
+      probability += (e.value / exit) * (survive_to_lower - survive_to_upper);
+    }
+    result[s] = probability;
+  }
+  return result;
+}
+
+}  // namespace csrlmrm::checker

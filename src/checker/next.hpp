@@ -1,0 +1,30 @@
+// Next-operator evaluation (sections 3.8.1 and 4.3.1).
+//
+// P(s, X_J^I Phi) = sum_{s' |= Phi} P(s,s') *
+//                   ( e^{-E(s) inf K(s,s')} - e^{-E(s) sup K(s,s')} )
+// with K(s,s') = { x in I | rho(s) x + iota(s,s') in J }: the times in I at
+// which jumping to s' lands the accumulated reward inside J. General closed
+// intervals I and J are supported (eq. 3.4).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/mrm.hpp"
+#include "logic/interval.hpp"
+
+namespace csrlmrm::checker {
+
+/// K(s,s') as a closed interval, or nullopt when empty. Exposed for tests.
+std::optional<logic::Interval> next_time_window(const core::Mrm& model, core::StateIndex from,
+                                                core::StateIndex to,
+                                                const logic::Interval& time_bound,
+                                                const logic::Interval& reward_bound);
+
+/// P(s, X_J^I Phi) for every state s. `sat_phi` must have one entry per
+/// state. Absorbing states yield probability 0 (no next transition exists).
+std::vector<double> next_probabilities(const core::Mrm& model, const std::vector<bool>& sat_phi,
+                                       const logic::Interval& time_bound,
+                                       const logic::Interval& reward_bound);
+
+}  // namespace csrlmrm::checker

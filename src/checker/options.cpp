@@ -1,0 +1,4 @@
+#include "checker/options.hpp"
+
+// Currently header-only; this translation unit anchors the vtable-free types
+// and keeps the build layout uniform (one .cpp per public header).

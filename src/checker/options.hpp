@@ -1,0 +1,47 @@
+// Shared configuration and error type for the model checker.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "linalg/solver_types.hpp"
+#include "numeric/discretization.hpp"
+#include "numeric/path_explorer.hpp"
+#include "numeric/transient.hpp"
+
+namespace csrlmrm::checker {
+
+/// Numerical method used for time- and reward-bounded until formulas (P2).
+enum class UntilMethod {
+  /// Uniformization with depth-first path generation (section 4.6) — the
+  /// default, matching the tool described in the appendix.
+  kUniformization,
+  /// Discretization (section 4.5). Requires (scalable-to-)integer state
+  /// rewards and impulse rewards divisible by the step.
+  kDiscretization,
+};
+
+/// All knobs of the checker, with the defaults of the thesis's tool
+/// (uniformization with truncation probability w = 1e-8).
+struct CheckerOptions {
+  UntilMethod until_method = UntilMethod::kUniformization;
+  /// Options for the uniformization path explorer (w lives here).
+  numeric::PathExplorerOptions uniformization;
+  /// Options for the discretization engine (the step d lives here).
+  numeric::DiscretizationOptions discretization;
+  /// Linear solver controls (steady state, unbounded until).
+  linalg::IterativeOptions solver;
+  /// Transient-analysis controls (time-bounded until without reward bound).
+  numeric::TransientOptions transient;
+};
+
+/// Raised when a formula uses bounds outside the algorithms' scope (the
+/// thesis supports time/reward intervals of the forms [0,b], [b,b] with
+/// Psi => Phi, and [0,~]; see sections 4.5/4.6 and the appendix).
+class UnsupportedFormulaError : public std::runtime_error {
+ public:
+  explicit UnsupportedFormulaError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+}  // namespace csrlmrm::checker

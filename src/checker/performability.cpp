@@ -1,0 +1,94 @@
+#include "checker/performability.hpp"
+
+#include <stdexcept>
+
+#include "checker/steady.hpp"
+#include "numeric/discretization.hpp"
+#include "numeric/path_explorer.hpp"
+#include "numeric/transient.hpp"
+
+namespace csrlmrm::checker {
+
+namespace {
+
+/// Per-state gain rate: rho(s) plus the impulse flux of s's transitions.
+std::vector<double> gain_rates(const core::Mrm& model) {
+  std::vector<double> gain(model.num_states(), 0.0);
+  for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+    gain[s] = model.state_reward(s);
+    for (const auto& e : model.impulse_rewards().row(s)) {
+      gain[s] += model.rates().rate(s, e.col) * e.value;
+    }
+  }
+  return gain;
+}
+
+}  // namespace
+
+PerformabilityValue performability(const core::Mrm& model, core::StateIndex start, double t,
+                                   double r, const CheckerOptions& options) {
+  const std::vector<bool> everything(model.num_states(), true);
+  const std::vector<bool> nothing(model.num_states(), false);
+  if (options.until_method == UntilMethod::kUniformization) {
+    numeric::UniformizationUntilEngine engine(model, everything, nothing);
+    const auto result = engine.compute(start, t, r, options.uniformization);
+    return {result.probability, result.error_bound};
+  }
+  const auto result = numeric::until_probability_discretization(model, everything, start, t, r,
+                                                                options.discretization);
+  return {result.probability, 0.0};
+}
+
+std::vector<PerformabilityValue> performability_cdf(const core::Mrm& model,
+                                                    core::StateIndex start, double t,
+                                                    const std::vector<double>& reward_bounds,
+                                                    const CheckerOptions& options) {
+  std::vector<PerformabilityValue> values;
+  values.reserve(reward_bounds.size());
+  if (options.until_method == UntilMethod::kUniformization) {
+    // Build the engine once; each bound re-walks the (truncated) path set
+    // but shares the uniformization preprocessing.
+    const std::vector<bool> everything(model.num_states(), true);
+    const std::vector<bool> nothing(model.num_states(), false);
+    numeric::UniformizationUntilEngine engine(model, everything, nothing);
+    for (const double r : reward_bounds) {
+      const auto result = engine.compute(start, t, r, options.uniformization);
+      values.push_back({result.probability, result.error_bound});
+    }
+    return values;
+  }
+  for (const double r : reward_bounds) values.push_back(performability(model, start, t, r, options));
+  return values;
+}
+
+double expected_accumulated_reward(const core::Mrm& model, core::StateIndex start, double t,
+                                   const numeric::TransientOptions& options) {
+  if (start >= model.num_states()) {
+    throw std::invalid_argument("expected_accumulated_reward: start state out of range");
+  }
+  std::vector<double> initial(model.num_states(), 0.0);
+  initial[start] = 1.0;
+  const auto occupation =
+      numeric::expected_occupation_times(model.rates(), initial, t, options);
+  const auto gain = gain_rates(model);
+  double expected = 0.0;
+  for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+    expected += occupation[s] * gain[s];
+  }
+  return expected;
+}
+
+std::vector<double> long_run_reward_rate(const core::Mrm& model,
+                                         const linalg::IterativeOptions& solver) {
+  const auto gain = gain_rates(model);
+  std::vector<double> rates(model.num_states(), 0.0);
+  for (core::StateIndex start = 0; start < model.num_states(); ++start) {
+    const auto pi = steady_state_distribution(model, start, solver);
+    double rate = 0.0;
+    for (core::StateIndex s = 0; s < model.num_states(); ++s) rate += pi[s] * gain[s];
+    rates[start] = rate;
+  }
+  return rates;
+}
+
+}  // namespace csrlmrm::checker

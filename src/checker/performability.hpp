@@ -1,0 +1,57 @@
+// Performability measures (section 3.5, Definition 3.4) as first-class API.
+//
+// Perf(<= r) = Pr{ Y(t) <= r } is exactly what the until engines compute
+// when nothing is made absorbing and every state counts as a target
+// (Theorem 4.3 with Psi = tt on the untransformed model), so both numerical
+// methods are reusable verbatim. Expected-value measures come from
+// uniformization occupation times:
+//
+//   E[Y(t)] = sum_s E[L_s(t)] * ( rho(s) + sum_s' R(s,s') iota(s,s') )
+//
+// (each unit of expected residence in s earns rho(s) directly and triggers
+// transitions s -> s' at rate R(s,s'), each paying its impulse), and the
+// long-run reward rate substitutes the steady-state distribution for the
+// occupation-time profile.
+#pragma once
+
+#include <vector>
+
+#include "checker/options.hpp"
+#include "core/mrm.hpp"
+
+namespace csrlmrm::checker {
+
+/// A performability value with the truncation error bound of the engine
+/// that produced it (0 for discretization).
+struct PerformabilityValue {
+  double probability = 0.0;
+  double error_bound = 0.0;
+};
+
+/// Perf(<= r) = Pr{ Y(t) <= r } from `start` over the utilization interval
+/// [0, t]. Uses the engine selected in `options` (uniformization by
+/// default). Requires t, r finite and >= 0.
+PerformabilityValue performability(const core::Mrm& model, core::StateIndex start, double t,
+                                   double r, const CheckerOptions& options = {});
+
+/// The distribution function r -> Pr{ Y(t) <= r } evaluated at each bound in
+/// `reward_bounds` (one engine pass per entry; the uniformization engine
+/// shares its path exploration across entries only through signature reuse,
+/// so prefer modest sweep sizes).
+std::vector<PerformabilityValue> performability_cdf(const core::Mrm& model,
+                                                    core::StateIndex start, double t,
+                                                    const std::vector<double>& reward_bounds,
+                                                    const CheckerOptions& options = {});
+
+/// E[Y(t)]: expected reward accumulated during [0, t] from `start`,
+/// including impulse rewards.
+double expected_accumulated_reward(const core::Mrm& model, core::StateIndex start, double t,
+                                   const numeric::TransientOptions& options = {});
+
+/// The long-run reward rate lim_{t->inf} E[Y(t)] / t for every starting
+/// state (steady-state weighted gain rate; rates differ across states only
+/// when the chain has multiple BSCCs).
+std::vector<double> long_run_reward_rate(const core::Mrm& model,
+                                         const linalg::IterativeOptions& solver = {});
+
+}  // namespace csrlmrm::checker

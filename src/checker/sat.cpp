@@ -1,0 +1,157 @@
+#include "checker/sat.hpp"
+
+#include <stdexcept>
+
+#include "checker/absorption.hpp"
+#include "checker/performability.hpp"
+
+namespace csrlmrm::checker {
+
+ModelChecker::ModelChecker(const core::Mrm& model, CheckerOptions options)
+    : model_(&model), options_(std::move(options)) {}
+
+const std::vector<bool>& ModelChecker::satisfaction_set(const logic::FormulaPtr& formula) {
+  if (!formula) throw std::invalid_argument("ModelChecker: null formula");
+  return evaluate(formula);
+}
+
+bool ModelChecker::satisfies(core::StateIndex state, const logic::FormulaPtr& formula) {
+  if (state >= model_->num_states()) {
+    throw std::out_of_range("ModelChecker::satisfies: state out of range");
+  }
+  return satisfaction_set(formula)[state];
+}
+
+std::vector<UntilValue> ModelChecker::path_probabilities(const logic::FormulaPtr& formula) {
+  if (!formula) throw std::invalid_argument("ModelChecker: null formula");
+  switch (formula->kind) {
+    case logic::FormulaKind::kProbNext: {
+      const auto& node = static_cast<const logic::ProbNextFormula&>(*formula);
+      const auto probabilities = next_probabilities(*model_, evaluate(node.operand),
+                                                    node.time_bound, node.reward_bound);
+      std::vector<UntilValue> values(probabilities.size());
+      for (std::size_t s = 0; s < probabilities.size(); ++s) values[s] = {probabilities[s], 0.0};
+      return values;
+    }
+    case logic::FormulaKind::kProbUntil: {
+      const auto& node = static_cast<const logic::ProbUntilFormula&>(*formula);
+      // Copy the first Sat set: evaluating the second operand can rehash the
+      // memoization table and would invalidate a reference into it.
+      const std::vector<bool> sat_lhs = evaluate(node.lhs);
+      const std::vector<bool>& sat_rhs = evaluate(node.rhs);
+      return until_probabilities(*model_, sat_lhs, sat_rhs, node.time_bound, node.reward_bound,
+                                 options_);
+    }
+    default:
+      throw std::invalid_argument(
+          "ModelChecker::path_probabilities: formula is not a P-operator node");
+  }
+}
+
+std::vector<double> ModelChecker::steady_probabilities(const logic::FormulaPtr& formula) {
+  if (!formula) throw std::invalid_argument("ModelChecker: null formula");
+  if (formula->kind != logic::FormulaKind::kSteady) {
+    throw std::invalid_argument(
+        "ModelChecker::steady_probabilities: formula is not an S-operator node");
+  }
+  const auto& node = static_cast<const logic::SteadyFormula&>(*formula);
+  return steady_state_probability_of_set(*model_, evaluate(node.operand), options_.solver);
+}
+
+std::vector<double> ModelChecker::expected_rewards(const logic::FormulaPtr& formula) {
+  if (!formula) throw std::invalid_argument("ModelChecker: null formula");
+  if (formula->kind != logic::FormulaKind::kExpectedReward) {
+    throw std::invalid_argument(
+        "ModelChecker::expected_rewards: formula is not an R-operator node");
+  }
+  const auto& node = static_cast<const logic::ExpectedRewardFormula&>(*formula);
+  const std::size_t n = model_->num_states();
+  switch (node.query) {
+    case logic::RewardQuery::kCumulative: {
+      std::vector<double> values(n, 0.0);
+      for (core::StateIndex s = 0; s < n; ++s) {
+        values[s] = expected_accumulated_reward(*model_, s, node.time_horizon,
+                                                options_.transient);
+      }
+      return values;
+    }
+    case logic::RewardQuery::kReachability:
+      return expected_reward_to_hit(*model_, evaluate(node.operand), options_.solver);
+    case logic::RewardQuery::kLongRun:
+      return long_run_reward_rate(*model_, options_.solver);
+  }
+  throw std::logic_error("expected_rewards: unknown reward query");
+}
+
+const std::vector<bool>& ModelChecker::evaluate(const logic::FormulaPtr& formula) {
+  const auto cached = cache_.find(formula.get());
+  if (cached != cache_.end()) return cached->second;
+
+  const std::size_t n = model_->num_states();
+  std::vector<bool> sat(n, false);
+  switch (formula->kind) {
+    case logic::FormulaKind::kTrue:
+      sat.assign(n, true);
+      break;
+    case logic::FormulaKind::kFalse:
+      break;
+    case logic::FormulaKind::kAtomic:
+      sat = model_->labels().states_with(static_cast<const logic::AtomicFormula&>(*formula).name);
+      break;
+    case logic::FormulaKind::kNot: {
+      const auto& inner = evaluate(static_cast<const logic::NotFormula&>(*formula).operand);
+      for (core::StateIndex s = 0; s < n; ++s) sat[s] = !inner[s];
+      break;
+    }
+    case logic::FormulaKind::kOr: {
+      const auto& node = static_cast<const logic::OrFormula&>(*formula);
+      const auto lhs = evaluate(node.lhs);  // copy: rhs evaluation may rehash cache_
+      const auto& rhs = evaluate(node.rhs);
+      for (core::StateIndex s = 0; s < n; ++s) sat[s] = lhs[s] || rhs[s];
+      break;
+    }
+    case logic::FormulaKind::kAnd: {
+      const auto& node = static_cast<const logic::AndFormula&>(*formula);
+      const auto lhs = evaluate(node.lhs);
+      const auto& rhs = evaluate(node.rhs);
+      for (core::StateIndex s = 0; s < n; ++s) sat[s] = lhs[s] && rhs[s];
+      break;
+    }
+    case logic::FormulaKind::kSteady: {
+      const auto& node = static_cast<const logic::SteadyFormula&>(*formula);
+      const auto probabilities = steady_probabilities(formula);
+      for (core::StateIndex s = 0; s < n; ++s) {
+        sat[s] = logic::compare(probabilities[s], node.op, node.bound);
+      }
+      break;
+    }
+    case logic::FormulaKind::kProbNext: {
+      const auto& node = static_cast<const logic::ProbNextFormula&>(*formula);
+      const auto values = path_probabilities(formula);
+      for (core::StateIndex s = 0; s < n; ++s) {
+        sat[s] = logic::compare(values[s].probability, node.op, node.bound);
+      }
+      break;
+    }
+    case logic::FormulaKind::kProbUntil: {
+      const auto& node = static_cast<const logic::ProbUntilFormula&>(*formula);
+      const auto values = path_probabilities(formula);
+      for (core::StateIndex s = 0; s < n; ++s) {
+        sat[s] = logic::compare(values[s].probability, node.op, node.bound);
+      }
+      break;
+    }
+    case logic::FormulaKind::kExpectedReward: {
+      const auto& node = static_cast<const logic::ExpectedRewardFormula&>(*formula);
+      const auto values = expected_rewards(formula);
+      for (core::StateIndex s = 0; s < n; ++s) {
+        sat[s] = logic::compare(values[s], node.op, node.bound);
+      }
+      break;
+    }
+  }
+  retained_.push_back(formula);
+  return cache_.emplace(formula.get(), std::move(sat)).first->second;
+}
+
+}  // namespace csrlmrm::checker

@@ -1,0 +1,60 @@
+// The model-checking front end: SatisfyStateFormula (Algorithm 4.1).
+//
+// A ModelChecker evaluates CSRL state formulas bottom-up over one MRM,
+// memoizing satisfaction sets per formula node (sub-formula sharing through
+// FormulaPtr therefore pays off). Besides the boolean Sat sets it exposes the
+// underlying numeric values (probabilities per state), which is what the
+// benchmark harness and the examples report.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "checker/next.hpp"
+#include "checker/options.hpp"
+#include "checker/steady.hpp"
+#include "checker/until.hpp"
+#include "core/mrm.hpp"
+#include "logic/ast.hpp"
+
+namespace csrlmrm::checker {
+
+/// CSRL model checker over one MRM. The model must outlive the checker.
+class ModelChecker {
+ public:
+  explicit ModelChecker(const core::Mrm& model, CheckerOptions options = {});
+
+  /// Sat(Phi): the states satisfying the formula (Algorithm 4.1). Results are
+  /// memoized per formula node identity.
+  const std::vector<bool>& satisfaction_set(const logic::FormulaPtr& formula);
+
+  /// Convenience: does one state satisfy the formula?
+  bool satisfies(core::StateIndex state, const logic::FormulaPtr& formula);
+
+  /// The per-state probabilities behind a P-operator node (next or until),
+  /// i.e. P(s, phi) before comparison with the bound. Until values carry the
+  /// truncation error bound of the configured engine.
+  std::vector<UntilValue> path_probabilities(const logic::FormulaPtr& formula);
+
+  /// The per-state steady-state probabilities behind an S-operator node.
+  std::vector<double> steady_probabilities(const logic::FormulaPtr& formula);
+
+  /// The per-state expected-reward values behind an R-operator node
+  /// (cumulative, reachability — possibly +infinity —, or long-run rate).
+  std::vector<double> expected_rewards(const logic::FormulaPtr& formula);
+
+  const core::Mrm& model() const { return *model_; }
+  const CheckerOptions& options() const { return options_; }
+
+ private:
+  const std::vector<bool>& evaluate(const logic::FormulaPtr& formula);
+
+  const core::Mrm* model_;
+  CheckerOptions options_;
+  std::unordered_map<const logic::Formula*, std::vector<bool>> cache_;
+  // Keeps every formula we evaluated alive so cache_ keys stay valid even if
+  // the caller drops its FormulaPtr.
+  std::vector<logic::FormulaPtr> retained_;
+};
+
+}  // namespace csrlmrm::checker

@@ -1,0 +1,30 @@
+// Steady-state operator (sections 3.7 and 4.2).
+//
+// pi(s, A) — the long-run probability of being in a state of A when started
+// in s — is computed by the BSCC decomposition of Algorithm 4.2: each bottom
+// strongly connected component B is an irreducible CTMC with steady-state
+// vector pi^B (Gauss-Seidel); the probability of ever entering B from s is an
+// unbounded-until query (eq. 3.8); and eq. (3.2) combines them:
+//
+//   pi(s, A) = sum_B P(s, Diamond B) * sum_{s' in B ∩ A} pi^B(s').
+#pragma once
+
+#include <vector>
+
+#include "checker/options.hpp"
+#include "core/mrm.hpp"
+
+namespace csrlmrm::checker {
+
+/// pi(s, target) for every starting state s. `target` must have one entry
+/// per state.
+std::vector<double> steady_state_probability_of_set(const core::Mrm& model,
+                                                    const std::vector<bool>& target,
+                                                    const linalg::IterativeOptions& solver = {});
+
+/// The full long-run distribution started from `start`:
+/// result[s'] = pi(start, {s'}).
+std::vector<double> steady_state_distribution(const core::Mrm& model, core::StateIndex start,
+                                              const linalg::IterativeOptions& solver = {});
+
+}  // namespace csrlmrm::checker

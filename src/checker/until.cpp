@@ -1,0 +1,249 @@
+#include "checker/until.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/transform.hpp"
+#include "graph/reachability.hpp"
+#include "linalg/gauss_seidel.hpp"
+#include "numeric/discretization.hpp"
+#include "numeric/path_explorer.hpp"
+#include "numeric/transient.hpp"
+
+namespace csrlmrm::checker {
+
+namespace {
+
+void require_masks(const core::Mrm& model, const std::vector<bool>& sat_phi,
+                   const std::vector<bool>& sat_psi) {
+  if (sat_phi.size() != model.num_states() || sat_psi.size() != model.num_states()) {
+    throw std::invalid_argument("until: satisfaction mask size mismatch");
+  }
+}
+
+}  // namespace
+
+std::vector<double> unbounded_until_probabilities(const core::Mrm& model,
+                                                  const std::vector<bool>& sat_phi,
+                                                  const std::vector<bool>& sat_psi,
+                                                  const linalg::IterativeOptions& solver) {
+  require_masks(model, sat_phi, sat_psi);
+  const std::size_t n = model.num_states();
+
+  // Graph precomputation: P > 0 exactly for states that can reach a Psi-state
+  // through Phi-states. Everything else is pinned to 0 (this also realizes
+  // the "least solution" requirement of eq. 3.8: zero wherever possible).
+  const std::vector<bool> positive =
+      graph::backward_reachable_via(model.rates().matrix(), sat_phi, sat_psi);
+
+  std::vector<double> result(n, 0.0);
+  std::vector<core::StateIndex> unknown;  // Phi && !Psi states with positive prob
+  std::vector<std::size_t> unknown_index(n, n);
+  for (core::StateIndex s = 0; s < n; ++s) {
+    if (sat_psi[s]) {
+      result[s] = 1.0;
+    } else if (sat_phi[s] && positive[s]) {
+      unknown_index[s] = unknown.size();
+      unknown.push_back(s);
+    }
+  }
+  if (unknown.empty()) return result;
+
+  // Solve (I - P_UU) x = P_U,Psi * 1 over the unknown states, with P the
+  // embedded DTMC.
+  linalg::CsrBuilder builder(unknown.size(), unknown.size());
+  std::vector<double> rhs(unknown.size(), 0.0);
+  for (std::size_t i = 0; i < unknown.size(); ++i) {
+    const core::StateIndex s = unknown[i];
+    const double exit = model.rates().exit_rate(s);
+    builder.add(i, i, 1.0);
+    for (const auto& e : model.rates().transitions(s)) {
+      const double p = e.value / exit;
+      if (sat_psi[e.col]) {
+        rhs[i] += p;
+      } else if (unknown_index[e.col] != n) {
+        builder.add(i, unknown_index[e.col], -p);
+      }
+      // transitions into probability-0 states contribute nothing
+    }
+  }
+  std::vector<double> x(unknown.size(), 0.0);
+  const auto outcome = linalg::gauss_seidel_solve(builder.build(), rhs, x, solver);
+  if (!outcome.converged) {
+    throw std::runtime_error("unbounded_until_probabilities: Gauss-Seidel did not converge in " +
+                             std::to_string(outcome.iterations) + " iterations");
+  }
+  for (std::size_t i = 0; i < unknown.size(); ++i) {
+    result[unknown[i]] = std::min(1.0, std::max(0.0, x[i]));
+  }
+  return result;
+}
+
+namespace {
+
+/// Shared P2 evaluation: Pr{ Y(t) <= r, X(t) |= Psi } on `transformed` for
+/// every state, by the configured engine. `dead` marks !Phi && !Psi states.
+/// When `psi_absorbed` is set (the [0,t] reduction, where Psi-states were
+/// made absorbing with zero rewards), Psi starting states score exactly 1 —
+/// case 1 of eq. (3.6) — without burning engine time on them.
+std::vector<UntilValue> bounded_time_reward(const core::Mrm& transformed,
+                                            const std::vector<bool>& sat_psi,
+                                            const std::vector<bool>& dead, double t, double r,
+                                            const CheckerOptions& options, bool psi_absorbed) {
+  const std::size_t n = transformed.num_states();
+  std::vector<UntilValue> values(n);
+  if (options.until_method == UntilMethod::kUniformization) {
+    numeric::UniformizationUntilEngine engine(transformed, sat_psi, dead);
+    for (core::StateIndex s = 0; s < n; ++s) {
+      if (psi_absorbed && sat_psi[s]) {
+        values[s] = {1.0, 0.0};
+        continue;
+      }
+      const auto result = engine.compute(s, t, r, options.uniformization);
+      values[s] = {result.probability, result.error_bound};
+    }
+  } else {
+    for (core::StateIndex s = 0; s < n; ++s) {
+      if (psi_absorbed && sat_psi[s]) {
+        values[s] = {1.0, 0.0};
+        continue;
+      }
+      const auto result = numeric::until_probability_discretization(transformed, sat_psi, s, t,
+                                                                    r, options.discretization);
+      values[s] = {result.probability, 0.0};
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+std::vector<UntilValue> until_probabilities(const core::Mrm& model,
+                                            const std::vector<bool>& sat_phi,
+                                            const std::vector<bool>& sat_psi,
+                                            const logic::Interval& time_bound,
+                                            const logic::Interval& reward_bound,
+                                            const CheckerOptions& options) {
+  require_masks(model, sat_phi, sat_psi);
+  const std::size_t n = model.num_states();
+
+  const bool time_trivial = time_bound.is_trivial();
+  const bool reward_trivial = reward_bound.is_trivial();
+
+  // Reward bounds must be of the form [0,r] (or trivial); the point-interval
+  // time variant is handled below.
+  if (!reward_trivial &&
+      (reward_bound.lower() != 0.0 || reward_bound.is_upper_unbounded())) {
+    throw UnsupportedFormulaError(
+        "until: reward bounds must have the form [0,r] (thesis section 4.6: general reward "
+        "intervals are future work)");
+  }
+
+  // P0: Phi U Psi.
+  if (time_trivial && reward_trivial) {
+    const auto probabilities =
+        unbounded_until_probabilities(model, sat_phi, sat_psi, options.solver);
+    std::vector<UntilValue> values(n);
+    for (core::StateIndex s = 0; s < n; ++s) values[s] = {probabilities[s], 0.0};
+    return values;
+  }
+
+  // P1': general time interval [t1,t2] with t1 > 0 and no reward bound —
+  // the two-phase reduction of [Bai03]: run the chain in M[!Phi] until t1
+  // (any visit to a !Phi state is fatal; Psi-states without Phi are
+  // absorbed there as well, and they contribute nothing because the
+  // witness time cannot lie before t1), then solve the residual
+  // Phi U^[0,t2-t1] Psi problem from every Phi-state reached.
+  if (reward_trivial && time_bound.lower() > 0.0 && !time_bound.is_upper_unbounded()) {
+    const double t1 = time_bound.lower();
+    const double t2 = time_bound.upper();
+
+    std::vector<bool> not_phi(n, false);
+    for (core::StateIndex s = 0; s < n; ++s) not_phi[s] = !sat_phi[s];
+    const core::Mrm phase_one = core::make_absorbing(model, not_phi);
+
+    const auto residual = until_probabilities(model, sat_phi, sat_psi,
+                                              logic::Interval(0.0, t2 - t1),
+                                              logic::Interval{}, options);
+
+    std::vector<UntilValue> values(n);
+    for (core::StateIndex s = 0; s < n; ++s) {
+      if (!sat_phi[s]) continue;  // fails Phi at time 0 < t1: probability 0
+      const auto at_t1 =
+          numeric::transient_distribution_from(phase_one.rates(), s, t1, options.transient);
+      double probability = 0.0;
+      double error = options.transient.epsilon;
+      for (core::StateIndex mid = 0; mid < n; ++mid) {
+        if (!sat_phi[mid] || at_t1[mid] == 0.0) continue;
+        probability += at_t1[mid] * residual[mid].probability;
+        error += at_t1[mid] * residual[mid].error_bound;
+      }
+      values[s] = {probability, error};
+    }
+    return values;
+  }
+
+  // Remaining cases need a bounded time interval of the form [0,t] or [t,t].
+  const bool time_zero_based = time_bound.lower() == 0.0 && !time_bound.is_upper_unbounded();
+  const bool time_point = time_bound.is_point() && !time_bound.is_upper_unbounded();
+  if (!time_zero_based && !time_point) {
+    throw UnsupportedFormulaError(
+        "until: time bounds must have the form [0,t], [t1,t2] (reward-unbounded), or [t,t] "
+        "(thesis sections 4.3.2/4.6 and [Bai03])");
+  }
+
+  // Reward-unbounded cases with a time interval [0,~] were handled as P0; a
+  // reward bound with unbounded time is outside the thesis's algorithms.
+  if (reward_trivial && time_zero_based) {
+    // P1: Phi U^[0,t] Psi = transient analysis of M[!Phi v Psi] (Thm 4.1).
+    std::vector<bool> absorb(n, false);
+    for (core::StateIndex s = 0; s < n; ++s) absorb[s] = !sat_phi[s] || sat_psi[s];
+    const core::Mrm transformed = core::make_absorbing(model, absorb);
+    std::vector<UntilValue> values(n);
+    for (core::StateIndex s = 0; s < n; ++s) {
+      if (sat_psi[s]) {
+        values[s] = {1.0, 0.0};  // absorbed Psi start: case 1 of eq. (3.6)
+        continue;
+      }
+      const auto distribution = numeric::transient_distribution_from(
+          transformed.rates(), s, time_bound.upper(), options.transient);
+      double p = 0.0;
+      for (core::StateIndex s2 = 0; s2 < n; ++s2) {
+        if (sat_psi[s2]) p += distribution[s2];
+      }
+      values[s] = {p, options.transient.epsilon};
+    }
+    return values;
+  }
+  // Reward-trivial cases are fully covered above ([0,t] by P1, [t1,t2] and
+  // [t,t] with t > 0 by the two-phase P1' reduction).
+
+  const double t = time_bound.upper();
+  const double r = reward_bound.upper();
+
+  std::vector<bool> dead(n, false);
+  for (core::StateIndex s = 0; s < n; ++s) dead[s] = !sat_phi[s] && !sat_psi[s];
+
+  if (time_point && time_bound.lower() > 0.0) {
+    // Theorem 4.2 requires Psi => Phi; only !Phi && !Psi states become
+    // absorbing, Psi-states stay live.
+    for (core::StateIndex s = 0; s < n; ++s) {
+      if (sat_psi[s] && !sat_phi[s]) {
+        throw UnsupportedFormulaError(
+            "until with point time interval [t,t] requires Psi => Phi (Theorem 4.2)");
+      }
+    }
+    const core::Mrm transformed = core::make_absorbing(model, dead);
+    return bounded_time_reward(transformed, sat_psi, dead, t, r, options,
+                               /*psi_absorbed=*/false);
+  }
+
+  // P2: Phi U^[0,t]_[0,r] Psi on M[!Phi v Psi] (Theorems 4.1 + 4.3).
+  std::vector<bool> absorb(n, false);
+  for (core::StateIndex s = 0; s < n; ++s) absorb[s] = !sat_phi[s] || sat_psi[s];
+  const core::Mrm transformed = core::make_absorbing(model, absorb);
+  return bounded_time_reward(transformed, sat_psi, dead, t, r, options,
+                             /*psi_absorbed=*/true);
+}
+
+}  // namespace csrlmrm::checker

@@ -1,0 +1,53 @@
+// Until-formula evaluation (sections 3.8.2, 4.3.2, 4.5, 4.6).
+//
+// Dispatches on the bound shapes the thesis distinguishes:
+//   P0: Phi U Psi                — least solution of a linear system (3.8)
+//   P1: Phi U^[0,t] Psi          — transient analysis of M[!Phi v Psi]
+//                                  (Theorem 4.1 + standard uniformization)
+//   P1': Phi U^[t1,t2] Psi       — the two-phase reduction of [Bai03]
+//                                  (transient analysis of M[!Phi] to t1,
+//                                  then the [0, t2-t1] problem from every
+//                                  Phi-state); reward bound must be trivial
+//   P2: Phi U^[0,t]_[0,r] Psi    — uniformization/DFPG or discretization on
+//                                  M[!Phi v Psi] (Theorems 4.1 + 4.3)
+//   point-interval variant Phi U^[t,t]_[0,r] Psi with Psi => Phi
+//                                — same engines on M[!Phi && !Psi]
+//                                  (Theorems 4.2 + 4.3)
+// Other bound shapes raise UnsupportedFormulaError.
+#pragma once
+
+#include <vector>
+
+#include "checker/options.hpp"
+#include "core/mrm.hpp"
+#include "logic/interval.hpp"
+
+namespace csrlmrm::checker {
+
+/// Probability (and, for truncating methods, error bound) of one until query.
+struct UntilValue {
+  double probability = 0.0;
+  /// A-priori bound on the probability mass lost to truncation; 0 for exact
+  /// (graph/linear-algebra) methods and for discretization (which has no
+  /// computable a-priori bound in the thesis).
+  double error_bound = 0.0;
+};
+
+/// P(s, Phi U Psi) for every state s: the unbounded-until probabilities of
+/// eq. (3.8), computed by graph precomputation (states that cannot reach Psi
+/// through Phi get exactly 0) plus a Gauss-Seidel solve on the embedded DTMC.
+std::vector<double> unbounded_until_probabilities(const core::Mrm& model,
+                                                  const std::vector<bool>& sat_phi,
+                                                  const std::vector<bool>& sat_psi,
+                                                  const linalg::IterativeOptions& solver = {});
+
+/// P(s, Phi U_J^I Psi) for every state s, dispatching as described above.
+/// Masks must have one entry per state.
+std::vector<UntilValue> until_probabilities(const core::Mrm& model,
+                                            const std::vector<bool>& sat_phi,
+                                            const std::vector<bool>& sat_psi,
+                                            const logic::Interval& time_bound,
+                                            const logic::Interval& reward_bound,
+                                            const CheckerOptions& options = {});
+
+}  // namespace csrlmrm::checker

@@ -1,0 +1,16 @@
+#include "core/ctmc.hpp"
+
+#include <stdexcept>
+
+namespace csrlmrm::core {
+
+Ctmc::Ctmc(RateMatrix rates, Labeling labels)
+    : rates_(std::move(rates)), labels_(std::move(labels)) {
+  if (rates_.num_states() != labels_.num_states()) {
+    throw std::invalid_argument("Ctmc: rate matrix has " + std::to_string(rates_.num_states()) +
+                                " states but labeling has " +
+                                std::to_string(labels_.num_states()));
+  }
+}
+
+}  // namespace csrlmrm::core

@@ -1,0 +1,28 @@
+// Labeled continuous-time Markov chain C = (S, R, Label) (Definition 2.1).
+#pragma once
+
+#include <utility>
+
+#include "core/labels.hpp"
+#include "core/rate_matrix.hpp"
+
+namespace csrlmrm::core {
+
+/// A labeled CTMC: a rate matrix together with a labeling over the same state
+/// space. Immutable after construction.
+class Ctmc {
+ public:
+  /// Throws std::invalid_argument when the labeling and rate matrix disagree
+  /// on the number of states.
+  Ctmc(RateMatrix rates, Labeling labels);
+
+  std::size_t num_states() const { return rates_.num_states(); }
+  const RateMatrix& rates() const { return rates_; }
+  const Labeling& labels() const { return labels_; }
+
+ private:
+  RateMatrix rates_;
+  Labeling labels_;
+};
+
+}  // namespace csrlmrm::core

@@ -1,0 +1,59 @@
+#include "core/labels.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace csrlmrm::core {
+
+Labeling::Labeling(std::size_t num_states) : states_(num_states) {}
+
+void Labeling::declare(const std::string& ap) {
+  if (ids_.contains(ap)) return;
+  ids_.emplace(ap, names_.size());
+  names_.push_back(ap);
+}
+
+void Labeling::add(StateIndex state, const std::string& ap) {
+  if (state >= states_.size()) {
+    throw std::out_of_range("Labeling::add: state " + std::to_string(state) + " out of range");
+  }
+  declare(ap);
+  const std::size_t id = ids_.at(ap);
+  auto& set = states_[state];
+  const auto it = std::lower_bound(set.begin(), set.end(), id);
+  if (it == set.end() || *it != id) set.insert(it, id);
+}
+
+bool Labeling::has(StateIndex state, const std::string& ap) const {
+  if (state >= states_.size()) {
+    throw std::out_of_range("Labeling::has: state " + std::to_string(state) + " out of range");
+  }
+  const auto it = ids_.find(ap);
+  if (it == ids_.end()) return false;
+  const auto& set = states_[state];
+  return std::binary_search(set.begin(), set.end(), it->second);
+}
+
+bool Labeling::is_declared(const std::string& ap) const { return ids_.contains(ap); }
+
+std::vector<bool> Labeling::states_with(const std::string& ap) const {
+  std::vector<bool> mask(states_.size(), false);
+  const auto it = ids_.find(ap);
+  if (it == ids_.end()) return mask;
+  for (StateIndex s = 0; s < states_.size(); ++s) {
+    mask[s] = std::binary_search(states_[s].begin(), states_[s].end(), it->second);
+  }
+  return mask;
+}
+
+std::vector<std::string> Labeling::labels_of(StateIndex state) const {
+  if (state >= states_.size()) {
+    throw std::out_of_range("Labeling::labels_of: state out of range");
+  }
+  std::vector<std::string> out;
+  out.reserve(states_[state].size());
+  for (std::size_t id : states_[state]) out.push_back(names_[id]);
+  return out;
+}
+
+}  // namespace csrlmrm::core

@@ -1,0 +1,57 @@
+// State labeling with atomic propositions (section 2.5 of the thesis).
+//
+// A Labeling is the interpretation function Label : S -> 2^AP. Propositions
+// are interned strings; membership queries by name return state masks that
+// plug directly into the model-checking set algebra.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace csrlmrm::core {
+
+/// State index type used across the library.
+using StateIndex = std::size_t;
+
+/// Assigns each state a set of atomic propositions.
+class Labeling {
+ public:
+  /// A labeling for `num_states` states, all initially unlabeled.
+  explicit Labeling(std::size_t num_states);
+
+  std::size_t num_states() const { return states_.size(); }
+
+  /// Declares `ap` as a known proposition without attaching it to any state.
+  /// Idempotent. Useful for mirroring the #DECLARATION section of .lab files.
+  void declare(const std::string& ap);
+
+  /// Attaches proposition `ap` to `state` (declaring `ap` if new).
+  /// Throws std::out_of_range for an invalid state.
+  void add(StateIndex state, const std::string& ap);
+
+  /// True iff `ap` is declared and attached to `state`.
+  bool has(StateIndex state, const std::string& ap) const;
+
+  /// True iff `ap` has been declared (even if attached to no state).
+  bool is_declared(const std::string& ap) const;
+
+  /// Mask of the states labeled with `ap`; all-false when `ap` is unknown
+  /// (an undeclared proposition holds nowhere, matching the CSRL semantics
+  /// a |= only via Label(s)).
+  std::vector<bool> states_with(const std::string& ap) const;
+
+  /// The propositions attached to one state, in declaration order.
+  std::vector<std::string> labels_of(StateIndex state) const;
+
+  /// All declared propositions in declaration order.
+  const std::vector<std::string>& propositions() const { return names_; }
+
+ private:
+  std::vector<std::vector<std::size_t>> states_;  // per state: sorted ap ids
+  std::vector<std::string> names_;                // ap id -> name
+  std::unordered_map<std::string, std::size_t> ids_;
+};
+
+}  // namespace csrlmrm::core

@@ -1,0 +1,66 @@
+#include "core/mrm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csrlmrm::core {
+
+ImpulseRewardsBuilder::ImpulseRewardsBuilder(std::size_t num_states)
+    : builder_(num_states, num_states) {}
+
+void ImpulseRewardsBuilder::add(StateIndex from, StateIndex to, double reward) {
+  if (!std::isfinite(reward) || reward < 0.0) {
+    throw std::invalid_argument("ImpulseRewardsBuilder::add: reward must be finite and >= 0");
+  }
+  builder_.add(from, to, reward);
+}
+
+Mrm::Mrm(Ctmc ctmc, std::vector<double> state_rewards, linalg::CsrMatrix impulse_rewards)
+    : ctmc_(std::move(ctmc)),
+      state_rewards_(std::move(state_rewards)),
+      impulse_rewards_(std::move(impulse_rewards)) {
+  validate();
+}
+
+Mrm::Mrm(Ctmc ctmc, std::vector<double> state_rewards)
+    : ctmc_(std::move(ctmc)),
+      state_rewards_(std::move(state_rewards)),
+      // Members initialize in declaration order, so ctmc_ is valid here.
+      impulse_rewards_(linalg::CsrBuilder(ctmc_.num_states(), ctmc_.num_states()).build()) {
+  validate();
+}
+
+void Mrm::validate() const {
+  const std::size_t n = ctmc_.num_states();
+  if (state_rewards_.size() != n) {
+    throw std::invalid_argument("Mrm: expected " + std::to_string(n) + " state rewards, got " +
+                                std::to_string(state_rewards_.size()));
+  }
+  for (StateIndex s = 0; s < n; ++s) {
+    if (!std::isfinite(state_rewards_[s]) || state_rewards_[s] < 0.0) {
+      throw std::invalid_argument("Mrm: state reward of state " + std::to_string(s) +
+                                  " must be finite and >= 0");
+    }
+  }
+  if (impulse_rewards_.rows() != n || impulse_rewards_.cols() != n) {
+    throw std::invalid_argument("Mrm: impulse reward matrix shape mismatch");
+  }
+  for (StateIndex s = 0; s < n; ++s) {
+    for (const auto& e : impulse_rewards_.row(s)) {
+      if (e.value < 0.0) {
+        throw std::invalid_argument("Mrm: negative impulse reward on (" + std::to_string(s) +
+                                    "," + std::to_string(e.col) + ")");
+      }
+      if (e.value > 0.0 && rates().rate(s, e.col) == 0.0) {
+        throw std::invalid_argument("Mrm: impulse reward on non-existent transition (" +
+                                    std::to_string(s) + "," + std::to_string(e.col) + ")");
+      }
+      if (e.value > 0.0 && s == e.col) {
+        throw std::invalid_argument("Mrm: iota(s,s) must be 0 for self-loop at state " +
+                                    std::to_string(s));
+      }
+    }
+  }
+}
+
+}  // namespace csrlmrm::core

@@ -1,0 +1,73 @@
+// Markov reward model M = ((S, R, Label), rho, iota) (Definition 3.1).
+//
+// rho : S -> R>=0 is the state reward structure (reward accrues at rate
+// rho(s) while residing in s); iota : S x S -> R>=0 is the impulse reward
+// structure (reward iota(s,s') is gained instantaneously when the transition
+// s -> s' fires). The thesis requires iota(s,s) = 0 whenever R(s,s) > 0;
+// impulses on transitions with zero rate are meaningless and rejected.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ctmc.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace csrlmrm::core {
+
+/// Builder for the impulse reward structure; mirrors RateMatrixBuilder.
+class ImpulseRewardsBuilder {
+ public:
+  explicit ImpulseRewardsBuilder(std::size_t num_states);
+
+  /// Sets iota(from, to) += reward. Throws std::invalid_argument for negative
+  /// or non-finite rewards.
+  void add(StateIndex from, StateIndex to, double reward);
+
+  linalg::CsrMatrix build() const { return builder_.build(); }
+
+ private:
+  linalg::CsrBuilder builder_;
+};
+
+/// An immutable Markov reward model.
+class Mrm {
+ public:
+  /// Validates (throws std::invalid_argument):
+  ///  * state_rewards has exactly num_states entries, all finite and >= 0;
+  ///  * impulse matrix is num_states x num_states with entries >= 0;
+  ///  * every positive impulse sits on a transition with positive rate;
+  ///  * iota(s,s) = 0 wherever R(s,s) > 0.
+  Mrm(Ctmc ctmc, std::vector<double> state_rewards, linalg::CsrMatrix impulse_rewards);
+
+  /// Convenience constructor for models without impulse rewards.
+  Mrm(Ctmc ctmc, std::vector<double> state_rewards);
+
+  std::size_t num_states() const { return ctmc_.num_states(); }
+  const Ctmc& ctmc() const { return ctmc_; }
+  const RateMatrix& rates() const { return ctmc_.rates(); }
+  const Labeling& labels() const { return ctmc_.labels(); }
+
+  /// rho(s).
+  double state_reward(StateIndex s) const { return state_rewards_.at(s); }
+  const std::vector<double>& state_rewards() const { return state_rewards_; }
+
+  /// iota(s, s'); 0 when no impulse is attached.
+  double impulse_reward(StateIndex from, StateIndex to) const {
+    return impulse_rewards_.at(from, to);
+  }
+  const linalg::CsrMatrix& impulse_rewards() const { return impulse_rewards_; }
+
+  /// True iff every impulse reward is zero (the pure rate-reward case of
+  /// [Bai00]/[Hav02], which several algorithms specialize on).
+  bool has_impulse_rewards() const { return impulse_rewards_.non_zeros() > 0; }
+
+ private:
+  void validate() const;
+
+  Ctmc ctmc_;
+  std::vector<double> state_rewards_;
+  linalg::CsrMatrix impulse_rewards_;
+};
+
+}  // namespace csrlmrm::core

@@ -1,0 +1,63 @@
+// Timed paths through an MRM (Definition 3.3) and the accumulated reward
+// function y_sigma(t). These are primarily a *specification* device: the
+// numerical engines never materialize timed paths, but tests and examples use
+// them to validate the reward semantics against hand-computed values
+// (e.g. Example 3.2 of the thesis).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/mrm.hpp"
+
+namespace csrlmrm::core {
+
+/// One step of a timed path: the state and the residence time spent in it.
+/// The final step of a finite path (one ending in an absorbing state) has
+/// residence time infinity.
+struct PathStep {
+  StateIndex state = 0;
+  double residence_time = 0.0;
+};
+
+/// A (prefix of a) timed path sigma = s0 --t0--> s1 --t1--> ...
+class TimedPath {
+ public:
+  /// Builds a path from explicit steps. Throws std::invalid_argument when a
+  /// non-final residence time is not positive, or the step list is empty.
+  explicit TimedPath(std::vector<PathStep> steps);
+
+  /// Number of recorded states.
+  std::size_t length() const { return steps_.size(); }
+
+  /// sigma[i]: the (i+1)-st state. Throws std::out_of_range beyond length().
+  StateIndex state(std::size_t i) const;
+
+  /// Residence time t_i in sigma[i].
+  double residence_time(std::size_t i) const;
+
+  /// sigma@t: the state occupied at time t (Definition 3.3: the i-th state is
+  /// occupied when sum_{j<i} t_j < t <= sum_{j<=i} t_j; at t = 0 the initial
+  /// state). Throws std::out_of_range when t lies beyond the recorded prefix.
+  StateIndex state_at(double t) const;
+
+  /// y_sigma(t): reward accumulated along this path until time t in `model`,
+  /// including the impulse rewards of all transitions taken strictly before
+  /// t (Definition 3.3). Throws std::out_of_range when t lies beyond the
+  /// recorded prefix and std::invalid_argument when a step is not a
+  /// transition of `model`.
+  double accumulated_reward(const Mrm& model, double t) const;
+
+  /// True iff the path ends in a step with infinite residence time.
+  bool is_finite_path() const;
+
+  const std::vector<PathStep>& steps() const { return steps_; }
+
+ private:
+  std::vector<PathStep> steps_;
+};
+
+/// Convenience: positive infinity for "stays forever" final steps.
+inline constexpr double kInfiniteResidence = std::numeric_limits<double>::infinity();
+
+}  // namespace csrlmrm::core

@@ -1,0 +1,28 @@
+#include "core/transform.hpp"
+
+#include <stdexcept>
+
+namespace csrlmrm::core {
+
+Mrm make_absorbing(const Mrm& model, const std::vector<bool>& absorb) {
+  const std::size_t n = model.num_states();
+  if (absorb.size() != n) {
+    throw std::invalid_argument("make_absorbing: mask size mismatch");
+  }
+
+  RateMatrixBuilder rates(n);
+  ImpulseRewardsBuilder impulses(n);
+  std::vector<double> rewards(n, 0.0);
+  for (StateIndex s = 0; s < n; ++s) {
+    if (absorb[s]) continue;  // rho'(s) = 0, R'(s,.) = 0, iota'(s,.) = 0
+    rewards[s] = model.state_reward(s);
+    for (const auto& e : model.rates().transitions(s)) rates.add(s, e.col, e.value);
+    for (const auto& e : model.impulse_rewards().row(s)) impulses.add(s, e.col, e.value);
+  }
+
+  // The labeling is unchanged by Definition 4.1 (only dynamics and rewards
+  // change); copy it verbatim.
+  return Mrm(Ctmc(rates.build(), model.labels()), std::move(rewards), impulses.build());
+}
+
+}  // namespace csrlmrm::core

@@ -1,0 +1,26 @@
+// The M[Phi] model transformation (Definition 4.1): make every state in a
+// given set absorbing and equip it with zero rewards.
+//
+// Used by the until checker (Theorems 4.1-4.3): for Phi U^[0,t]_[0,r] Psi the
+// set made absorbing is Sat(!Phi) union Sat(Psi), after which
+// P(s, Phi U_[0,r]^[0,t] Psi) = Pr{ Y(t) <= r, X(t) |= Psi } in the
+// transformed model.
+//
+// Note the asymmetry the thesis relies on: *outgoing* rates, the state
+// reward, and *outgoing* impulse rewards of an absorbed state are zeroed, but
+// impulses on transitions *into* an absorbed state are kept — the jump that
+// first reaches the absorbing set still pays its impulse cost.
+#pragma once
+
+#include <vector>
+
+#include "core/mrm.hpp"
+
+namespace csrlmrm::core {
+
+/// Returns M[absorb]: the same state space with every state s for which
+/// absorb[s] holds made absorbing with zero rewards. Throws
+/// std::invalid_argument when the mask size differs from the model size.
+Mrm make_absorbing(const Mrm& model, const std::vector<bool>& absorb);
+
+}  // namespace csrlmrm::core

@@ -1,0 +1,35 @@
+#include "core/uniformized.hpp"
+
+#include <stdexcept>
+
+namespace csrlmrm::core {
+
+UniformizedMrm::UniformizedMrm(const Mrm& model, double uniformization_factor)
+    : model_(&model) {
+  if (!(uniformization_factor >= 1.0)) {
+    throw std::invalid_argument(
+        "UniformizedMrm: uniformization factor must be >= 1 so Lambda >= max E(s)");
+  }
+  const double max_exit = model.rates().max_exit_rate();
+  lambda_ = max_exit > 0.0 ? uniformization_factor * max_exit : 1.0;
+
+  const std::size_t n = model.num_states();
+  linalg::CsrBuilder builder(n, n);
+  for (StateIndex s = 0; s < n; ++s) {
+    double off_diagonal = 0.0;
+    for (const auto& e : model.rates().transitions(s)) {
+      if (e.col == s) continue;  // folded into the self-loop term below
+      const double p = e.value / lambda_;
+      builder.add(s, e.col, p);
+      off_diagonal += p;
+    }
+    // Self loop: own rate R(s,s)/Lambda plus the uniformization remainder
+    // 1 - E(s)/Lambda. Written as 1 - off_diagonal to keep rows stochastic
+    // to machine precision.
+    const double self_loop = 1.0 - off_diagonal;
+    if (self_loop > 0.0) builder.add(s, s, self_loop);
+  }
+  probabilities_ = builder.build();
+}
+
+}  // namespace csrlmrm::core

@@ -1,0 +1,51 @@
+// Uniformized MRM M^u = (S, P, Lambda, Label, rho, iota) (Definition 4.2).
+//
+// P = I + Q / Lambda where Q = R - Diag(E) and Lambda >= max_s E(s). Each
+// state of the uniformized DTMC is observed at the epochs of a Poisson
+// process with rate Lambda; self-loop probabilities 1 - E(s)/Lambda model
+// "remaining in s for another Poisson epoch". Rewards carry over unchanged.
+#pragma once
+
+#include <vector>
+
+#include "core/mrm.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace csrlmrm::core {
+
+/// A uniformized MRM. Holds its own copy of the transition matrix; rewards
+/// and labels reference the originating Mrm, which must outlive this object.
+class UniformizedMrm {
+ public:
+  /// Uniformizes `model` with rate Lambda = uniformization_factor *
+  /// max_s E(s). The factor must be >= 1 (Lambda must dominate every exit
+  /// rate); for an all-absorbing model (max E = 0) Lambda falls back to 1 so
+  /// the Poisson process is well defined — the chain then never leaves its
+  /// state, which is the correct semantics. The referenced model must
+  /// outlive the uniformized view.
+  explicit UniformizedMrm(const Mrm& model, double uniformization_factor = 1.0);
+
+  std::size_t num_states() const { return model_->num_states(); }
+
+  /// The uniformization rate Lambda of the associated Poisson process.
+  double lambda() const { return lambda_; }
+
+  /// 1-step transition probabilities of the uniformized DTMC (row-stochastic,
+  /// including self loops).
+  const linalg::CsrMatrix& transition_matrix() const { return probabilities_; }
+
+  /// P(s, s') including the uniformization self loop.
+  double probability(StateIndex from, StateIndex to) const {
+    return probabilities_.at(from, to);
+  }
+
+  /// The MRM this view uniformizes (rewards and labels are read through it).
+  const Mrm& model() const { return *model_; }
+
+ private:
+  const Mrm* model_;
+  double lambda_ = 1.0;
+  linalg::CsrMatrix probabilities_;
+};
+
+}  // namespace csrlmrm::core

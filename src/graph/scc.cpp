@@ -1,0 +1,110 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace csrlmrm::graph {
+
+namespace {
+constexpr std::size_t kUnvisited = std::numeric_limits<std::size_t>::max();
+}
+
+SccDecomposition strongly_connected_components(const linalg::CsrMatrix& adjacency) {
+  const std::size_t n = adjacency.rows();
+  if (adjacency.cols() != n) {
+    throw std::invalid_argument("strongly_connected_components: matrix not square");
+  }
+
+  SccDecomposition out;
+  out.component_of.assign(n, kUnvisited);
+
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> tarjan_stack;
+  std::size_t next_index = 0;
+
+  // Explicit DFS frames: state plus position within its (sparse) edge list.
+  struct Frame {
+    std::size_t v;
+    std::size_t edge;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    tarjan_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const auto edges = adjacency.row(frame.v);
+      bool descended = false;
+      while (frame.edge < edges.size()) {
+        const std::size_t w = edges[frame.edge].col;
+        ++frame.edge;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          tarjan_stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[frame.v] = std::min(lowlink[frame.v], index[w]);
+        }
+      }
+      if (descended) continue;
+
+      // All edges of frame.v explored: close the frame.
+      const std::size_t v = frame.v;
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        // v is the root of a component; pop it off the Tarjan stack.
+        const std::size_t component = out.component_count++;
+        while (true) {
+          const std::size_t w = tarjan_stack.back();
+          tarjan_stack.pop_back();
+          on_stack[w] = false;
+          out.component_of[w] = component;
+          if (w == v) break;
+        }
+      }
+    }
+  }
+
+  // A component is bottom iff no edge leaves it.
+  out.is_bottom.assign(out.component_count, true);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const auto& e : adjacency.row(v)) {
+      if (out.component_of[v] != out.component_of[e.col]) {
+        out.is_bottom[out.component_of[v]] = false;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> bottom_sccs(const linalg::CsrMatrix& adjacency) {
+  const SccDecomposition scc = strongly_connected_components(adjacency);
+  std::vector<std::vector<std::size_t>> members(scc.component_count);
+  for (std::size_t v = 0; v < scc.component_of.size(); ++v) {
+    members[scc.component_of[v]].push_back(v);
+  }
+  std::vector<std::vector<std::size_t>> result;
+  for (std::size_t c = 0; c < scc.component_count; ++c) {
+    if (scc.is_bottom[c]) result.push_back(std::move(members[c]));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return result;
+}
+
+}  // namespace csrlmrm::graph

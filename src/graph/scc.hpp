@@ -1,0 +1,42 @@
+// Strongly connected components and bottom strongly connected components
+// (BSCCs) of the directed graph induced by a rate matrix (edge s -> s' iff
+// R(s,s') > 0).
+//
+// This implements the BSCC detection of Algorithm 4.2 in the thesis: Tarjan's
+// SCC algorithm augmented with a "can reach another component" flag, so a
+// component is reported as bottom iff no state in it can leave it. We use an
+// explicit stack instead of recursion so state spaces with long chains do not
+// overflow the call stack; the visit order and O(M + N) complexity match the
+// recursive formulation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace csrlmrm::graph {
+
+/// Result of an SCC decomposition.
+struct SccDecomposition {
+  /// component_of[s] is the 0-based component id of state s. Ids are assigned
+  /// in reverse topological order of the component DAG (a Tarjan property):
+  /// if component A has an edge to component B then id(A) > id(B).
+  std::vector<std::size_t> component_of;
+  /// Number of components.
+  std::size_t component_count = 0;
+  /// is_bottom[c] is true iff component c has no edge leaving it.
+  std::vector<bool> is_bottom;
+};
+
+/// Decomposes the graph of `adjacency` (square matrix; entries > 0 are edges)
+/// into SCCs and flags the bottom ones. Throws std::invalid_argument for a
+/// non-square matrix.
+SccDecomposition strongly_connected_components(const linalg::CsrMatrix& adjacency);
+
+/// The bottom strongly connected components as explicit state lists (each
+/// sorted ascending), in ascending order of their smallest state. This is the
+/// ListOfBSCC of Algorithm 4.2.
+std::vector<std::vector<std::size_t>> bottom_sccs(const linalg::CsrMatrix& adjacency);
+
+}  // namespace csrlmrm::graph

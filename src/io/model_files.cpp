@@ -1,0 +1,285 @@
+#include "io/model_files.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace csrlmrm::io {
+
+namespace {
+
+/// Line-oriented reader skipping blanks and '%' comments, tracking line
+/// numbers for error messages.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(&in) {}
+
+  /// Next content line, or nullopt at end of stream.
+  bool next(std::string& line) {
+    while (std::getline(*in_, line)) {
+      ++line_number_;
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;
+      if (line[first] == '%') continue;
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t line_number() const { return line_number_; }
+
+ private:
+  std::istream* in_;
+  std::size_t line_number_ = 0;
+};
+
+core::StateIndex parse_state(long value, std::size_t num_states, std::size_t line) {
+  if (value < 1 || static_cast<std::size_t>(value) > num_states) {
+    throw ModelFileError("state index " + std::to_string(value) + " outside 1.." +
+                             std::to_string(num_states),
+                         line);
+  }
+  return static_cast<core::StateIndex>(value - 1);  // files are 1-based
+}
+
+}  // namespace
+
+ModelFileError::ModelFileError(const std::string& message, std::size_t line)
+    : std::runtime_error(message + " (line " + std::to_string(line) + ")"), line_(line) {}
+
+core::RateMatrix read_tra(std::istream& in) {
+  LineReader reader(in);
+  std::string line;
+
+  if (!reader.next(line)) throw ModelFileError("missing STATES header", reader.line_number());
+  std::size_t num_states = 0;
+  {
+    std::istringstream parse(line);
+    std::string keyword;
+    if (!(parse >> keyword >> num_states) || keyword != "STATES") {
+      throw ModelFileError("expected 'STATES n'", reader.line_number());
+    }
+  }
+  if (!reader.next(line)) {
+    throw ModelFileError("missing TRANSITIONS header", reader.line_number());
+  }
+  std::size_t num_transitions = 0;
+  {
+    std::istringstream parse(line);
+    std::string keyword;
+    if (!(parse >> keyword >> num_transitions) || keyword != "TRANSITIONS") {
+      throw ModelFileError("expected 'TRANSITIONS m'", reader.line_number());
+    }
+  }
+
+  core::RateMatrixBuilder builder(num_states);
+  std::size_t seen = 0;
+  while (reader.next(line)) {
+    std::istringstream parse(line);
+    long from = 0;
+    long to = 0;
+    double rate = 0.0;
+    if (!(parse >> from >> to >> rate)) {
+      throw ModelFileError("expected 'state1 state2 rate'", reader.line_number());
+    }
+    builder.add(parse_state(from, num_states, reader.line_number()),
+                parse_state(to, num_states, reader.line_number()), rate);
+    ++seen;
+  }
+  if (seen != num_transitions) {
+    throw ModelFileError("TRANSITIONS announced " + std::to_string(num_transitions) +
+                             " entries but " + std::to_string(seen) + " were read",
+                         reader.line_number());
+  }
+  return builder.build();
+}
+
+core::Labeling read_lab(std::istream& in, std::size_t num_states) {
+  LineReader reader(in);
+  core::Labeling labels(num_states);
+  std::string line;
+
+  if (!reader.next(line) || line.find("#DECLARATION") == std::string::npos) {
+    throw ModelFileError("expected '#DECLARATION'", reader.line_number());
+  }
+  bool declaration_closed = false;
+  while (reader.next(line)) {
+    if (line.find("#END") != std::string::npos) {
+      declaration_closed = true;
+      break;
+    }
+    std::istringstream parse(line);
+    std::string ap;
+    while (parse >> ap) labels.declare(ap);
+  }
+  if (!declaration_closed) {
+    throw ModelFileError("missing '#END' after declarations", reader.line_number());
+  }
+
+  while (reader.next(line)) {
+    // "state ap[,ap]*" — commas and whitespace both separate propositions.
+    for (char& c : line) {
+      if (c == ',') c = ' ';
+    }
+    std::istringstream parse(line);
+    long state = 0;
+    if (!(parse >> state)) {
+      throw ModelFileError("expected 'state ap[,ap]*'", reader.line_number());
+    }
+    const core::StateIndex s = parse_state(state, num_states, reader.line_number());
+    std::string ap;
+    while (parse >> ap) {
+      if (!labels.is_declared(ap)) {
+        throw ModelFileError("undeclared atomic proposition '" + ap + "'",
+                             reader.line_number());
+      }
+      labels.add(s, ap);
+    }
+  }
+  return labels;
+}
+
+std::vector<double> read_rewr(std::istream& in, std::size_t num_states) {
+  LineReader reader(in);
+  std::vector<double> rewards(num_states, 0.0);
+  std::string line;
+  while (reader.next(line)) {
+    std::istringstream parse(line);
+    long state = 0;
+    double reward = 0.0;
+    if (!(parse >> state >> reward)) {
+      throw ModelFileError("expected 'state reward'", reader.line_number());
+    }
+    rewards[parse_state(state, num_states, reader.line_number())] = reward;
+  }
+  return rewards;
+}
+
+linalg::CsrMatrix read_rewi(std::istream& in, std::size_t num_states) {
+  LineReader reader(in);
+  std::string line;
+  if (!reader.next(line)) {
+    throw ModelFileError("missing TRANSITIONS header", reader.line_number());
+  }
+  std::size_t announced = 0;
+  {
+    std::istringstream parse(line);
+    std::string keyword;
+    if (!(parse >> keyword >> announced) || keyword != "TRANSITIONS") {
+      throw ModelFileError("expected 'TRANSITIONS n'", reader.line_number());
+    }
+  }
+  core::ImpulseRewardsBuilder builder(num_states);
+  std::size_t seen = 0;
+  while (reader.next(line)) {
+    std::istringstream parse(line);
+    long from = 0;
+    long to = 0;
+    double reward = 0.0;
+    if (!(parse >> from >> to >> reward)) {
+      throw ModelFileError("expected 'state1 state2 reward'", reader.line_number());
+    }
+    builder.add(parse_state(from, num_states, reader.line_number()),
+                parse_state(to, num_states, reader.line_number()), reward);
+    ++seen;
+  }
+  if (seen != announced) {
+    throw ModelFileError("TRANSITIONS announced " + std::to_string(announced) +
+                             " entries but " + std::to_string(seen) + " were read",
+                         reader.line_number());
+  }
+  return builder.build();
+}
+
+namespace {
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  return in;
+}
+}  // namespace
+
+core::Mrm load_mrm(const std::string& tra_path, const std::string& lab_path,
+                   const std::string& rewr_path, const std::string& rewi_path) {
+  auto tra = open_or_throw(tra_path);
+  core::RateMatrix rates = read_tra(tra);
+  const std::size_t n = rates.num_states();
+
+  auto lab = open_or_throw(lab_path);
+  core::Labeling labels = read_lab(lab, n);
+
+  auto rewr = open_or_throw(rewr_path);
+  std::vector<double> state_rewards = read_rewr(rewr, n);
+
+  if (rewi_path.empty()) {
+    return core::Mrm(core::Ctmc(std::move(rates), std::move(labels)), std::move(state_rewards));
+  }
+  auto rewi = open_or_throw(rewi_path);
+  linalg::CsrMatrix impulses = read_rewi(rewi, n);
+  return core::Mrm(core::Ctmc(std::move(rates), std::move(labels)), std::move(state_rewards),
+                   std::move(impulses));
+}
+
+void write_tra(std::ostream& out, const core::RateMatrix& rates) {
+  out << "STATES " << rates.num_states() << '\n';
+  out << "TRANSITIONS " << rates.matrix().non_zeros() << '\n';
+  out << std::setprecision(17);
+  for (core::StateIndex s = 0; s < rates.num_states(); ++s) {
+    for (const auto& e : rates.transitions(s)) {
+      out << (s + 1) << ' ' << (e.col + 1) << ' ' << e.value << '\n';
+    }
+  }
+}
+
+void write_lab(std::ostream& out, const core::Labeling& labels) {
+  out << "#DECLARATION\n";
+  for (const auto& ap : labels.propositions()) out << ap << '\n';
+  out << "#END\n";
+  for (core::StateIndex s = 0; s < labels.num_states(); ++s) {
+    const auto aps = labels.labels_of(s);
+    if (aps.empty()) continue;
+    out << (s + 1) << ' ';
+    for (std::size_t i = 0; i < aps.size(); ++i) {
+      if (i) out << ',';
+      out << aps[i];
+    }
+    out << '\n';
+  }
+}
+
+void write_rewr(std::ostream& out, const std::vector<double>& rewards) {
+  out << std::setprecision(17);
+  for (std::size_t s = 0; s < rewards.size(); ++s) {
+    if (rewards[s] != 0.0) out << (s + 1) << ' ' << rewards[s] << '\n';
+  }
+}
+
+void write_rewi(std::ostream& out, const linalg::CsrMatrix& impulses) {
+  out << "TRANSITIONS " << impulses.non_zeros() << '\n';
+  out << std::setprecision(17);
+  for (std::size_t s = 0; s < impulses.rows(); ++s) {
+    for (const auto& e : impulses.row(s)) {
+      out << (s + 1) << ' ' << (e.col + 1) << ' ' << e.value << '\n';
+    }
+  }
+}
+
+void save_mrm(const core::Mrm& model, const std::string& path_prefix) {
+  const auto open = [](const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write '" + path + "'");
+    return out;
+  };
+  auto tra = open(path_prefix + ".tra");
+  write_tra(tra, model.rates());
+  auto lab = open(path_prefix + ".lab");
+  write_lab(lab, model.labels());
+  auto rewr = open(path_prefix + ".rewr");
+  write_rewr(rewr, model.state_rewards());
+  auto rewi = open(path_prefix + ".rewi");
+  write_rewi(rewi, model.impulse_rewards());
+}
+
+}  // namespace csrlmrm::io

@@ -1,0 +1,59 @@
+// Readers and writers for the model file formats of the thesis appendix:
+//
+//   .tra  — "STATES n" / "TRANSITIONS m" / lines "state1 state2 rate"
+//   .lab  — "#DECLARATION" ap... "#END" then lines "state ap[,ap]*"
+//   .rewr — lines "state reward"            (state reward structure rho)
+//   .rewi — "TRANSITIONS n" then lines "state1 state2 reward"  (iota)
+//
+// States are 1-based in the files (as in the appendix examples) and 0-based
+// in memory. Lines starting with '%' or '#' (outside the .lab declaration
+// block) and blank lines are ignored. Malformed input raises ModelFileError
+// with the offending line number.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/mrm.hpp"
+
+namespace csrlmrm::io {
+
+/// Raised on malformed model files; message includes the 1-based line.
+class ModelFileError : public std::runtime_error {
+ public:
+  ModelFileError(const std::string& message, std::size_t line);
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a .tra stream into a rate matrix.
+core::RateMatrix read_tra(std::istream& in);
+
+/// Parses a .lab stream into a labeling for `num_states` states.
+core::Labeling read_lab(std::istream& in, std::size_t num_states);
+
+/// Parses a .rewr stream into a state reward vector (unlisted states get 0).
+std::vector<double> read_rewr(std::istream& in, std::size_t num_states);
+
+/// Parses a .rewi stream into an impulse reward matrix.
+linalg::CsrMatrix read_rewi(std::istream& in, std::size_t num_states);
+
+/// Loads a complete MRM from the four files. `rewi_path` may be empty for a
+/// model without impulse rewards. Throws ModelFileError / std::runtime_error
+/// on unreadable files.
+core::Mrm load_mrm(const std::string& tra_path, const std::string& lab_path,
+                   const std::string& rewr_path, const std::string& rewi_path);
+
+/// Writers producing files the readers accept (round-trip tested).
+void write_tra(std::ostream& out, const core::RateMatrix& rates);
+void write_lab(std::ostream& out, const core::Labeling& labels);
+void write_rewr(std::ostream& out, const std::vector<double>& rewards);
+void write_rewi(std::ostream& out, const linalg::CsrMatrix& impulses);
+
+/// Writes all four files with the given path prefix (prefix + ".tra" etc.).
+void save_mrm(const core::Mrm& model, const std::string& path_prefix);
+
+}  // namespace csrlmrm::io

@@ -1,0 +1,19 @@
+// Parser for the MRM specification language (see lang/spec.hpp for the
+// grammar by example). Produces a ModelSpec; all errors raise SpecError
+// with a 1-based line number.
+#pragma once
+
+#include <string>
+
+#include "lang/spec.hpp"
+
+namespace csrlmrm::lang {
+
+/// Parses a full specification text.
+ModelSpec parse_spec(const std::string& text);
+
+/// Parses a single expression (exposed for tests and for tools that accept
+/// expression snippets, e.g. reward queries over a loaded spec).
+ExprPtr parse_expression(const std::string& text);
+
+}  // namespace csrlmrm::lang

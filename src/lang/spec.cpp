@@ -1,0 +1,113 @@
+#include "lang/spec.hpp"
+
+#include <cmath>
+
+namespace csrlmrm::lang {
+
+namespace {
+
+[[noreturn]] void type_error(const std::string& what) {
+  throw SpecError("type error: " + what);
+}
+
+bool as_bool(const Value& value, const char* context) {
+  if (value.type != Value::Type::kBool) {
+    type_error(std::string(context) + " must be boolean");
+  }
+  return value.boolean;
+}
+
+double as_number(const Value& value, const char* context) {
+  if (value.type != Value::Type::kNumber) {
+    type_error(std::string(context) + " must be numeric");
+  }
+  return value.number;
+}
+
+}  // namespace
+
+Value evaluate(const ExprPtr& expr, const Environment& env) {
+  if (!expr) throw SpecError("evaluate: null expression");
+  switch (expr->kind) {
+    case ExprKind::kNumber:
+      return Value::make_number(expr->number);
+    case ExprKind::kBool:
+      return Value::make_bool(expr->boolean);
+    case ExprKind::kIdentifier:
+      return env.lookup(expr->identifier);
+    case ExprKind::kUnary: {
+      const Value operand = evaluate(expr->a, env);
+      if (expr->op == Op::kNot) return Value::make_bool(!as_bool(operand, "operand of !"));
+      return Value::make_number(-as_number(operand, "operand of unary -"));
+    }
+    case ExprKind::kConditional: {
+      return as_bool(evaluate(expr->a, env), "condition of ?:") ? evaluate(expr->b, env)
+                                                                : evaluate(expr->c, env);
+    }
+    case ExprKind::kBinary: {
+      // Short-circuit the boolean connectives.
+      if (expr->op == Op::kOr) {
+        if (as_bool(evaluate(expr->a, env), "operand of ||")) return Value::make_bool(true);
+        return Value::make_bool(as_bool(evaluate(expr->b, env), "operand of ||"));
+      }
+      if (expr->op == Op::kAnd) {
+        if (!as_bool(evaluate(expr->a, env), "operand of &&")) return Value::make_bool(false);
+        return Value::make_bool(as_bool(evaluate(expr->b, env), "operand of &&"));
+      }
+      const Value lhs = evaluate(expr->a, env);
+      const Value rhs = evaluate(expr->b, env);
+      switch (expr->op) {
+        case Op::kEq:
+          if (lhs.type != rhs.type) type_error("mismatched operands of =");
+          return Value::make_bool(lhs.type == Value::Type::kBool
+                                      ? lhs.boolean == rhs.boolean
+                                      : lhs.number == rhs.number);
+        case Op::kNeq:
+          if (lhs.type != rhs.type) type_error("mismatched operands of !=");
+          return Value::make_bool(lhs.type == Value::Type::kBool
+                                      ? lhs.boolean != rhs.boolean
+                                      : lhs.number != rhs.number);
+        case Op::kLt:
+          return Value::make_bool(as_number(lhs, "operand of <") <
+                                  as_number(rhs, "operand of <"));
+        case Op::kLe:
+          return Value::make_bool(as_number(lhs, "operand of <=") <=
+                                  as_number(rhs, "operand of <="));
+        case Op::kGt:
+          return Value::make_bool(as_number(lhs, "operand of >") >
+                                  as_number(rhs, "operand of >"));
+        case Op::kGe:
+          return Value::make_bool(as_number(lhs, "operand of >=") >=
+                                  as_number(rhs, "operand of >="));
+        case Op::kAdd:
+          return Value::make_number(as_number(lhs, "operand of +") +
+                                    as_number(rhs, "operand of +"));
+        case Op::kSub:
+          return Value::make_number(as_number(lhs, "operand of -") -
+                                    as_number(rhs, "operand of -"));
+        case Op::kMul:
+          return Value::make_number(as_number(lhs, "operand of *") *
+                                    as_number(rhs, "operand of *"));
+        case Op::kDiv: {
+          const double denominator = as_number(rhs, "operand of /");
+          if (denominator == 0.0) throw SpecError("division by zero");
+          return Value::make_number(as_number(lhs, "operand of /") / denominator);
+        }
+        default:
+          break;
+      }
+      throw SpecError("evaluate: invalid binary operator");
+    }
+  }
+  throw SpecError("evaluate: invalid expression kind");
+}
+
+bool evaluate_bool(const ExprPtr& expr, const Environment& env) {
+  return as_bool(evaluate(expr, env), "expression");
+}
+
+double evaluate_number(const ExprPtr& expr, const Environment& env) {
+  return as_number(evaluate(expr, env), "expression");
+}
+
+}  // namespace csrlmrm::lang

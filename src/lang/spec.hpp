@@ -1,0 +1,165 @@
+// The MRM specification language: a compact guarded-command modeling
+// front end (in the spirit of the PRISM language that the thesis-era tools
+// paired with), so models are written as declarations instead of explicit
+// .tra matrices:
+//
+//   const int K = 8;
+//   const double lambda = 0.8;
+//   module queue
+//     jobs : [0 .. K] init 0;
+//     [] jobs < K -> lambda : (jobs' = jobs + 1) impulse (jobs = 0 ? 2 : 0);
+//     [] jobs > 0 -> 1.0    : (jobs' = jobs - 1);
+//   endmodule
+//   rewards
+//     jobs = 0 : 1;
+//     jobs > 0 : 5;
+//   endrewards
+//   label "full" = jobs = K;
+//
+// (The `impulse` clause attaches an impulse reward to every transition the
+// command generates; a conditional expression keeps it state-dependent.)
+// This header defines the expression and specification ASTs shared by the
+// parser (lang/parser.hpp) and the state-space builder (lang/builder.hpp).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace csrlmrm::lang {
+
+// --- Expressions -----------------------------------------------------------
+
+/// Runtime value of an expression: boolean or numeric (doubles; integer
+/// variables hold integral numeric values).
+struct Value {
+  enum class Type { kBool, kNumber };
+  Type type = Type::kNumber;
+  bool boolean = false;
+  double number = 0.0;
+
+  static Value make_bool(bool b) { return {Type::kBool, b, 0.0}; }
+  static Value make_number(double n) { return {Type::kNumber, false, n}; }
+};
+
+/// Expression node kinds.
+enum class ExprKind {
+  kNumber,      // literal
+  kBool,        // true / false
+  kIdentifier,  // variable or constant
+  kUnary,       // ! or unary -
+  kBinary,      // || && == != < <= > >= + - * /
+  kConditional, // cond ? a : b
+};
+
+/// Binary/unary operator spellings.
+enum class Op {
+  kOr,
+  kAnd,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNot,
+  kNegate,
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable expression tree node.
+struct Expr {
+  ExprKind kind;
+  double number = 0.0;          // kNumber
+  bool boolean = false;         // kBool
+  std::string identifier;       // kIdentifier
+  Op op = Op::kAdd;             // kUnary / kBinary
+  ExprPtr a;                    // operand / lhs / condition
+  ExprPtr b;                    // rhs / then
+  ExprPtr c;                    // else
+};
+
+/// Environment callback: resolves an identifier to its current value.
+/// Throws std::out_of_range for unknown names.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+  virtual Value lookup(const std::string& name) const = 0;
+};
+
+/// Evaluates `expr` under `env`. Type errors (e.g. `1 && 2`, `true + 1`)
+/// raise SpecError with a message naming the offending construct.
+Value evaluate(const ExprPtr& expr, const Environment& env);
+
+/// Convenience: evaluate and coerce, raising SpecError on type mismatch.
+bool evaluate_bool(const ExprPtr& expr, const Environment& env);
+double evaluate_number(const ExprPtr& expr, const Environment& env);
+
+// --- Specification AST ------------------------------------------------------
+
+/// Raised for any syntactic or semantic error in a specification; the
+/// message carries a line number where available.
+class SpecError : public std::runtime_error {
+ public:
+  explicit SpecError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// const [int|double] name = expr;
+struct ConstantDecl {
+  std::string name;
+  ExprPtr value;
+  bool is_integer = false;
+};
+
+/// name : [lo .. hi] init expr;
+struct VariableDecl {
+  std::string name;
+  ExprPtr lower;
+  ExprPtr upper;
+  ExprPtr init;  // null: defaults to the lower bound
+};
+
+/// One update conjunct (name' = expr).
+struct Update {
+  std::string variable;
+  ExprPtr value;
+};
+
+/// [] guard -> rate : updates [impulse expr];
+struct Command {
+  ExprPtr guard;
+  ExprPtr rate;
+  std::vector<Update> updates;
+  ExprPtr impulse;  // null: no impulse reward
+};
+
+/// guard : reward-rate; inside a rewards block.
+struct RewardClause {
+  ExprPtr guard;
+  ExprPtr rate;
+};
+
+/// label "name" = expr;
+struct LabelDecl {
+  std::string name;
+  ExprPtr condition;
+};
+
+/// A parsed specification.
+struct ModelSpec {
+  std::string module_name;
+  std::vector<ConstantDecl> constants;
+  std::vector<VariableDecl> variables;
+  std::vector<Command> commands;
+  std::vector<RewardClause> state_rewards;
+  std::vector<LabelDecl> labels;
+};
+
+}  // namespace csrlmrm::lang

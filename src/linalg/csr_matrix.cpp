@@ -1,0 +1,127 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace csrlmrm::linalg {
+
+CsrBuilder::CsrBuilder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+void CsrBuilder::add(std::size_t row, std::size_t col, double value) {
+  if (row >= rows_ || col >= cols_) {
+    throw std::out_of_range("CsrBuilder::add: index (" + std::to_string(row) + "," +
+                            std::to_string(col) + ") outside " + std::to_string(rows_) +
+                            "x" + std::to_string(cols_));
+  }
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("CsrBuilder::add: non-finite value");
+  }
+  if (value == 0.0) return;
+  triplets_.push_back({row, col, value});
+}
+
+CsrMatrix CsrBuilder::build() const {
+  std::vector<Triplet> sorted = triplets_;
+  std::sort(sorted.begin(), sorted.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  std::vector<std::size_t> row_ptr(rows_ + 1, 0);
+  std::vector<Entry> entries;
+  entries.reserve(sorted.size());
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    while (i < sorted.size() && sorted[i].row == r) {
+      double v = sorted[i].value;
+      const std::size_t c = sorted[i].col;
+      ++i;
+      while (i < sorted.size() && sorted[i].row == r && sorted[i].col == c) {
+        v += sorted[i].value;
+        ++i;
+      }
+      if (v != 0.0) entries.push_back({c, v});
+    }
+    row_ptr[r + 1] = entries.size();
+  }
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(entries));
+}
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols, std::vector<std::size_t> row_ptr,
+                     std::vector<Entry> entries)
+    : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)), entries_(std::move(entries)) {
+  if (row_ptr_.size() != rows_ + 1 || row_ptr_.front() != 0 ||
+      row_ptr_.back() != entries_.size()) {
+    throw std::invalid_argument("CsrMatrix: inconsistent row_ptr");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (row_ptr_[r] > row_ptr_[r + 1]) {
+      throw std::invalid_argument("CsrMatrix: row_ptr not monotone");
+    }
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (entries_[k].col >= cols_) throw std::invalid_argument("CsrMatrix: column out of range");
+      if (k > row_ptr_[r] && entries_[k - 1].col >= entries_[k].col) {
+        throw std::invalid_argument("CsrMatrix: row columns not strictly ascending");
+      }
+    }
+  }
+}
+
+std::span<const Entry> CsrMatrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("CsrMatrix::row: " + std::to_string(r));
+  return {entries_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  const auto entries = row(r);
+  const auto it = std::lower_bound(entries.begin(), entries.end(), c,
+                                   [](const Entry& e, std::size_t col) { return e.col < col; });
+  return (it != entries.end() && it->col == c) ? it->value : 0.0;
+}
+
+std::vector<double> CsrMatrix::multiply(const std::vector<double>& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (const Entry& e : row(r)) acc += e.value * x[e.col];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> CsrMatrix::left_multiply(const std::vector<double>& x) const {
+  if (x.size() != rows_) throw std::invalid_argument("CsrMatrix::left_multiply: size mismatch");
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (const Entry& e : row(r)) y[e.col] += xr * e.value;
+  }
+  return y;
+}
+
+double CsrMatrix::row_sum(std::size_t r) const {
+  double acc = 0.0;
+  for (const Entry& e : row(r)) acc += e.value;
+  return acc;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CsrBuilder builder(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (const Entry& e : row(r)) builder.add(e.col, r, e.value);
+  }
+  return builder.build();
+}
+
+std::vector<std::vector<double>> CsrMatrix::to_dense() const {
+  std::vector<std::vector<double>> dense(rows_, std::vector<double>(cols_, 0.0));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (const Entry& e : row(r)) dense[r][e.col] = e.value;
+  }
+  return dense;
+}
+
+}  // namespace csrlmrm::linalg

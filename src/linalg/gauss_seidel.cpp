@@ -1,0 +1,103 @@
+#include "linalg/gauss_seidel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace csrlmrm::linalg {
+
+IterativeResult gauss_seidel_solve(const CsrMatrix& A, const std::vector<double>& b,
+                                   std::vector<double>& x, const IterativeOptions& options) {
+  const std::size_t n = A.rows();
+  if (A.cols() != n) throw std::invalid_argument("gauss_seidel_solve: matrix not square");
+  if (b.size() != n || x.size() != n) {
+    throw std::invalid_argument("gauss_seidel_solve: vector size mismatch");
+  }
+
+  IterativeResult result;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double off = 0.0;
+      double diag = 0.0;
+      for (const Entry& e : A.row(i)) {
+        if (e.col == i) {
+          diag = e.value;
+        } else {
+          off += e.value * x[e.col];
+        }
+      }
+      if (diag == 0.0) {
+        throw std::invalid_argument("gauss_seidel_solve: zero diagonal at row " +
+                                    std::to_string(i));
+      }
+      const double next = (b[i] - off) / diag;
+      delta = std::max(delta, std::abs(next - x[i]));
+      x[i] = next;
+    }
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<double> steady_state_gauss_seidel(const CsrMatrix& Q, const IterativeOptions& options,
+                                              IterativeResult* result_out) {
+  const std::size_t n = Q.rows();
+  if (Q.cols() != n) throw std::invalid_argument("steady_state_gauss_seidel: Q not square");
+  if (n == 0) throw std::invalid_argument("steady_state_gauss_seidel: empty generator");
+
+  if (n == 1) {
+    if (result_out) *result_out = {true, 0, 0.0};
+    return {1.0};
+  }
+
+  // Work on Q^T: the i-th steady-state balance equation reads
+  //   E(i) * pi_i = sum_{j != i} R(j,i) * pi_j.
+  const CsrMatrix Qt = Q.transposed();
+  std::vector<double> exit_rate(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    exit_rate[i] = -Q.at(i, i);
+    if (!(exit_rate[i] > 0.0)) {
+      throw std::invalid_argument("steady_state_gauss_seidel: state " + std::to_string(i) +
+                                  " has zero exit rate; generator is not irreducible");
+    }
+  }
+
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  IterativeResult result;
+  // Phase 1 runs plain Gauss-Seidel sweeps; for (nearly) periodic chains —
+  // e.g. a BSCC that is one directed cycle — the undamped iteration can
+  // oscillate forever, so phase 2 retries with a damped update
+  // pi_i <- (1-omega) pi_i + omega * inflow_i / E(i), which breaks the
+  // periodicity while keeping the same fixed point.
+  const std::size_t phase1 = std::min<std::size_t>(1000, options.max_iterations / 2);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    const double omega = iter < phase1 ? 1.0 : 0.5;
+    std::vector<double> prev = pi;
+    for (std::size_t i = 0; i < n; ++i) {
+      double inflow = 0.0;
+      for (const Entry& e : Qt.row(i)) {
+        if (e.col != i) inflow += e.value * pi[e.col];
+      }
+      pi[i] = (1.0 - omega) * pi[i] + omega * inflow / exit_rate[i];
+    }
+    normalize_to_distribution(pi);
+    result.iterations = iter + 1;
+    result.final_delta = linf_distance(prev, pi);
+    if (result.final_delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (result_out) *result_out = result;
+  return pi;
+}
+
+}  // namespace csrlmrm::linalg

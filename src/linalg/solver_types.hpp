@@ -1,0 +1,25 @@
+// Shared option/result types for the iterative linear solvers.
+#pragma once
+
+#include <cstddef>
+
+namespace csrlmrm::linalg {
+
+/// Convergence controls for Gauss-Seidel / Jacobi iterations.
+struct IterativeOptions {
+  /// Stop when the L-infinity distance between successive iterates drops
+  /// below this threshold.
+  double tolerance = 1e-12;
+  /// Hard cap on sweeps; exceeded caps are reported via converged = false.
+  std::size_t max_iterations = 100000;
+};
+
+/// Outcome of an iterative solve.
+struct IterativeResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  /// L-infinity distance between the final two iterates.
+  double final_delta = 0.0;
+};
+
+}  // namespace csrlmrm::linalg

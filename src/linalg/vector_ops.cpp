@@ -1,0 +1,63 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csrlmrm::linalg {
+
+namespace {
+void require_same_size(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("vector size mismatch: " + std::to_string(a.size()) +
+                                " vs " + std::to_string(b.size()));
+  }
+}
+}  // namespace
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  require_same_size(a, b);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  require_same_size(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double linf_norm(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double e : v) m = std::max(m, std::abs(e));
+  return m;
+}
+
+double linf_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  require_same_size(a, b);
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+double sum(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double e : v) acc += e;
+  return acc;
+}
+
+void normalize_to_distribution(std::vector<double>& v) {
+  const double s = sum(v);
+  if (!(s > 0.0)) {
+    throw std::domain_error("cannot normalize vector with non-positive sum");
+  }
+  for (double& e : v) e /= s;
+}
+
+bool is_distribution(const std::vector<double>& v, double tolerance) {
+  for (double e : v) {
+    if (e < -tolerance || e > 1.0 + tolerance) return false;
+  }
+  return std::abs(sum(v) - 1.0) <= tolerance;
+}
+
+}  // namespace csrlmrm::linalg

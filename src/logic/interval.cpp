@@ -1,0 +1,35 @@
+#include "logic/interval.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace csrlmrm::logic {
+
+Interval::Interval(double lower, double upper) : lower_(lower), upper_(upper) {
+  if (std::isnan(lower) || std::isnan(upper)) {
+    throw std::invalid_argument("Interval: NaN bound");
+  }
+  if (lower < 0.0 || !std::isfinite(lower)) {
+    throw std::invalid_argument("Interval: lower bound must be finite and >= 0");
+  }
+  if (upper < lower) {
+    throw std::invalid_argument("Interval: upper bound below lower bound");
+  }
+}
+
+std::string Interval::to_string() const {
+  std::ostringstream out;
+  out << '[' << lower_ << ',';
+  if (is_upper_unbounded()) {
+    out << '~';
+  } else {
+    out << upper_;
+  }
+  out << ']';
+  return out.str();
+}
+
+Interval up_to(double bound) { return Interval(0.0, bound); }
+
+}  // namespace csrlmrm::logic

@@ -1,0 +1,52 @@
+// Closed intervals of non-negative reals with an optionally infinite upper
+// bound — the time bound I and reward bound J decorating CSRL path operators
+// (Definition 3.5). `~` in the concrete syntax denotes infinity.
+#pragma once
+
+#include <limits>
+#include <string>
+
+namespace csrlmrm::logic {
+
+/// A closed interval [lower, upper] subset of R>=0; upper may be +infinity.
+class Interval {
+ public:
+  /// The default interval [0, infinity) — no constraint.
+  constexpr Interval() = default;
+
+  /// Throws std::invalid_argument unless 0 <= lower <= upper and lower is
+  /// finite.
+  Interval(double lower, double upper);
+
+  double lower() const { return lower_; }
+  double upper() const { return upper_; }
+
+  /// True iff lower <= x <= upper.
+  bool contains(double x) const { return x >= lower_ && x <= upper_; }
+
+  /// True iff the upper bound is +infinity.
+  bool is_upper_unbounded() const { return upper_ == std::numeric_limits<double>::infinity(); }
+
+  /// True iff the interval is [0, infinity), i.e. imposes no constraint.
+  bool is_trivial() const { return lower_ == 0.0 && is_upper_unbounded(); }
+
+  /// True iff the interval is the point [v, v].
+  bool is_point() const { return lower_ == upper_; }
+
+  /// "[a,b]" with "~" for an infinite upper bound.
+  std::string to_string() const;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+
+ private:
+  double lower_ = 0.0;
+  double upper_ = std::numeric_limits<double>::infinity();
+};
+
+/// The unconstrained interval [0, infinity).
+inline Interval full_interval() { return Interval{}; }
+
+/// The interval [0, bound].
+Interval up_to(double bound);
+
+}  // namespace csrlmrm::logic

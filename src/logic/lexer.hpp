@@ -1,0 +1,61 @@
+// Tokenizer for the concrete CSRL syntax of the thesis appendix:
+//
+//   TT FF && || ! ~ S(op fl) f    P(op fl) [X[fl,fl][fl,fl] f]
+//   P(op fl) [f U[fl,fl][fl,fl] f]
+//
+// Identifiers (atomic propositions and the S/P/X/U/TT/FF words, which the
+// parser disambiguates contextually) are [A-Za-z_][A-Za-z0-9_]*; numbers are
+// ordinary decimal floats. Errors carry the 1-based column of the offending
+// character.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace csrlmrm::logic {
+
+/// Token categories of the CSRL surface syntax.
+enum class TokenKind {
+  kIdentifier,  // atomic propositions and keyword-like words (S, P, X, U, TT)
+  kNumber,
+  kLParen,      // (
+  kRParen,      // )
+  kLBracket,    // [
+  kRBracket,    // ]
+  kComma,       // ,
+  kAndAnd,      // &&
+  kOrOr,        // ||
+  kBang,        // !
+  kTilde,       // ~ (infinity)
+  kLess,        // <
+  kLessEqual,   // <=
+  kGreater,     // >
+  kGreaterEqual,  // >=
+  kEnd,
+};
+
+/// One lexed token. `text` is the raw spelling; `value` is meaningful for
+/// kNumber only.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double value = 0.0;
+  std::size_t column = 0;  // 1-based position in the input
+};
+
+/// Raised for malformed input by both the lexer and the parser.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t column);
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t column_;
+};
+
+/// Tokenizes `input`; the result always ends with a kEnd token.
+std::vector<Token> tokenize(const std::string& input);
+
+}  // namespace csrlmrm::logic

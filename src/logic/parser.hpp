@@ -1,0 +1,32 @@
+// Recursive-descent parser for the appendix CSRL grammar:
+//
+//   state   := or
+//   or      := and ( '||' and )*
+//   and     := unary ( '&&' unary )*
+//   unary   := '!' unary | primary
+//   primary := '(' state ')' | 'TT' | 'FF'
+//            | 'S' '(' cmp number ')' unary
+//            | 'P' '(' cmp number ')' '[' path ']'
+//            | identifier
+//   path    := 'X' bounds state | state 'U' bounds state
+//   bounds  := interval? interval?        (first = time I, second = reward J;
+//                                          omitted intervals mean [0,~])
+//   interval:= '[' num_or_inf ',' num_or_inf ']'
+//   cmp     := '<' | '<=' | '>' | '>='
+//
+// TT/FF (and lowercase tt/ff) are recognized keywords; S, P, X, U act as
+// keywords only in operator position, so atomic propositions such as "Sup"
+// or "Up" parse as plain identifiers.
+#pragma once
+
+#include <string>
+
+#include "logic/ast.hpp"
+#include "logic/lexer.hpp"
+
+namespace csrlmrm::logic {
+
+/// Parses a CSRL state formula; throws ParseError with a column on failure.
+FormulaPtr parse_formula(const std::string& input);
+
+}  // namespace csrlmrm::logic

@@ -1,0 +1,114 @@
+#include "logic/printer.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace csrlmrm::logic {
+
+namespace {
+
+void print(const FormulaPtr& f, std::ostringstream& out);
+
+void print_bounds(const Interval& time, const Interval& reward, std::ostringstream& out) {
+  // Omit trivial bounds entirely; a non-trivial reward bound forces the time
+  // bound to be printed too (the first interval is always the time bound).
+  if (time.is_trivial() && reward.is_trivial()) return;
+  out << time.to_string();
+  if (!reward.is_trivial()) out << reward.to_string();
+}
+
+void print(const FormulaPtr& f, std::ostringstream& out) {
+  if (!f) throw std::invalid_argument("to_string: null formula");
+  switch (f->kind) {
+    case FormulaKind::kTrue:
+      out << "TT";
+      return;
+    case FormulaKind::kFalse:
+      out << "FF";
+      return;
+    case FormulaKind::kAtomic:
+      out << static_cast<const AtomicFormula&>(*f).name;
+      return;
+    case FormulaKind::kNot: {
+      const auto& node = static_cast<const NotFormula&>(*f);
+      out << "!(";
+      print(node.operand, out);
+      out << ")";
+      return;
+    }
+    case FormulaKind::kOr: {
+      const auto& node = static_cast<const OrFormula&>(*f);
+      out << "(";
+      print(node.lhs, out);
+      out << " || ";
+      print(node.rhs, out);
+      out << ")";
+      return;
+    }
+    case FormulaKind::kAnd: {
+      const auto& node = static_cast<const AndFormula&>(*f);
+      out << "(";
+      print(node.lhs, out);
+      out << " && ";
+      print(node.rhs, out);
+      out << ")";
+      return;
+    }
+    case FormulaKind::kSteady: {
+      const auto& node = static_cast<const SteadyFormula&>(*f);
+      out << "S(" << to_string(node.op) << " " << node.bound << ") (";
+      print(node.operand, out);
+      out << ")";
+      return;
+    }
+    case FormulaKind::kProbNext: {
+      const auto& node = static_cast<const ProbNextFormula&>(*f);
+      out << "P(" << to_string(node.op) << " " << node.bound << ") [X";
+      print_bounds(node.time_bound, node.reward_bound, out);
+      out << " ";
+      print(node.operand, out);
+      out << "]";
+      return;
+    }
+    case FormulaKind::kProbUntil: {
+      const auto& node = static_cast<const ProbUntilFormula&>(*f);
+      out << "P(" << to_string(node.op) << " " << node.bound << ") [";
+      print(node.lhs, out);
+      out << " U";
+      print_bounds(node.time_bound, node.reward_bound, out);
+      out << " ";
+      print(node.rhs, out);
+      out << "]";
+      return;
+    }
+    case FormulaKind::kExpectedReward: {
+      const auto& node = static_cast<const ExpectedRewardFormula&>(*f);
+      out << "R(" << to_string(node.op) << " " << node.bound << ") [";
+      switch (node.query) {
+        case RewardQuery::kCumulative:
+          out << "C[0," << node.time_horizon << "]";
+          break;
+        case RewardQuery::kReachability:
+          out << "F ";
+          print(node.operand, out);
+          break;
+        case RewardQuery::kLongRun:
+          out << "S";
+          break;
+      }
+      out << "]";
+      return;
+    }
+  }
+  throw std::logic_error("to_string: unknown formula kind");
+}
+
+}  // namespace
+
+std::string to_string(const FormulaPtr& formula) {
+  std::ostringstream out;
+  print(formula, out);
+  return out.str();
+}
+
+}  // namespace csrlmrm::logic

@@ -1,0 +1,15 @@
+// Pretty printer for CSRL formulas, producing the concrete syntax the parser
+// accepts (parse(print(f)) is structurally equal to f; round-trip tested).
+#pragma once
+
+#include <string>
+
+#include "logic/ast.hpp"
+
+namespace csrlmrm::logic {
+
+/// Renders a formula in the appendix syntax, fully parenthesizing binary
+/// operators for unambiguous round-trips.
+std::string to_string(const FormulaPtr& formula);
+
+}  // namespace csrlmrm::logic

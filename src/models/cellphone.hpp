@@ -1,0 +1,34 @@
+// A cell-phone energy model standing in for the [Hav02] case study that the
+// thesis uses to validate the no-impulse-rewards code path (Table 5.1).
+//
+// The original model's rates are not given in the thesis; this substitute
+// (documented in DESIGN.md §4) preserves the experiment's structure: five
+// states of which exactly three satisfy (Call_Idle v Doze) — so the
+// transformed model M[!(Call_Idle v Doze) v Call_Initiated] has three
+// transient and two absorbing states, as reported — zero impulse rewards,
+// integer power-draw state rewards, and the checked probability of
+//   (Call_Idle v Doze) U^[0,24]_[0,600] Call_Initiated
+// from the Call_Idle start state lying near 0.5.
+#pragma once
+
+#include "core/mrm.hpp"
+
+namespace csrlmrm::models {
+
+/// State indices of the cell-phone model.
+enum CellphoneState : core::StateIndex {
+  kCellDoze = 0,
+  kCellIdleLow = 1,   // Call_Idle (low traffic)
+  kCellIdleHigh = 2,  // Call_Idle (high traffic)
+  kCellInitiated = 3,
+  kCellOff = 4,
+};
+
+/// Builds the cell-phone MRM with labels {Doze, Call_Idle, Call_Initiated,
+/// Off} and integer state rewards (power draw per hour); no impulse rewards.
+core::Mrm make_cellphone();
+
+/// The starting state used in the Table 5.1 reproduction.
+inline constexpr core::StateIndex kCellphoneStart = kCellIdleLow;
+
+}  // namespace csrlmrm::models

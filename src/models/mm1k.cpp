@@ -1,0 +1,50 @@
+#include "models/mm1k.hpp"
+
+#include <stdexcept>
+
+namespace csrlmrm::models {
+
+core::StateIndex mm1k_state_with_jobs(unsigned jobs) {
+  return static_cast<core::StateIndex>(jobs);
+}
+
+core::Mrm make_mm1k(const Mm1kConfig& config) {
+  if (config.capacity < 1) {
+    throw std::invalid_argument("make_mm1k: capacity must be at least 1");
+  }
+  if (!(config.arrival_rate > 0.0) || !(config.service_rate > 0.0)) {
+    throw std::invalid_argument("make_mm1k: rates must be positive");
+  }
+  const unsigned k = config.capacity;
+  const std::size_t n = k + 1;
+
+  core::RateMatrixBuilder rates(n);
+  core::ImpulseRewardsBuilder impulses(n);
+  for (unsigned jobs = 0; jobs < k; ++jobs) {
+    rates.add(mm1k_state_with_jobs(jobs), mm1k_state_with_jobs(jobs + 1),
+              config.arrival_rate);
+  }
+  for (unsigned jobs = 1; jobs <= k; ++jobs) {
+    rates.add(mm1k_state_with_jobs(jobs), mm1k_state_with_jobs(jobs - 1),
+              config.service_rate);
+  }
+  if (config.wakeup_energy > 0.0) {
+    impulses.add(mm1k_state_with_jobs(0), mm1k_state_with_jobs(1), config.wakeup_energy);
+  }
+
+  core::Labeling labels(n);
+  labels.add(mm1k_state_with_jobs(0), "empty");
+  for (unsigned jobs = 1; jobs <= k; ++jobs) labels.add(mm1k_state_with_jobs(jobs), "busy");
+  labels.add(mm1k_state_with_jobs(k), "full");
+  for (unsigned jobs = (k + 1) / 2; jobs <= k; ++jobs) {
+    labels.add(mm1k_state_with_jobs(jobs), "halfFull");
+  }
+
+  std::vector<double> rewards(n, config.busy_power);
+  rewards[mm1k_state_with_jobs(0)] = config.idle_power;
+
+  return core::Mrm(core::Ctmc(rates.build(), std::move(labels)), std::move(rewards),
+                   impulses.build());
+}
+
+}  // namespace csrlmrm::models

@@ -1,0 +1,35 @@
+// An energy-aware M/M/1/K server queue as an MRM — the kind of
+// performance/dependability workload MRM analysis was built for (section
+// 1.1) and a natural showcase for impulse rewards.
+//
+// States 0..K count queued jobs. Arrivals (rate lambda) are dropped when the
+// buffer is full; services complete at rate mu. The reward structure models
+// energy: the idle server draws idle_power, a busy server busy_power, and
+// the 0 -> 1 arrival transition pays a wakeup_energy impulse (spinning the
+// server up from its power-save state) — the same pattern as the cellular
+// phone example that motivates the thesis (section 1.3).
+#pragma once
+
+#include "core/mrm.hpp"
+
+namespace csrlmrm::models {
+
+/// Parameters of the energy-aware M/M/1/K queue.
+struct Mm1kConfig {
+  unsigned capacity = 8;       // K: buffer size including the job in service
+  double arrival_rate = 0.8;   // lambda (jobs per time unit)
+  double service_rate = 1.0;   // mu
+  double idle_power = 1.0;     // rho(0)
+  double busy_power = 5.0;     // rho(k > 0)
+  double wakeup_energy = 2.0;  // iota(0, 1)
+};
+
+/// State index = number of jobs in the system (0..capacity).
+core::StateIndex mm1k_state_with_jobs(unsigned jobs);
+
+/// Builds the (K+1)-state queue MRM with labels "empty" (state 0), "busy"
+/// (k >= 1), "full" (k = K), and "halfFull" (k >= ceil(K/2)). Throws
+/// std::invalid_argument for capacity < 1 or non-positive rates.
+core::Mrm make_mm1k(const Mm1kConfig& config = {});
+
+}  // namespace csrlmrm::models

@@ -1,0 +1,32 @@
+// Seeded random CSRL formula generator for property-based testing of the
+// parser, printer and checker. Generated formulas only use bound shapes the
+// checker supports (time [0,t]/[t1,t2], reward [0,r] on until; arbitrary
+// closed intervals on next), so every generated formula must check without
+// raising UnsupportedFormulaError.
+#pragma once
+
+#include <cstdint>
+
+#include "logic/ast.hpp"
+
+namespace csrlmrm::models {
+
+/// Shape controls for generated formulas.
+struct RandomFormulaConfig {
+  /// Maximum nesting depth (path operators count as one level).
+  unsigned max_depth = 3;
+  /// Probability of nesting an S/P operator where a state formula is needed
+  /// (kept small: nested probabilistic operators are expensive to check).
+  double probabilistic_probability = 0.25;
+  /// Keep until time bounds at most this large (so uniformization stays
+  /// cheap on the small random models these formulas are checked against).
+  double max_time_bound = 2.0;
+  double max_reward_bound = 10.0;
+};
+
+/// Generates a random CSRL state formula over the propositions {a, b, c}.
+/// The same (seed, config) pair always yields the same formula.
+logic::FormulaPtr make_random_formula(std::uint32_t seed,
+                                      const RandomFormulaConfig& config = {});
+
+}  // namespace csrlmrm::models

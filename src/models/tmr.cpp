@@ -1,0 +1,84 @@
+#include "models/tmr.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace csrlmrm::models {
+
+core::StateIndex tmr_state_with_failed(unsigned failed) {
+  return static_cast<core::StateIndex>(failed);
+}
+
+core::StateIndex tmr_voter_down_state(unsigned num_modules) {
+  return static_cast<core::StateIndex>(num_modules + 1);
+}
+
+TmrConfig chapter5_nmr_config(bool variable_failure_rate) {
+  TmrConfig config;
+  config.num_modules = 11;
+  config.variable_failure_rate = variable_failure_rate;
+  config.base_reward = 24.0;
+  config.degraded_step = 1.0;
+  config.module_repair_impulse = 1.0;
+  config.voter_repair_impulse = 2.0;
+  return config;
+}
+
+core::Mrm make_tmr(const TmrConfig& config) {
+  if (config.num_modules < 1) {
+    throw std::invalid_argument("make_tmr: need at least one module");
+  }
+  const unsigned modules = config.num_modules;
+  const std::size_t n = modules + 2;  // 0..modules failed + voter-down
+  const core::StateIndex voter_down = tmr_voter_down_state(modules);
+
+  core::RateMatrixBuilder rates(n);
+  core::ImpulseRewardsBuilder impulses(n);
+  for (unsigned k = 0; k <= modules; ++k) {
+    const core::StateIndex state = tmr_state_with_failed(k);
+    const unsigned working = modules - k;
+    if (working > 0) {
+      const double failure_rate = config.variable_failure_rate
+                                      ? static_cast<double>(working) * config.module_failure_rate
+                                      : config.module_failure_rate;
+      rates.add(state, tmr_state_with_failed(k + 1), failure_rate);
+    }
+    if (k > 0) {
+      rates.add(state, tmr_state_with_failed(k - 1), config.module_repair_rate);
+      impulses.add(state, tmr_state_with_failed(k - 1), config.module_repair_impulse);
+    }
+    rates.add(state, voter_down, config.voter_failure_rate);
+  }
+  rates.add(voter_down, tmr_state_with_failed(0), config.voter_repair_rate);
+  impulses.add(voter_down, tmr_state_with_failed(0), config.voter_repair_impulse);
+
+  core::Labeling labels(n);
+  for (unsigned k = 0; k <= modules; ++k) {
+    const core::StateIndex state = tmr_state_with_failed(k);
+    const unsigned working = modules - k;
+    labels.add(state, std::to_string(working) + "up");
+    if (working == modules) labels.add(state, "allUp");
+    if (working >= 2) {
+      labels.add(state, "Sup");
+    } else {
+      labels.add(state, "failed");
+    }
+  }
+  labels.add(voter_down, "vdown");
+  labels.add(voter_down, "failed");
+
+  std::vector<double> rewards(n, 0.0);
+  for (unsigned k = 0; k <= modules; ++k) {
+    rewards[tmr_state_with_failed(k)] =
+        config.base_reward + config.degraded_step * static_cast<double>(k);
+  }
+  rewards[voter_down] =
+      config.voter_down_reward > 0.0
+          ? config.voter_down_reward
+          : config.base_reward + config.degraded_step * static_cast<double>(modules) + 2.0;
+
+  return core::Mrm(core::Ctmc(rates.build(), std::move(labels)), std::move(rewards),
+                   impulses.build());
+}
+
+}  // namespace csrlmrm::models

@@ -1,0 +1,42 @@
+#include "models/wavelan.hpp"
+
+namespace csrlmrm::models {
+
+core::Mrm make_wavelan(const WavelanConfig& config) {
+  const std::size_t n = 5;
+
+  core::RateMatrixBuilder rates(n);
+  rates.add(kWavelanOff, kWavelanSleep, config.off_to_sleep);
+  rates.add(kWavelanSleep, kWavelanOff, config.sleep_to_off);
+  rates.add(kWavelanSleep, kWavelanIdle, config.sleep_to_idle);
+  rates.add(kWavelanIdle, kWavelanSleep, config.idle_to_sleep);
+  rates.add(kWavelanIdle, kWavelanReceive, config.idle_to_receive);
+  rates.add(kWavelanIdle, kWavelanTransmit, config.idle_to_transmit);
+  rates.add(kWavelanReceive, kWavelanIdle, config.receive_to_idle);
+  rates.add(kWavelanTransmit, kWavelanIdle, config.transmit_to_idle);
+
+  core::Labeling labels(n);
+  labels.add(kWavelanOff, "off");
+  labels.add(kWavelanSleep, "sleep");
+  labels.add(kWavelanIdle, "idle");
+  labels.add(kWavelanReceive, "receive");
+  labels.add(kWavelanReceive, "busy");
+  labels.add(kWavelanTransmit, "transmit");
+  labels.add(kWavelanTransmit, "busy");
+
+  // Power draw in mW (Example 3.1, after [Pau01]).
+  const std::vector<double> state_rewards{0.0, 80.0, 1319.0, 1675.0, 1425.0};
+
+  // Mode-switch energies in mJ: the power of the target mode times the
+  // switching latency (250 us power-up, 254 us payload setup).
+  core::ImpulseRewardsBuilder impulses(n);
+  impulses.add(kWavelanOff, kWavelanSleep, 80.0 * 250e-6);        // 0.02
+  impulses.add(kWavelanSleep, kWavelanIdle, 1319.0 * 250e-6);     // 0.32975
+  impulses.add(kWavelanIdle, kWavelanReceive, 1675.0 * 254e-6);   // 0.42545
+  impulses.add(kWavelanIdle, kWavelanTransmit, 1425.0 * 254e-6);  // 0.36195
+
+  return core::Mrm(core::Ctmc(rates.build(), std::move(labels)), state_rewards,
+                   impulses.build());
+}
+
+}  // namespace csrlmrm::models

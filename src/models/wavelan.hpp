@@ -1,0 +1,37 @@
+// The WaveLAN modem MRM of Examples 2.4 / 3.1 / 4.2 of the thesis: a
+// five-state energy model (off, sleep, idle, receive, transmit) with power
+// draws as state rewards and mode-switch energies as impulse rewards.
+#pragma once
+
+#include "core/mrm.hpp"
+
+namespace csrlmrm::models {
+
+/// State indices of the WaveLAN model (thesis numbering minus one).
+enum WavelanState : core::StateIndex {
+  kWavelanOff = 0,
+  kWavelanSleep = 1,
+  kWavelanIdle = 2,
+  kWavelanReceive = 3,
+  kWavelanTransmit = 4,
+};
+
+/// Transition rates (per hour) of the WaveLAN modem; defaults are the values
+/// of Example 4.2.
+struct WavelanConfig {
+  double off_to_sleep = 0.1;     // lambda_OS
+  double sleep_to_idle = 5.0;    // lambda_SI
+  double idle_to_receive = 1.5;  // lambda_IR
+  double idle_to_transmit = 0.75;  // lambda_IT
+  double sleep_to_off = 0.05;    // mu_SO
+  double idle_to_sleep = 12.0;   // mu_IS
+  double receive_to_idle = 10.0;  // mu_RI
+  double transmit_to_idle = 15.0;  // mu_TI
+};
+
+/// Builds the WaveLAN MRM with labels {off, sleep, idle, receive, transmit,
+/// busy}, power-draw state rewards (0/80/1319/1675/1425 mW) and the
+/// mode-switch impulse rewards of Example 3.1.
+core::Mrm make_wavelan(const WavelanConfig& config = {});
+
+}  // namespace csrlmrm::models

@@ -1,0 +1,73 @@
+#include "numeric/conditional.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace csrlmrm::numeric {
+
+namespace {
+void require_strictly_decreasing(const std::vector<double>& v, const char* what) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i]) || v[i] < 0.0) {
+      throw std::invalid_argument(std::string(what) + ": rewards must be finite and >= 0");
+    }
+    if (i > 0 && !(v[i - 1] > v[i])) {
+      throw std::invalid_argument(std::string(what) + ": rewards must be strictly decreasing");
+    }
+  }
+}
+}  // namespace
+
+RewardStructureContext::RewardStructureContext(std::vector<double> state_rewards_desc,
+                                               std::vector<double> impulse_rewards_desc)
+    : state_rewards_(std::move(state_rewards_desc)),
+      impulse_rewards_(std::move(impulse_rewards_desc)) {
+  if (state_rewards_.empty()) {
+    throw std::invalid_argument("RewardStructureContext: need at least one state-reward class");
+  }
+  require_strictly_decreasing(state_rewards_, "RewardStructureContext(state rewards)");
+  require_strictly_decreasing(impulse_rewards_, "RewardStructureContext(impulse rewards)");
+
+  const double smallest = state_rewards_.back();
+  coefficients_.reserve(state_rewards_.size());
+  for (double ri : state_rewards_) coefficients_.push_back(ri - smallest);
+}
+
+double RewardStructureContext::threshold(const SpacingCounts& j, double t, double r) const {
+  if (j.size() != impulse_rewards_.size()) {
+    throw std::invalid_argument("RewardStructureContext: impulse count vector size mismatch");
+  }
+  if (!(t > 0.0)) throw std::invalid_argument("RewardStructureContext: t must be positive");
+  if (!std::isfinite(r) || r < 0.0) {
+    throw std::invalid_argument("RewardStructureContext: reward bound must be finite and >= 0");
+  }
+  double impulse_total = 0.0;
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    impulse_total += impulse_rewards_[i] * static_cast<double>(j[i]);
+  }
+  return r / t - state_rewards_.back() - impulse_total / t;
+}
+
+double RewardStructureContext::conditional_probability(const SpacingCounts& k,
+                                                       const SpacingCounts& j, double t,
+                                                       double r) {
+  if (k.size() != state_rewards_.size()) {
+    throw std::invalid_argument("RewardStructureContext: state count vector size mismatch");
+  }
+  const std::uint64_t residences =
+      std::accumulate(k.begin(), k.end(), std::uint64_t{0},
+                      [](std::uint64_t acc, std::uint32_t v) { return acc + v; });
+  if (residences == 0) {
+    throw std::invalid_argument("RewardStructureContext: a path visits at least one state");
+  }
+
+  const double r_prime = threshold(j, t, r);
+  auto it = evaluators_.find(r_prime);
+  if (it == evaluators_.end()) {
+    it = evaluators_.emplace(r_prime, OmegaEvaluator(coefficients_, r_prime)).first;
+  }
+  return it->second.evaluate(k);
+}
+
+}  // namespace csrlmrm::numeric

@@ -1,0 +1,60 @@
+// Conditional accumulated-reward probabilities (section 4.6.3):
+//
+//   Pr{ Y(t) <= r | n, k, j }
+//     = Pr{ sum_{i=1}^{K} (r_i - r_{i+1}) U_{(k_1+..+k_i)}(1)
+//             <= r/t - r_{K+1} - (1/t) sum_i i_i j_i }        (eq. 4.9)
+//     = Omega(r', k)  with coefficients d_i = r_i - r_{K+1}   (eq. 4.10)
+//
+// where r_1 > ... > r_{K+1} are the distinct state rewards of the model,
+// i_1 > ... > i_J its distinct impulse rewards, k counts Poisson-epoch
+// residences per state-reward class along a uniformized path, and j counts
+// transition occurrences per impulse class. The context below owns the
+// distinct-reward bookkeeping and caches one OmegaEvaluator per distinct
+// threshold r' (paths with the same impulse signature share an evaluator and
+// hence its memo table).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "numeric/omega.hpp"
+
+namespace csrlmrm::numeric {
+
+/// Precomputed reward bookkeeping for conditional-probability queries.
+class RewardStructureContext {
+ public:
+  /// `state_rewards_desc` must be strictly decreasing (the distinct rho
+  /// values, largest first); `impulse_rewards_desc` likewise for the distinct
+  /// iota values. Either may include 0. Throws std::invalid_argument when a
+  /// vector is unsorted, has duplicates, or state_rewards_desc is empty.
+  RewardStructureContext(std::vector<double> state_rewards_desc,
+                         std::vector<double> impulse_rewards_desc);
+
+  std::size_t num_state_reward_classes() const { return state_rewards_.size(); }
+  std::size_t num_impulse_reward_classes() const { return impulse_rewards_.size(); }
+
+  const std::vector<double>& state_rewards() const { return state_rewards_; }
+  const std::vector<double>& impulse_rewards() const { return impulse_rewards_; }
+
+  /// Pr{ Y(t) <= r | n, k, j }. k must have one count per state-reward class
+  /// (sum = n+1 >= 1), j one count per impulse class (sum = n). t must be
+  /// positive, r finite and >= 0.
+  double conditional_probability(const SpacingCounts& k, const SpacingCounts& j, double t,
+                                 double r);
+
+  /// The threshold r' = r/t - r_{K+1} - (1/t) sum_i i_i j_i of eq. (4.9).
+  double threshold(const SpacingCounts& j, double t, double r) const;
+
+  /// Number of distinct Omega evaluators created so far (ablation metric).
+  std::size_t evaluator_count() const { return evaluators_.size(); }
+
+ private:
+  std::vector<double> state_rewards_;    // r_1 > ... > r_{K+1}
+  std::vector<double> impulse_rewards_;  // i_1 > ... > i_J (possibly empty)
+  std::vector<double> coefficients_;     // d_i = r_i - r_{K+1}
+  std::map<double, OmegaEvaluator> evaluators_;
+};
+
+}  // namespace csrlmrm::numeric

@@ -1,0 +1,160 @@
+#include "numeric/discretization.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace csrlmrm::numeric {
+
+namespace {
+
+bool is_integral(double v, double scale = 1.0) {
+  return std::abs(v - std::round(v)) <= 1e-9 * std::max(1.0, std::abs(scale));
+}
+
+}  // namespace
+
+unsigned find_integer_scale(const std::vector<double>& values, unsigned max_scale) {
+  for (unsigned f = 1; f <= max_scale; ++f) {
+    bool all_integral = true;
+    for (double v : values) {
+      if (!is_integral(v * f, v * f)) {
+        all_integral = false;
+        break;
+      }
+    }
+    if (all_integral) return f;
+  }
+  throw std::domain_error(
+      "find_integer_scale: no integer factor <= " + std::to_string(max_scale) +
+      " makes the state rewards integral; rescale the reward structure manually");
+}
+
+UntilDiscretizationResult until_probability_discretization(
+    const core::Mrm& transformed, const std::vector<bool>& psi, core::StateIndex start,
+    double t, double r, const DiscretizationOptions& options) {
+  const std::size_t n = transformed.num_states();
+  if (psi.size() != n) {
+    throw std::invalid_argument("until_probability_discretization: psi mask size mismatch");
+  }
+  if (start >= n) {
+    throw std::invalid_argument("until_probability_discretization: start out of range");
+  }
+  if (!(t >= 0.0) || !std::isfinite(t) || !(r >= 0.0) || !std::isfinite(r)) {
+    throw std::invalid_argument(
+        "until_probability_discretization: t and r must be finite and >= 0");
+  }
+  const double d = options.step;
+  if (!(d > 0.0) || !std::isfinite(d)) {
+    throw std::invalid_argument("until_probability_discretization: step must be positive");
+  }
+
+  UntilDiscretizationResult result;
+  if (t == 0.0) {
+    result.probability = psi[start] ? 1.0 : 0.0;
+    return result;
+  }
+
+  const double max_exit = transformed.rates().max_exit_rate();
+  if (max_exit * d >= 1.0) {
+    throw std::invalid_argument(
+        "until_probability_discretization: step too coarse (d * max exit rate = " +
+        std::to_string(max_exit * d) + " >= 1); choose d < " + std::to_string(1.0 / max_exit));
+  }
+  if (!is_integral(t / d, t / d)) {
+    throw std::invalid_argument(
+        "until_probability_discretization: t must be an integer multiple of the step d");
+  }
+  const std::size_t time_steps = static_cast<std::size_t>(std::llround(t / d));
+
+  // Scale rational state rewards (and with them the impulses and the bound)
+  // to integers, as section 4.4.1 prescribes.
+  const unsigned scale = find_integer_scale(transformed.state_rewards(),
+                                            options.max_reward_scale);
+  const double fscale = static_cast<double>(scale);
+
+  // Integer level advance per time step of residence in each state.
+  std::vector<std::size_t> residence_shift(n, 0);
+  for (core::StateIndex s = 0; s < n; ++s) {
+    residence_shift[s] =
+        static_cast<std::size_t>(std::llround(transformed.state_reward(s) * fscale));
+  }
+
+  const std::size_t levels =
+      static_cast<std::size_t>(std::floor(r * fscale / d + 1e-9)) + 1;  // levels 0..R
+
+  // Incoming adjacency per target state: (source, R(source,target)*d,
+  // level shift = rho(source) + iota(source,target)/d).
+  struct Incoming {
+    core::StateIndex source;
+    double probability;     // R(s',s) * d
+    std::size_t shift;      // residence + impulse levels consumed
+  };
+  std::vector<std::vector<Incoming>> incoming(n);
+  for (core::StateIndex s_from = 0; s_from < n; ++s_from) {
+    for (const auto& e : transformed.rates().transitions(s_from)) {
+      const double impulse = transformed.impulse_reward(s_from, e.col);
+      const double impulse_levels = impulse * fscale / d;
+      if (!is_integral(impulse_levels, impulse_levels)) {
+        throw std::invalid_argument(
+            "until_probability_discretization: impulse reward " + std::to_string(impulse) +
+            " is not a multiple of the (scaled) step; choose d dividing the impulse rewards");
+      }
+      incoming[e.col].push_back(
+          {s_from, e.value * d,
+           residence_shift[s_from] + static_cast<std::size_t>(std::llround(impulse_levels))});
+    }
+  }
+
+  // Probability-mass formulation of Algorithm 4.6: cur[s * levels + k] is the
+  // probability of being in s with accumulated reward in level k after the
+  // current number of steps (the paper's density F relates by a factor 1/d).
+  std::vector<double> cur(n * levels, 0.0);
+  std::vector<double> next(n * levels, 0.0);
+  if (residence_shift[start] < levels) {
+    cur[start * levels + residence_shift[start]] = 1.0;
+  }
+
+  std::vector<double> stay(n, 0.0);
+  for (core::StateIndex s = 0; s < n; ++s) {
+    stay[s] = 1.0 - transformed.rates().exit_rate(s) * d;
+  }
+
+  for (std::size_t step = 1; step < time_steps; ++step) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (core::StateIndex s = 0; s < n; ++s) {
+      double* next_row = next.data() + s * levels;
+      // Residence term: stay in s, advance reward by rho(s) levels.
+      const double* cur_row = cur.data() + s * levels;
+      const std::size_t shift = residence_shift[s];
+      if (stay[s] > 0.0) {
+        for (std::size_t k = shift; k < levels; ++k) {
+          next_row[k] += cur_row[k - shift] * stay[s];
+        }
+      }
+      // Transition terms: arrive from s', consuming rho(s') + iota levels.
+      for (const Incoming& in : incoming[s]) {
+        const double* src_row = cur.data() + in.source * levels;
+        for (std::size_t k = in.shift; k < levels; ++k) {
+          next_row[k] += src_row[k - in.shift] * in.probability;
+        }
+      }
+    }
+    cur.swap(next);
+  }
+
+  double probability = 0.0;
+  for (core::StateIndex s = 0; s < n; ++s) {
+    if (!psi[s]) continue;
+    const double* row = cur.data() + s * levels;
+    for (std::size_t k = 0; k < levels; ++k) probability += row[k];
+  }
+
+  result.probability = probability;
+  result.time_steps = time_steps;
+  result.reward_levels = levels;
+  result.reward_scale = scale;
+  return result;
+}
+
+}  // namespace csrlmrm::numeric

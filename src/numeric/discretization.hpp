@@ -1,0 +1,67 @@
+// Discretization engine (Algorithm 4.6): the Tijms-Veldman scheme [Tij02]
+// extended with impulse rewards.
+//
+// Both time and accumulated reward are discretized with the same step d:
+// time advances in steps of d; the reward axis is a grid of levels worth d
+// reward units each, so one step of residence in state s advances the reward
+// level by rho(s) (hence state rewards must be integers — rational rewards
+// are scaled, together with the bound r, by the smallest integer factor that
+// makes them integral), and a transition s' -> s advances it additionally by
+// iota(s',s)/d levels (which must be integral; choose d to divide the
+// impulse rewards).
+//
+//   F^{j+1}(s,k) = F^j(s, k - rho(s)) (1 - E(s) d)
+//                + sum_{s'} F^j(s', k - rho(s') - iota(s',s)/d) R(s',s) d
+//
+// As with the uniformization engine, the input model must already be the
+// absorbing-transformed M[!Phi v Psi], after which
+// P(s, Phi U_[0,r]^[0,t] Psi) = sum_{s'|=Psi} sum_k F^{t/d}(s',k) d.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/labels.hpp"
+#include "core/mrm.hpp"
+
+namespace csrlmrm::numeric {
+
+/// Parameters of the discretization run.
+struct DiscretizationOptions {
+  /// The step d (time units). Must satisfy d * max_s E(s) < 1 so the
+  /// "no transition" factor stays a probability.
+  double step = 1.0 / 64.0;
+  /// Largest integer factor tried when scaling rational state rewards to
+  /// integers.
+  unsigned max_reward_scale = 1000;
+};
+
+/// Result of a discretization evaluation.
+struct UntilDiscretizationResult {
+  double probability = 0.0;
+  /// T = t / d time steps performed.
+  std::size_t time_steps = 0;
+  /// R = (scaled r) / d reward levels maintained per state.
+  std::size_t reward_levels = 0;
+  /// Integer factor applied to the reward structure (1 when rewards were
+  /// already integral).
+  unsigned reward_scale = 1;
+};
+
+/// Evaluates Pr{ Y(t) <= r, X(t) |= Psi } on the absorbing-transformed model
+/// by discretization. Throws std::invalid_argument for an unusable step
+/// (d * max E >= 1, non-integral impulse levels, t not a multiple of d) and
+/// std::domain_error when no reward scale <= max_reward_scale makes the state
+/// rewards integral.
+UntilDiscretizationResult until_probability_discretization(const core::Mrm& transformed,
+                                                           const std::vector<bool>& psi,
+                                                           core::StateIndex start, double t,
+                                                           double r,
+                                                           const DiscretizationOptions& options);
+
+/// Smallest integer factor f <= max_scale such that f * value is integral
+/// (within 1e-9 relative tolerance) for every value; throws std::domain_error
+/// when none exists. Exposed for tests.
+unsigned find_integer_scale(const std::vector<double>& values, unsigned max_scale);
+
+}  // namespace csrlmrm::numeric

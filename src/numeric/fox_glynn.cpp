@@ -1,0 +1,84 @@
+#include "numeric/fox_glynn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/poisson.hpp"
+
+namespace csrlmrm::numeric {
+
+FoxGlynnWeights fox_glynn(double mean, double epsilon) {
+  if (!(mean >= 0.0) || !std::isfinite(mean)) {
+    throw std::invalid_argument("fox_glynn: mean must be finite and >= 0");
+  }
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    throw std::invalid_argument("fox_glynn: epsilon must be in (0,1)");
+  }
+
+  FoxGlynnWeights result;
+  if (mean == 0.0) {
+    result.left = 0;
+    result.right = 0;
+    result.weights = {1.0};
+    result.total_weight = 1.0;
+    return result;
+  }
+
+  // Window selection. For small means a direct scan with the stable pmf is
+  // cheapest; for large means use Bernstein-type tail bounds
+  //   P(X >= mean + x) <= exp(-x^2 / (2(mean + x/3))),
+  //   P(X <= mean - x) <= exp(-x^2 / (2 mean)),
+  // each budgeted epsilon/2 (conservative, so coverage is guaranteed).
+  std::size_t left = 0;
+  std::size_t right = 0;
+  if (mean <= 32.0) {
+    const double tail_budget = epsilon / 2.0;
+    double cumulative = 0.0;
+    std::size_t k = 0;
+    // Left edge: last k whose preceding mass is still within budget.
+    while (cumulative + poisson_pmf(k, mean) < tail_budget) {
+      cumulative += poisson_pmf(k, mean);
+      ++k;
+    }
+    left = k;
+    right = std::max(left, poisson_truncation_point(mean, tail_budget));
+  } else {
+    const double log_budget = std::log(2.0 / epsilon);
+    const double x_left = std::sqrt(2.0 * mean * log_budget);
+    // Solve x^2 / (2(mean + x/3)) = log_budget for the right offset.
+    const double b = log_budget / 3.0;
+    const double x_right = b + std::sqrt(b * b + 2.0 * mean * log_budget);
+    left = static_cast<std::size_t>(std::max(0.0, std::floor(mean - x_left - 1.0)));
+    right = static_cast<std::size_t>(std::ceil(mean + x_right + 1.0));
+  }
+
+  // Weights by the mode-anchored recurrence w(k-1) = w(k) k / mean,
+  // w(k+1) = w(k) mean / (k+1), scaled to w(mode) = 1 so all weights lie in
+  // (0, 1] and no overflow can occur.
+  const std::size_t mode =
+      std::clamp(static_cast<std::size_t>(mean), left, right);
+  std::vector<double> weights(right - left + 1, 0.0);
+  weights[mode - left] = 1.0;
+  for (std::size_t k = mode; k > left; --k) {
+    weights[k - 1 - left] = weights[k - left] * static_cast<double>(k) / mean;
+  }
+  for (std::size_t k = mode; k < right; ++k) {
+    weights[k + 1 - left] = weights[k - left] * mean / static_cast<double>(k + 1);
+  }
+
+  // Sum small-to-large from both ends toward the mode for accuracy.
+  double total = 0.0;
+  const std::size_t mode_index = mode - left;
+  for (std::size_t i = 0; i < mode_index; ++i) total += weights[i];
+  for (std::size_t i = weights.size() - 1; i > mode_index; --i) total += weights[i];
+  total += weights[mode_index];
+
+  result.left = left;
+  result.right = right;
+  result.weights = std::move(weights);
+  result.total_weight = total;
+  return result;
+}
+
+}  // namespace csrlmrm::numeric

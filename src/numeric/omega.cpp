@@ -1,0 +1,92 @@
+#include "numeric/omega.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace csrlmrm::numeric {
+
+std::size_t OmegaEvaluator::CountsHash::operator()(const SpacingCounts& k) const noexcept {
+  // FNV-1a over the raw counts; count vectors are short (one entry per
+  // distinct reward), so a simple byte hash is plenty.
+  std::size_t h = 1469598103934665603ull;
+  for (std::uint32_t v : k) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h ^= (v >> shift) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+OmegaEvaluator::OmegaEvaluator(std::vector<double> coefficients, double r)
+    : c_(std::move(coefficients)), r_(r) {
+  if (c_.empty()) throw std::invalid_argument("OmegaEvaluator: empty coefficient vector");
+  for (double c : c_) {
+    if (!std::isfinite(c)) throw std::invalid_argument("OmegaEvaluator: non-finite coefficient");
+  }
+  if (!std::isfinite(r_)) throw std::invalid_argument("OmegaEvaluator: non-finite threshold");
+  std::vector<double> sorted = c_;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("OmegaEvaluator: coefficients must be distinct");
+  }
+  greater_.resize(c_.size());
+  for (std::size_t l = 0; l < c_.size(); ++l) greater_[l] = c_[l] > r_;
+}
+
+double OmegaEvaluator::evaluate(const SpacingCounts& counts) {
+  if (counts.size() != c_.size()) {
+    throw std::invalid_argument("OmegaEvaluator::evaluate: counts size mismatch");
+  }
+  SpacingCounts mutable_counts = counts;
+  const bool all_zero =
+      std::all_of(mutable_counts.begin(), mutable_counts.end(), [](auto v) { return v == 0; });
+  if (all_zero) return r_ >= 0.0 ? 1.0 : 0.0;  // empty sum is identically 0
+  return evaluate_recursive(mutable_counts);
+}
+
+double OmegaEvaluator::evaluate_recursive(SpacingCounts& counts) {
+  std::size_t total_greater = 0;
+  std::size_t total_lesser = 0;
+  std::size_t pick_greater = c_.size();
+  std::size_t pick_lesser = c_.size();
+  for (std::size_t l = 0; l < c_.size(); ++l) {
+    if (counts[l] == 0) continue;
+    if (greater_[l]) {
+      total_greater += counts[l];
+      if (pick_greater == c_.size()) pick_greater = l;
+    } else {
+      total_lesser += counts[l];
+      if (pick_lesser == c_.size()) pick_lesser = l;
+    }
+  }
+  if (total_greater == 0) return 1.0;
+  if (total_lesser == 0) return 0.0;
+
+  if (const auto it = memo_.find(counts); it != memo_.end()) return it->second;
+
+  const double ci = c_[pick_greater];
+  const double cj = c_[pick_lesser];
+  const double denom = ci - cj;  // > 0 since ci > r >= cj
+
+  --counts[pick_lesser];
+  const double without_lesser = evaluate_recursive(counts);
+  ++counts[pick_lesser];
+
+  --counts[pick_greater];
+  const double without_greater = evaluate_recursive(counts);
+  ++counts[pick_greater];
+
+  const double value =
+      ((ci - r_) / denom) * without_lesser + ((r_ - cj) / denom) * without_greater;
+  memo_.emplace(counts, value);
+  return value;
+}
+
+double omega(double r, const std::vector<double>& coefficients, const SpacingCounts& counts) {
+  OmegaEvaluator evaluator(coefficients, r);
+  return evaluator.evaluate(counts);
+}
+
+}  // namespace csrlmrm::numeric

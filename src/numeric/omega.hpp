@@ -1,0 +1,66 @@
+// The Omega recursion of Diniz, de Souza e Silva & Gail [Din02]
+// (Algorithm 4.8 of the thesis): the distribution of a linear combination of
+// uniform order statistics, written as a weighted sum of the spacings
+// Y_1..Y_{n+1} of n iid U(0,1) points,
+//
+//   Omega(r, k) = Pr{ sum_l c_l * (sum of k_l spacings) <= r }.
+//
+// The recursion
+//   Omega(r,k) = (c_i - r)/(c_i - c_j) * Omega(r, k - 1_j)
+//              + (r - c_j)/(c_i - c_j) * Omega(r, k - 1_i)
+// with i drawn from G = {l : c_l > r}, j from L = {l : c_l <= r}, and base
+// cases Omega = 1 when ||k_G|| = 0 and Omega = 0 when ||k_L|| = 0, only ever
+// multiplies numbers in [0,1] — this is the numerical-stability property the
+// thesis adopts it for, replacing the unstable Weisberg/Matsunawa methods.
+//
+// The evaluator memoizes sub-vectors of k, so a full evaluation of a count
+// vector k costs O(prod_l (k_l + 1)) instead of the exponential naive
+// recursion; evaluations for the same threshold r share the cache.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace csrlmrm::numeric {
+
+/// Count vector type: counts_[l] spacings carry coefficient c_l.
+using SpacingCounts = std::vector<std::uint32_t>;
+
+/// Memoizing evaluator for one fixed threshold r and coefficient vector c.
+class OmegaEvaluator {
+ public:
+  /// `coefficients` are the distinct c_l (any order, need not be sorted);
+  /// `r` is the threshold. Throws std::invalid_argument if coefficients are
+  /// empty, non-finite, or contain duplicates.
+  OmegaEvaluator(std::vector<double> coefficients, double r);
+
+  /// Omega(r, counts). counts must have one entry per coefficient.
+  /// With all counts zero the sum is empty and the result is 1 if r >= 0
+  /// else 0.
+  double evaluate(const SpacingCounts& counts);
+
+  double threshold() const { return r_; }
+  const std::vector<double>& coefficients() const { return c_; }
+
+  /// Number of memoized sub-problems (exposed for the ablation bench).
+  std::size_t cache_size() const { return memo_.size(); }
+
+ private:
+  struct CountsHash {
+    std::size_t operator()(const SpacingCounts& k) const noexcept;
+  };
+
+  double evaluate_recursive(SpacingCounts& counts);
+
+  std::vector<double> c_;
+  double r_;
+  std::vector<bool> greater_;  // greater_[l] <=> c_l > r
+  std::unordered_map<SpacingCounts, double, CountsHash> memo_;
+};
+
+/// One-shot convenience wrapper around OmegaEvaluator.
+double omega(double r, const std::vector<double>& coefficients, const SpacingCounts& counts);
+
+}  // namespace csrlmrm::numeric

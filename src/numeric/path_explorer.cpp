@@ -1,0 +1,195 @@
+#include "numeric/path_explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "numeric/conditional.hpp"
+#include "numeric/poisson.hpp"
+
+namespace csrlmrm::numeric {
+
+namespace {
+
+/// Hash for a concatenated (k, j) signature vector.
+struct SignatureHash {
+  std::size_t operator()(const std::vector<std::uint32_t>& v) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (std::uint32_t x : v) {
+      h ^= x;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+std::vector<double> sorted_distinct_descending(const std::set<double>& values) {
+  std::vector<double> out(values.begin(), values.end());
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::size_t class_index_descending(const std::vector<double>& descending, double value) {
+  // descending is strictly decreasing and contains value.
+  const auto it = std::lower_bound(descending.begin(), descending.end(), value,
+                                   [](double a, double b) { return a > b; });
+  return static_cast<std::size_t>(it - descending.begin());
+}
+
+}  // namespace
+
+UniformizationUntilEngine::UniformizationUntilEngine(core::Mrm transformed,
+                                                     std::vector<bool> psi,
+                                                     std::vector<bool> dead)
+    : model_(std::move(transformed)),
+      psi_(std::move(psi)),
+      dead_(std::move(dead)),
+      uniformized_(model_) {
+  const std::size_t n = model_.num_states();
+  if (psi_.size() != n || dead_.size() != n) {
+    throw std::invalid_argument("UniformizationUntilEngine: mask size mismatch");
+  }
+
+  // Distinct state rewards r_1 > ... > r_{K+1} and their per-state classes.
+  std::set<double> reward_values;
+  for (core::StateIndex s = 0; s < n; ++s) reward_values.insert(model_.state_reward(s));
+  distinct_state_rewards_ = sorted_distinct_descending(reward_values);
+  reward_class_.resize(n);
+  for (core::StateIndex s = 0; s < n; ++s) {
+    reward_class_[s] = class_index_descending(distinct_state_rewards_, model_.state_reward(s));
+  }
+
+  // Distinct impulse rewards; 0 is always present because uniformization
+  // introduces self-loops and iota(s,s) = 0 by Definition 3.1.
+  std::set<double> impulse_values{0.0};
+  for (core::StateIndex s = 0; s < n; ++s) {
+    for (const auto& e : model_.impulse_rewards().row(s)) impulse_values.insert(e.value);
+  }
+  distinct_impulse_rewards_ = sorted_distinct_descending(impulse_values);
+
+  // Flatten the uniformized DTMC with per-transition impulse classes.
+  adjacency_.resize(n);
+  for (core::StateIndex s = 0; s < n; ++s) {
+    for (const auto& e : uniformized_.transition_matrix().row(s)) {
+      const double impulse = (e.col == s) ? 0.0 : model_.impulse_reward(s, e.col);
+      adjacency_[s].push_back({e.col, std::log(e.value),
+                               class_index_descending(distinct_impulse_rewards_, impulse)});
+    }
+  }
+}
+
+UntilUniformizationResult UniformizationUntilEngine::compute(
+    core::StateIndex start, double t, double r, const PathExplorerOptions& options) const {
+  const std::size_t n = model_.num_states();
+  if (start >= n) {
+    throw std::invalid_argument("UniformizationUntilEngine::compute: start out of range");
+  }
+  if (!(t >= 0.0) || !std::isfinite(t)) {
+    throw std::invalid_argument("UniformizationUntilEngine::compute: t must be finite, >= 0");
+  }
+  if (!(r >= 0.0) || !std::isfinite(r)) {
+    throw std::invalid_argument("UniformizationUntilEngine::compute: r must be finite, >= 0");
+  }
+  if (!(options.truncation_probability > 0.0) || !(options.truncation_probability < 1.0)) {
+    throw std::invalid_argument(
+        "UniformizationUntilEngine::compute: truncation probability must be in (0,1)");
+  }
+
+  UntilUniformizationResult result;
+  if (dead_[start]) return result;
+  if (t == 0.0) {
+    // inf(I) = inf(J) = 0: the formula holds immediately iff start |= Psi.
+    result.probability = psi_[start] ? 1.0 : 0.0;
+    return result;
+  }
+
+  const double mean = uniformized_.lambda() * t;
+  const double log_mean = std::log(mean);
+  const double log_w = std::log(options.truncation_probability);
+  PoissonCdfTable poisson_tail(mean);
+
+  const std::size_t num_k = distinct_state_rewards_.size();
+  const std::size_t num_j = distinct_impulse_rewards_.size();
+  RewardStructureContext context(distinct_state_rewards_, distinct_impulse_rewards_);
+
+  // signature = k ++ j, accumulated path probability P(sigma, t).
+  std::unordered_map<std::vector<std::uint32_t>, double, SignatureHash> classes;
+  std::vector<std::uint32_t> signature(num_k + num_j, 0);
+
+  // log P(sigma, t) = log_poisson(n) + sum of log 1-step probabilities; we
+  // carry the two addends separately so the error bound can recover
+  // P(sigma) = exp(log_weight) without dividing tiny numbers.
+  struct Frame {
+    core::StateIndex state;
+    std::size_t depth;        // n = number of transitions taken
+    double log_poisson;       // log PoissonPmf(depth; mean)
+    double log_weight;        // log prod of 1-step probabilities
+  };
+
+  std::size_t nodes = 0;
+
+  // Recursive lambda via explicit Y-combinator style to keep undo logic tight.
+  auto explore = [&](auto&& self, const Frame& frame) -> void {
+    if (dead_[frame.state]) return;  // (!Phi && !Psi): unsatisfiable, exact cut
+    const double log_p = frame.log_poisson + frame.log_weight;
+    const bool too_deep =
+        options.depth_truncation != 0 && frame.depth > options.depth_truncation;
+    if (log_p < log_w || too_deep) {
+      // Truncated (below w, eq. 4.4, or beyond the depth bound N, eq. 4.3):
+      // account the whole discarded sub-tree per eq. (4.6). The last state
+      // satisfies Phi v Psi here (dead states returned above).
+      result.error_bound += std::exp(frame.log_weight) * poisson_tail.tail(frame.depth);
+      return;
+    }
+    if (++nodes > options.max_nodes) {
+      throw std::runtime_error(
+          "UniformizationUntilEngine: node budget exhausted; raise truncation probability w "
+          "or use the discretization engine (Lambda*t too large for path enumeration)");
+    }
+    result.max_depth = std::max(result.max_depth, frame.depth);
+
+    if (psi_[frame.state]) {
+      ++result.paths_stored;
+      const double p = std::exp(log_p);
+      if (options.aggregate_signatures) {
+        classes[signature] += p;
+      } else {
+        const SpacingCounts k(signature.begin(), signature.begin() + num_k);
+        const SpacingCounts j(signature.begin() + num_k, signature.end());
+        result.probability += p * context.conditional_probability(k, j, t, r);
+      }
+    }
+
+    const double log_next_poisson =
+        frame.log_poisson + log_mean - std::log(static_cast<double>(frame.depth + 1));
+    for (const Transition& edge : adjacency_[frame.state]) {
+      ++signature[reward_class_[edge.target]];
+      ++signature[num_k + edge.impulse_class];
+      self(self, Frame{edge.target, frame.depth + 1, log_next_poisson,
+                       frame.log_weight + edge.log_probability});
+      --signature[reward_class_[edge.target]];
+      --signature[num_k + edge.impulse_class];
+    }
+  };
+
+  // Initial path: n = 0, k = 1_[rho(start)], j = 0, p = e^{-mean}.
+  ++signature[reward_class_[start]];
+  explore(explore, Frame{start, 0, -mean, 0.0});
+
+  if (options.aggregate_signatures) {
+    result.signature_classes = classes.size();
+    for (const auto& [sig, p] : classes) {
+      const SpacingCounts k(sig.begin(), sig.begin() + num_k);
+      const SpacingCounts j(sig.begin() + num_k, sig.end());
+      result.probability += p * context.conditional_probability(k, j, t, r);
+    }
+  } else {
+    result.signature_classes = result.paths_stored;
+  }
+  result.nodes_expanded = nodes;
+  return result;
+}
+
+}  // namespace csrlmrm::numeric

@@ -1,0 +1,72 @@
+#include "numeric/poisson.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csrlmrm::numeric {
+
+namespace {
+void require_valid_mean(double mean) {
+  if (!(mean >= 0.0) || !std::isfinite(mean)) {
+    throw std::invalid_argument("poisson: mean must be finite and >= 0");
+  }
+}
+}  // namespace
+
+double poisson_pmf(std::size_t n, double mean) {
+  require_valid_mean(mean);
+  if (mean == 0.0) return n == 0 ? 1.0 : 0.0;
+  const double dn = static_cast<double>(n);
+  return std::exp(dn * std::log(mean) - mean - std::lgamma(dn + 1.0));
+}
+
+double poisson_cdf(std::size_t n, double mean) {
+  require_valid_mean(mean);
+  double acc = 0.0;
+  for (std::size_t i = 0; i <= n; ++i) acc += poisson_pmf(i, mean);
+  return std::min(acc, 1.0);
+}
+
+std::vector<double> poisson_pmf_sequence(std::size_t n_max, double mean) {
+  require_valid_mean(mean);
+  std::vector<double> pmf(n_max + 1, 0.0);
+  for (std::size_t i = 0; i <= n_max; ++i) pmf[i] = poisson_pmf(i, mean);
+  return pmf;
+}
+
+std::size_t poisson_truncation_point(double mean, double epsilon) {
+  require_valid_mean(mean);
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    throw std::invalid_argument("poisson_truncation_point: epsilon must be in (0,1)");
+  }
+  double cumulative = 0.0;
+  std::size_t n = 0;
+  // Accumulate until the captured mass reaches 1 - epsilon. The loop is
+  // bounded: past the mode the masses decay faster than geometrically, so we
+  // cap iterations generously relative to the mean.
+  const std::size_t hard_cap = static_cast<std::size_t>(mean + 40.0 * std::sqrt(mean + 1.0)) + 64;
+  for (;; ++n) {
+    cumulative += poisson_pmf(n, mean);
+    if (cumulative >= 1.0 - epsilon || n >= hard_cap) return n;
+  }
+}
+
+PoissonCdfTable::PoissonCdfTable(double mean) : mean_(mean) {
+  require_valid_mean(mean);
+  cdf_.push_back(poisson_pmf(0, mean_));
+}
+
+double PoissonCdfTable::cdf(std::size_t n) {
+  while (cdf_.size() <= n) {
+    const std::size_t i = cdf_.size();
+    cdf_.push_back(std::min(cdf_.back() + poisson_pmf(i, mean_), 1.0));
+  }
+  return cdf_[n];
+}
+
+double PoissonCdfTable::tail(std::size_t n) {
+  if (n == 0) return 1.0;
+  return std::max(0.0, 1.0 - cdf(n - 1));
+}
+
+}  // namespace csrlmrm::numeric

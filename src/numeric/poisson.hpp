@@ -1,0 +1,50 @@
+// Poisson probabilities for uniformization.
+//
+// The thesis computes Poisson weights with the simple recursion
+// P_0 = e^{-Lambda t}, P_i = (Lambda t / i) P_{i-1} (section 4.6.2). That
+// recursion underflows for Lambda*t beyond ~700, so all entry points here
+// evaluate each mass in the log domain (n ln m - m - lgamma(n+1)), which is
+// stable for any mean, and tests pin the two forms against each other where
+// both are representable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace csrlmrm::numeric {
+
+/// Pr{N = n} for N ~ Poisson(mean). mean must be >= 0 and finite (throws
+/// std::invalid_argument otherwise); mean == 0 gives the point mass at 0.
+double poisson_pmf(std::size_t n, double mean);
+
+/// Pr{N <= n}.
+double poisson_cdf(std::size_t n, double mean);
+
+/// The masses Pr{N = 0} .. Pr{N = n_max} as a vector of length n_max + 1.
+std::vector<double> poisson_pmf_sequence(std::size_t n_max, double mean);
+
+/// Smallest N such that Pr{N > N} <= epsilon, i.e. the right truncation
+/// point for a uniformization sum with error tolerance epsilon in (0,1).
+std::size_t poisson_truncation_point(double mean, double epsilon);
+
+/// Incrementally extensible Poisson CDF table for one fixed mean; the path
+/// explorer uses it to evaluate tail probabilities 1 - Pr{N <= n-1} for the
+/// truncated-path error bound (eq. 4.6) without recomputing prefixes.
+class PoissonCdfTable {
+ public:
+  explicit PoissonCdfTable(double mean);
+
+  double mean() const { return mean_; }
+
+  /// Pr{N <= n}; extends the internal table on demand.
+  double cdf(std::size_t n);
+
+  /// Pr{N >= n} = 1 - Pr{N <= n-1}; tail(0) = 1.
+  double tail(std::size_t n);
+
+ private:
+  double mean_;
+  std::vector<double> cdf_;  // cdf_[i] = Pr{N <= i}
+};
+
+}  // namespace csrlmrm::numeric

@@ -1,0 +1,129 @@
+#include "numeric/transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/fox_glynn.hpp"
+#include "numeric/poisson.hpp"
+
+namespace csrlmrm::numeric {
+
+namespace {
+
+void require_distribution(const core::RateMatrix& rates, const std::vector<double>& initial) {
+  if (initial.size() != rates.num_states()) {
+    throw std::invalid_argument("transient: initial distribution size mismatch");
+  }
+  double mass = 0.0;
+  for (double p : initial) {
+    if (p < 0.0) throw std::invalid_argument("transient: negative probability");
+    mass += p;
+  }
+  if (std::abs(mass - 1.0) > 1e-6) {
+    throw std::invalid_argument("transient: initial distribution does not sum to 1");
+  }
+}
+
+void require_time(double t) {
+  if (!(t >= 0.0) || !std::isfinite(t)) {
+    throw std::invalid_argument("transient: t must be finite and >= 0");
+  }
+}
+
+}  // namespace
+
+linalg::CsrMatrix uniformized_transition_matrix(const core::RateMatrix& rates,
+                                                double& lambda_out) {
+  const std::size_t n = rates.num_states();
+  const double max_exit = rates.max_exit_rate();
+  lambda_out = max_exit > 0.0 ? max_exit : 1.0;
+
+  linalg::CsrBuilder builder(n, n);
+  for (core::StateIndex s = 0; s < n; ++s) {
+    double off_diagonal = 0.0;
+    for (const auto& e : rates.transitions(s)) {
+      if (e.col == s) continue;
+      builder.add(s, e.col, e.value / lambda_out);
+      off_diagonal += e.value / lambda_out;
+    }
+    const double self_loop = 1.0 - off_diagonal;
+    if (self_loop > 0.0) builder.add(s, s, self_loop);
+  }
+  return builder.build();
+}
+
+std::vector<double> transient_distribution(const core::RateMatrix& rates,
+                                           const std::vector<double>& initial, double t,
+                                           const TransientOptions& options) {
+  require_distribution(rates, initial);
+  require_time(t);
+  if (t == 0.0) return initial;
+  if (rates.max_exit_rate() == 0.0) return initial;  // every state absorbing
+
+  double lambda = 0.0;
+  const linalg::CsrMatrix P = uniformized_transition_matrix(rates, lambda);
+
+  // Fox-Glynn window and weights: only the [left, right] Poisson terms
+  // carry mass above the tolerance; normalizing by the weight total keeps
+  // the result an (eps-accurate) distribution.
+  const auto window = fox_glynn(lambda * t, options.epsilon);
+
+  std::vector<double> term = initial;  // p(0) * P^i
+  std::vector<double> result(rates.num_states(), 0.0);
+  for (std::size_t i = 0; i <= window.right; ++i) {
+    if (i >= window.left) {
+      const double weight = window.probability(i - window.left);
+      for (std::size_t s = 0; s < result.size(); ++s) result[s] += weight * term[s];
+    }
+    if (i < window.right) term = P.left_multiply(term);
+  }
+  return result;
+}
+
+std::vector<double> transient_distribution_from(const core::RateMatrix& rates,
+                                                core::StateIndex start, double t,
+                                                const TransientOptions& options) {
+  if (start >= rates.num_states()) {
+    throw std::invalid_argument("transient_distribution_from: start state out of range");
+  }
+  std::vector<double> initial(rates.num_states(), 0.0);
+  initial[start] = 1.0;
+  return transient_distribution(rates, initial, t, options);
+}
+
+std::vector<double> expected_occupation_times(const core::RateMatrix& rates,
+                                              const std::vector<double>& initial, double t,
+                                              const TransientOptions& options) {
+  require_distribution(rates, initial);
+  require_time(t);
+  const std::size_t n = rates.num_states();
+  if (t == 0.0) return std::vector<double>(n, 0.0);
+  if (rates.max_exit_rate() == 0.0) {
+    // Nothing moves: all time is spent where the chain starts.
+    std::vector<double> result(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s) result[s] = initial[s] * t;
+    return result;
+  }
+
+  double lambda = 0.0;
+  const linalg::CsrMatrix P = uniformized_transition_matrix(rates, lambda);
+  const double mean = lambda * t;
+
+  // E[L_s(t)] = (1/Lambda) sum_{k>=0} Pr{N_t >= k+1} (p0 P^k)_s. The tail
+  // weights sum to E[N_t] = Lambda t; truncate once the remaining tail mass
+  // contributes less than epsilon * t.
+  PoissonCdfTable tail_table(mean);
+  std::vector<double> term = initial;
+  std::vector<double> result(n, 0.0);
+  const std::size_t hard_cap =
+      poisson_truncation_point(mean, options.epsilon / (mean + 1.0)) + 1;
+  for (std::size_t k = 0; k <= hard_cap; ++k) {
+    const double weight = tail_table.tail(k + 1) / lambda;
+    if (weight <= 0.0) break;
+    for (std::size_t s = 0; s < n; ++s) result[s] += weight * term[s];
+    term = P.left_multiply(term);
+  }
+  return result;
+}
+
+}  // namespace csrlmrm::numeric

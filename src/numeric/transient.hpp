@@ -1,0 +1,50 @@
+// Standard transient analysis of a CTMC by uniformization (eq. 2.2):
+//
+//   p(t) = sum_{i>=0} PoissonPmf(i; Lambda t) * p(0) * P^i
+//
+// truncated at the Poisson point capturing mass 1 - epsilon. This is the
+// workhorse for the P1 class of until formulas (time bound, no reward bound,
+// Theorem 4.1 + [Bai03]) and the reference oracle several property tests
+// compare the reward engines against.
+#pragma once
+
+#include <vector>
+
+#include "core/rate_matrix.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace csrlmrm::numeric {
+
+/// Options for the transient solver.
+struct TransientOptions {
+  /// Total truncation error budget for the Poisson sum.
+  double epsilon = 1e-12;
+};
+
+/// State occupation probabilities at time t >= 0 starting from distribution
+/// `initial` (must have one entry per state, sum 1 within 1e-6). Throws
+/// std::invalid_argument on bad inputs.
+std::vector<double> transient_distribution(const core::RateMatrix& rates,
+                                           const std::vector<double>& initial, double t,
+                                           const TransientOptions& options = {});
+
+/// Convenience: transient distribution started from a single state.
+std::vector<double> transient_distribution_from(const core::RateMatrix& rates,
+                                                core::StateIndex start, double t,
+                                                const TransientOptions& options = {});
+
+/// The uniformized one-step matrix P = I + Q/Lambda with Lambda = max exit
+/// rate (1 for an all-absorbing chain); `lambda_out` receives Lambda. Shared
+/// by the transient solver and the expected-reward measures.
+linalg::CsrMatrix uniformized_transition_matrix(const core::RateMatrix& rates,
+                                                double& lambda_out);
+
+/// Expected occupation times E[L_s(t)] = E[ time spent in s during [0,t] ]
+/// for every state, started from `initial`; computed by uniformization via
+/// int_0^t PoissonPmf(k; Lambda u) du = Pr{N_t >= k+1} / Lambda. The entries
+/// sum to t.
+std::vector<double> expected_occupation_times(const core::RateMatrix& rates,
+                                              const std::vector<double>& initial, double t,
+                                              const TransientOptions& options = {});
+
+}  // namespace csrlmrm::numeric

@@ -1,0 +1,93 @@
+// RewardStructureContext: the eq. (4.9)/(4.10) wiring from a path signature
+// (n, k, j) to an Omega query.
+#include "numeric/conditional.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace csrlmrm::numeric {
+namespace {
+
+TEST(Conditional, ThresholdMatchesExample44) {
+  // Example 4.4: rewards 5>3>1>0, impulses 2>1>0, j = <4,2,0>, t = 5, r = 15
+  // gives r' = 15/5 - 0 - (2*4 + 1*2)/5 = 1.
+  RewardStructureContext context({5.0, 3.0, 1.0, 0.0}, {2.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(context.threshold({4, 2, 0}, 5.0, 15.0), 1.0);
+}
+
+TEST(Conditional, Example44ConditionalProbability) {
+  RewardStructureContext context({5.0, 3.0, 1.0, 0.0}, {2.0, 1.0, 0.0});
+  EXPECT_NEAR(context.conditional_probability({1, 2, 2, 2}, {4, 2, 0}, 5.0, 15.0),
+              47.0 / 675.0, 1e-12);
+}
+
+TEST(Conditional, SmallestRewardShiftsThreshold) {
+  // With r_{K+1} = 2 the baseline accumulation is 2t, subtracted from r/t.
+  RewardStructureContext context({5.0, 2.0}, {});
+  EXPECT_DOUBLE_EQ(context.threshold({}, 4.0, 20.0), 20.0 / 4.0 - 2.0);
+}
+
+TEST(Conditional, SingleRewardClassIsDeterministic) {
+  // All states share reward 3: Y(t) = 3t (+ impulses), so the conditional is
+  // an indicator.
+  RewardStructureContext context({3.0}, {});
+  EXPECT_DOUBLE_EQ(context.conditional_probability({5}, {}, 2.0, 6.0), 1.0);   // 3*2 <= 6
+  EXPECT_DOUBLE_EQ(context.conditional_probability({5}, {}, 2.0, 5.9), 0.0);   // 3*2 > 5.9
+}
+
+TEST(Conditional, ImpulsesConsumeBudgetDeterministically) {
+  // Zero state rewards: Y(t) = sum of impulses.
+  RewardStructureContext context({0.0}, {4.0, 1.0});
+  EXPECT_DOUBLE_EQ(context.conditional_probability({3}, {2, 1}, 1.0, 9.0), 1.0);  // 9 <= 9
+  EXPECT_DOUBLE_EQ(context.conditional_probability({3}, {2, 1}, 1.0, 8.9), 0.0);  // 9 > 8.9
+}
+
+TEST(Conditional, TwoClassPathMatchesUniformClosedForm) {
+  // One residence at reward a, k more at reward 0, n = k interior points:
+  // Y(t) = a * t * U_(1) (the first order statistic of k uniforms), so
+  // Pr{Y <= r} = 1 - (1 - r/(a t))^k.
+  const double a = 2.0;
+  RewardStructureContext context({a, 0.0}, {});
+  const double t = 3.0;
+  const double r = 1.5;
+  const unsigned k = 4;
+  const double u = r / (a * t);
+  const double expected = 1.0 - std::pow(1.0 - u, static_cast<double>(k));
+  EXPECT_NEAR(context.conditional_probability({1, k}, {}, t, r), expected, 1e-12);
+}
+
+TEST(Conditional, EvaluatorsAreSharedPerThreshold) {
+  RewardStructureContext context({2.0, 0.0}, {1.0, 0.0});
+  // Same impulse signature -> same r' -> one evaluator.
+  context.conditional_probability({1, 1}, {1, 0}, 1.0, 1.5);
+  context.conditional_probability({2, 1}, {1, 0}, 1.0, 1.5);
+  EXPECT_EQ(context.evaluator_count(), 1u);
+  // Different impulse count changes r' -> second evaluator.
+  context.conditional_probability({1, 1}, {0, 1}, 1.0, 1.5);
+  EXPECT_EQ(context.evaluator_count(), 2u);
+}
+
+TEST(Conditional, RejectsMalformedInput) {
+  EXPECT_THROW(RewardStructureContext({}, {}), std::invalid_argument);
+  EXPECT_THROW(RewardStructureContext({1.0, 2.0}, {}), std::invalid_argument);  // ascending
+  EXPECT_THROW(RewardStructureContext({2.0, 2.0}, {}), std::invalid_argument);  // duplicate
+  RewardStructureContext context({1.0, 0.0}, {});
+  EXPECT_THROW(context.conditional_probability({1}, {}, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(context.conditional_probability({0, 0}, {}, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(context.conditional_probability({1, 1}, {}, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(context.conditional_probability({1, 1}, {}, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Conditional, MonotoneInRewardBound) {
+  RewardStructureContext context({4.0, 1.0, 0.0}, {2.0, 0.0});
+  double prev = 0.0;
+  for (double r = 0.0; r <= 14.0; r += 0.5) {
+    const double p = context.conditional_probability({2, 3, 2}, {1, 2}, 3.0, r);
+    EXPECT_GE(p, prev - 1e-12) << "r=" << r;
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace csrlmrm::numeric

@@ -1,0 +1,150 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace csrlmrm::linalg {
+namespace {
+
+CsrMatrix example_matrix() {
+  // [ 1 2 0 ]
+  // [ 0 0 3 ]
+  // [ 4 0 5 ]
+  CsrBuilder builder(3, 3);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 1, 2.0);
+  builder.add(1, 2, 3.0);
+  builder.add(2, 0, 4.0);
+  builder.add(2, 2, 5.0);
+  return builder.build();
+}
+
+TEST(CsrBuilder, RejectsOutOfRangeIndices) {
+  CsrBuilder builder(2, 2);
+  EXPECT_THROW(builder.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(builder.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(CsrBuilder, RejectsNonFiniteValues) {
+  CsrBuilder builder(1, 1);
+  EXPECT_THROW(builder.add(0, 0, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(builder.add(0, 0, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(CsrBuilder, MergesDuplicateTriplets) {
+  CsrBuilder builder(1, 1);
+  builder.add(0, 0, 1.5);
+  builder.add(0, 0, 2.5);
+  const CsrMatrix m = builder.build();
+  EXPECT_EQ(m.non_zeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 4.0);
+}
+
+TEST(CsrBuilder, DropsEntriesCancellingToZero) {
+  CsrBuilder builder(1, 2);
+  builder.add(0, 1, 1.0);
+  builder.add(0, 1, -1.0);
+  EXPECT_EQ(builder.build().non_zeros(), 0u);
+}
+
+TEST(CsrBuilder, AcceptsTripletsInAnyOrder) {
+  CsrBuilder builder(2, 2);
+  builder.add(1, 1, 4.0);
+  builder.add(0, 1, 2.0);
+  builder.add(1, 0, 3.0);
+  builder.add(0, 0, 1.0);
+  const CsrMatrix m = builder.build();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+}
+
+TEST(CsrMatrix, DefaultConstructedIsEmpty) {
+  const CsrMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_EQ(m.non_zeros(), 0u);
+}
+
+TEST(CsrMatrix, AtReturnsZeroForMissingEntries) {
+  const CsrMatrix m = example_matrix();
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+}
+
+TEST(CsrMatrix, RowSpansAreOrdered) {
+  const CsrMatrix m = example_matrix();
+  const auto row2 = m.row(2);
+  ASSERT_EQ(row2.size(), 2u);
+  EXPECT_EQ(row2[0].col, 0u);
+  EXPECT_EQ(row2[1].col, 2u);
+}
+
+TEST(CsrMatrix, RowRejectsOutOfRange) {
+  EXPECT_THROW(example_matrix().row(3), std::out_of_range);
+}
+
+TEST(CsrMatrix, MultiplyComputesMatrixVectorProduct) {
+  const auto y = example_matrix().multiply({1.0, 2.0, 3.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);   // 1 + 4
+  EXPECT_DOUBLE_EQ(y[1], 9.0);   // 3*3
+  EXPECT_DOUBLE_EQ(y[2], 19.0);  // 4 + 15
+}
+
+TEST(CsrMatrix, LeftMultiplyComputesVectorMatrixProduct) {
+  const auto y = example_matrix().left_multiply({1.0, 2.0, 3.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 13.0);  // 1 + 12
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 21.0);  // 6 + 15
+}
+
+TEST(CsrMatrix, MultiplyRejectsSizeMismatch) {
+  EXPECT_THROW(example_matrix().multiply({1.0}), std::invalid_argument);
+  EXPECT_THROW(example_matrix().left_multiply({1.0}), std::invalid_argument);
+}
+
+TEST(CsrMatrix, RowSumAddsRowEntries) {
+  const CsrMatrix m = example_matrix();
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 3.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(2), 9.0);
+}
+
+TEST(CsrMatrix, TransposeSwapsIndices) {
+  const CsrMatrix t = example_matrix().transposed();
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 2), 5.0);
+  EXPECT_EQ(t.non_zeros(), example_matrix().non_zeros());
+}
+
+TEST(CsrMatrix, DoubleTransposeIsIdentityOperation) {
+  const CsrMatrix m = example_matrix();
+  const CsrMatrix tt = m.transposed().transposed();
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(tt.at(r, c), m.at(r, c));
+  }
+}
+
+TEST(CsrMatrix, ToDenseMatchesAt) {
+  const auto dense = example_matrix().to_dense();
+  EXPECT_DOUBLE_EQ(dense[2][0], 4.0);
+  EXPECT_DOUBLE_EQ(dense[1][1], 0.0);
+}
+
+TEST(CsrMatrix, RawConstructorValidatesRowPtr) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {{0, 1.0}}), std::invalid_argument);  // short row_ptr
+  EXPECT_THROW(CsrMatrix(1, 1, {0, 2}, {{0, 1.0}}), std::invalid_argument);  // bad back()
+  EXPECT_THROW(CsrMatrix(1, 1, {0, 1}, {{5, 1.0}}), std::invalid_argument);  // col range
+}
+
+}  // namespace
+}  // namespace csrlmrm::linalg

@@ -1,0 +1,75 @@
+// Fox-Glynn weights against the lgamma-based Poisson pmf.
+#include "numeric/fox_glynn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/poisson.hpp"
+
+namespace csrlmrm::numeric {
+namespace {
+
+TEST(FoxGlynn, ZeroMeanIsPointMass) {
+  const auto window = fox_glynn(0.0, 1e-10);
+  EXPECT_EQ(window.left, 0u);
+  EXPECT_EQ(window.right, 0u);
+  EXPECT_DOUBLE_EQ(window.probability(0), 1.0);
+}
+
+class FoxGlynnMeans : public ::testing::TestWithParam<double> {};
+
+TEST_P(FoxGlynnMeans, WeightsMatchStablePmf) {
+  const double mean = GetParam();
+  const auto window = fox_glynn(mean, 1e-12);
+  for (std::size_t k = window.left; k <= window.right; ++k) {
+    const double exact = poisson_pmf(k, mean);
+    if (exact < 1e-250) continue;  // below any meaningful comparison
+    // lgamma itself carries ~1e-15 per-digit error which scales with k.
+    const double tolerance = 1e-11 + 1e-14 * static_cast<double>(k);
+    EXPECT_NEAR(window.probability(k - window.left) / exact, 1.0, tolerance)
+        << "mean=" << mean << " k=" << k;
+  }
+}
+
+TEST_P(FoxGlynnMeans, WindowCapturesRequestedMass) {
+  const double mean = GetParam();
+  const double epsilon = 1e-9;
+  const auto window = fox_glynn(mean, epsilon);
+  const double below = window.left == 0 ? 0.0 : poisson_cdf(window.left - 1, mean);
+  const double inside = poisson_cdf(window.right, mean) - below;
+  EXPECT_GE(inside, 1.0 - epsilon) << "mean=" << mean;
+}
+
+TEST_P(FoxGlynnMeans, WindowIsNotAbsurdlyWide) {
+  const double mean = GetParam();
+  const auto window = fox_glynn(mean, 1e-12);
+  // O(sqrt(mean) * log(1/eps)) width, with a generous constant.
+  const double width = static_cast<double>(window.right - window.left + 1);
+  EXPECT_LT(width, 60.0 * std::sqrt(mean + 1.0) + 120.0) << "mean=" << mean;
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, FoxGlynnMeans,
+                         ::testing::Values(0.05, 0.7, 3.0, 17.5, 32.0, 33.0, 150.0, 2500.0,
+                                           40000.0));
+
+TEST(FoxGlynn, HugeMeanStaysFiniteAndNormalized) {
+  const auto window = fox_glynn(5e6, 1e-10);
+  EXPECT_GT(window.total_weight, 0.0);
+  EXPECT_TRUE(std::isfinite(window.total_weight));
+  double total = 0.0;
+  for (std::size_t i = 0; i < window.weights.size(); ++i) total += window.probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // The window brackets the mean.
+  EXPECT_LT(window.left, 5e6);
+  EXPECT_GT(window.right, 5e6);
+}
+
+TEST(FoxGlynn, RejectsBadArguments) {
+  EXPECT_THROW(fox_glynn(-1.0, 1e-6), std::invalid_argument);
+  EXPECT_THROW(fox_glynn(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(fox_glynn(1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csrlmrm::numeric

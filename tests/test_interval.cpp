@@ -1,0 +1,65 @@
+#include "logic/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csrlmrm::logic {
+namespace {
+
+TEST(Interval, DefaultIsTrivial) {
+  const Interval i;
+  EXPECT_TRUE(i.is_trivial());
+  EXPECT_TRUE(i.is_upper_unbounded());
+  EXPECT_DOUBLE_EQ(i.lower(), 0.0);
+  EXPECT_TRUE(i.contains(0.0));
+  EXPECT_TRUE(i.contains(1e100));
+}
+
+TEST(Interval, ContainsIsClosedOnBothEnds) {
+  const Interval i(1.0, 2.0);
+  EXPECT_TRUE(i.contains(1.0));
+  EXPECT_TRUE(i.contains(2.0));
+  EXPECT_TRUE(i.contains(1.5));
+  EXPECT_FALSE(i.contains(0.999));
+  EXPECT_FALSE(i.contains(2.001));
+}
+
+TEST(Interval, PointIntervalDetected) {
+  EXPECT_TRUE(Interval(3.0, 3.0).is_point());
+  EXPECT_FALSE(Interval(3.0, 4.0).is_point());
+}
+
+TEST(Interval, UpToMakesZeroBasedInterval) {
+  const Interval i = up_to(5.0);
+  EXPECT_DOUBLE_EQ(i.lower(), 0.0);
+  EXPECT_DOUBLE_EQ(i.upper(), 5.0);
+  EXPECT_FALSE(i.is_trivial());
+}
+
+TEST(Interval, InfiniteUpperBoundAllowed) {
+  const Interval i(2.0, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(i.is_upper_unbounded());
+  EXPECT_FALSE(i.is_trivial());  // lower is non-zero
+  EXPECT_TRUE(i.contains(1e300));
+}
+
+TEST(Interval, RejectsInvalidBounds) {
+  EXPECT_THROW(Interval(-1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(Interval(3.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(Interval(std::numeric_limits<double>::infinity(), 1.0), std::invalid_argument);
+  EXPECT_THROW(Interval(std::numeric_limits<double>::quiet_NaN(), 1.0), std::invalid_argument);
+  EXPECT_THROW(Interval(0.0, std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
+}
+
+TEST(Interval, ToStringUsesTildeForInfinity) {
+  EXPECT_EQ(Interval(0.0, 3.0).to_string(), "[0,3]");
+  EXPECT_EQ(Interval{}.to_string(), "[0,~]");
+}
+
+TEST(Interval, EqualityIsStructural) {
+  EXPECT_EQ(Interval(1.0, 2.0), Interval(1.0, 2.0));
+  EXPECT_NE(Interval(1.0, 2.0), Interval(1.0, 3.0));
+  EXPECT_EQ(Interval{}, full_interval());
+}
+
+}  // namespace
+}  // namespace csrlmrm::logic

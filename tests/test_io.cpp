@@ -1,0 +1,159 @@
+// The .tra/.lab/.rewr/.rewi readers and writers (appendix file formats).
+#include "io/model_files.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "models/wavelan.hpp"
+
+namespace csrlmrm::io {
+namespace {
+
+TEST(IoTra, ReadsAppendixFormat) {
+  std::istringstream in(
+      "STATES 3\n"
+      "TRANSITIONS 2\n"
+      "1 2 0.5\n"
+      "2 3 1.25\n");
+  const core::RateMatrix rates = read_tra(in);
+  EXPECT_EQ(rates.num_states(), 3u);
+  EXPECT_DOUBLE_EQ(rates.rate(0, 1), 0.5);  // 1-based file -> 0-based memory
+  EXPECT_DOUBLE_EQ(rates.rate(1, 2), 1.25);
+  EXPECT_TRUE(rates.is_absorbing(2));
+}
+
+TEST(IoTra, SkipsBlankAndCommentLines) {
+  std::istringstream in(
+      "STATES 2\n"
+      "\n"
+      "% a comment\n"
+      "TRANSITIONS 1\n"
+      "1 2 3.0\n");
+  EXPECT_DOUBLE_EQ(read_tra(in).rate(0, 1), 3.0);
+}
+
+TEST(IoTra, RejectsWrongTransitionCount) {
+  std::istringstream in(
+      "STATES 2\nTRANSITIONS 2\n1 2 1.0\n");
+  EXPECT_THROW(read_tra(in), ModelFileError);
+}
+
+TEST(IoTra, RejectsOutOfRangeState) {
+  std::istringstream in("STATES 2\nTRANSITIONS 1\n1 5 1.0\n");
+  try {
+    read_tra(in);
+    FAIL() << "expected ModelFileError";
+  } catch (const ModelFileError& error) {
+    EXPECT_EQ(error.line(), 3u);
+  }
+}
+
+TEST(IoTra, RejectsMissingHeaders) {
+  std::istringstream no_states("TRANSITIONS 0\n");
+  EXPECT_THROW(read_tra(no_states), ModelFileError);
+  std::istringstream garbage("STATES 2\nNOPE 1\n");
+  EXPECT_THROW(read_tra(garbage), ModelFileError);
+}
+
+TEST(IoLab, ReadsDeclarationsAndAssignments) {
+  std::istringstream in(
+      "#DECLARATION\n"
+      "up down busy\n"
+      "#END\n"
+      "1 up,busy\n"
+      "2 down\n");
+  const core::Labeling labels = read_lab(in, 2);
+  EXPECT_TRUE(labels.has(0, "up"));
+  EXPECT_TRUE(labels.has(0, "busy"));
+  EXPECT_TRUE(labels.has(1, "down"));
+  EXPECT_FALSE(labels.has(1, "up"));
+  EXPECT_TRUE(labels.is_declared("busy"));
+}
+
+TEST(IoLab, AcceptsSpaceSeparatedPropositions) {
+  std::istringstream in("#DECLARATION\na b\n#END\n1 a b\n");
+  const core::Labeling labels = read_lab(in, 1);
+  EXPECT_TRUE(labels.has(0, "a"));
+  EXPECT_TRUE(labels.has(0, "b"));
+}
+
+TEST(IoLab, RejectsUndeclaredProposition) {
+  std::istringstream in("#DECLARATION\na\n#END\n1 b\n");
+  EXPECT_THROW(read_lab(in, 1), ModelFileError);
+}
+
+TEST(IoLab, RejectsMissingEnd) {
+  std::istringstream in("#DECLARATION\na b\n1 a\n");
+  EXPECT_THROW(read_lab(in, 1), ModelFileError);
+}
+
+TEST(IoRewr, ReadsRewardsAndDefaultsToZero) {
+  std::istringstream in("2 80\n3 1319\n");
+  const auto rewards = read_rewr(in, 4);
+  EXPECT_DOUBLE_EQ(rewards[0], 0.0);
+  EXPECT_DOUBLE_EQ(rewards[1], 80.0);
+  EXPECT_DOUBLE_EQ(rewards[2], 1319.0);
+  EXPECT_DOUBLE_EQ(rewards[3], 0.0);
+}
+
+TEST(IoRewi, ReadsImpulseMatrix) {
+  std::istringstream in("TRANSITIONS 2\n1 2 0.02\n2 3 0.33\n");
+  const auto impulses = read_rewi(in, 3);
+  EXPECT_DOUBLE_EQ(impulses.at(0, 1), 0.02);
+  EXPECT_DOUBLE_EQ(impulses.at(1, 2), 0.33);
+  EXPECT_DOUBLE_EQ(impulses.at(2, 0), 0.0);
+}
+
+TEST(IoRewi, RejectsCountMismatch) {
+  std::istringstream in("TRANSITIONS 3\n1 2 0.02\n");
+  EXPECT_THROW(read_rewi(in, 2), ModelFileError);
+}
+
+class IoRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    directory_ = std::filesystem::temp_directory_path() / "csrlmrm_io_test";
+    std::filesystem::create_directories(directory_);
+    prefix_ = (directory_ / "model").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(directory_); }
+
+  std::filesystem::path directory_;
+  std::string prefix_;
+};
+
+TEST_F(IoRoundTrip, SaveThenLoadPreservesTheWavelanModel) {
+  const core::Mrm original = models::make_wavelan();
+  save_mrm(original, prefix_);
+  const core::Mrm loaded =
+      load_mrm(prefix_ + ".tra", prefix_ + ".lab", prefix_ + ".rewr", prefix_ + ".rewi");
+
+  ASSERT_EQ(loaded.num_states(), original.num_states());
+  for (core::StateIndex s = 0; s < original.num_states(); ++s) {
+    EXPECT_DOUBLE_EQ(loaded.state_reward(s), original.state_reward(s));
+    EXPECT_EQ(loaded.labels().labels_of(s), original.labels().labels_of(s));
+    for (core::StateIndex s2 = 0; s2 < original.num_states(); ++s2) {
+      EXPECT_DOUBLE_EQ(loaded.rates().rate(s, s2), original.rates().rate(s, s2));
+      EXPECT_DOUBLE_EQ(loaded.impulse_reward(s, s2), original.impulse_reward(s, s2));
+    }
+  }
+}
+
+TEST_F(IoRoundTrip, LoadWithoutRewiGivesZeroImpulses) {
+  const core::Mrm original = models::make_wavelan();
+  save_mrm(original, prefix_);
+  const core::Mrm loaded = load_mrm(prefix_ + ".tra", prefix_ + ".lab", prefix_ + ".rewr", "");
+  EXPECT_FALSE(loaded.has_impulse_rewards());
+}
+
+TEST_F(IoRoundTrip, MissingFileThrows) {
+  EXPECT_THROW(load_mrm("/nonexistent/x.tra", "/nonexistent/x.lab", "/nonexistent/x.rewr", ""),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace csrlmrm::io

@@ -1,0 +1,82 @@
+#include "core/labels.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csrlmrm::core {
+namespace {
+
+TEST(Labeling, NewLabelingIsEmpty) {
+  Labeling labels(3);
+  EXPECT_EQ(labels.num_states(), 3u);
+  EXPECT_FALSE(labels.has(0, "a"));
+  EXPECT_TRUE(labels.labels_of(0).empty());
+  EXPECT_TRUE(labels.propositions().empty());
+}
+
+TEST(Labeling, AddAttachesAndDeclares) {
+  Labeling labels(2);
+  labels.add(1, "busy");
+  EXPECT_TRUE(labels.is_declared("busy"));
+  EXPECT_TRUE(labels.has(1, "busy"));
+  EXPECT_FALSE(labels.has(0, "busy"));
+}
+
+TEST(Labeling, DeclareWithoutAttachIsKnownButHoldsNowhere) {
+  Labeling labels(2);
+  labels.declare("rare");
+  EXPECT_TRUE(labels.is_declared("rare"));
+  EXPECT_EQ(labels.states_with("rare"), std::vector<bool>({false, false}));
+}
+
+TEST(Labeling, UndeclaredPropositionHoldsNowhere) {
+  Labeling labels(2);
+  EXPECT_EQ(labels.states_with("ghost"), std::vector<bool>({false, false}));
+}
+
+TEST(Labeling, AddIsIdempotent) {
+  Labeling labels(1);
+  labels.add(0, "a");
+  labels.add(0, "a");
+  EXPECT_EQ(labels.labels_of(0), std::vector<std::string>{"a"});
+}
+
+TEST(Labeling, StatesWithBuildsMask) {
+  Labeling labels(4);
+  labels.add(0, "up");
+  labels.add(2, "up");
+  labels.add(2, "busy");
+  EXPECT_EQ(labels.states_with("up"), std::vector<bool>({true, false, true, false}));
+  EXPECT_EQ(labels.states_with("busy"), std::vector<bool>({false, false, true, false}));
+}
+
+TEST(Labeling, LabelsOfReportsDeclarationOrder) {
+  Labeling labels(1);
+  labels.add(0, "b");
+  labels.add(0, "a");
+  // Declaration order: b first.
+  EXPECT_EQ(labels.labels_of(0), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(Labeling, PropositionsListAllDeclared) {
+  Labeling labels(2);
+  labels.add(0, "x");
+  labels.declare("y");
+  EXPECT_EQ(labels.propositions(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Labeling, RejectsOutOfRangeStates) {
+  Labeling labels(2);
+  EXPECT_THROW(labels.add(2, "a"), std::out_of_range);
+  EXPECT_THROW(labels.has(5, "a"), std::out_of_range);
+  EXPECT_THROW(labels.labels_of(2), std::out_of_range);
+}
+
+TEST(Labeling, ManyPropositionsPerState) {
+  Labeling labels(1);
+  for (int i = 0; i < 50; ++i) labels.add(0, "ap" + std::to_string(i));
+  EXPECT_EQ(labels.labels_of(0).size(), 50u);
+  EXPECT_TRUE(labels.has(0, "ap31"));
+}
+
+}  // namespace
+}  // namespace csrlmrm::core

@@ -1,0 +1,100 @@
+// Mrm construction and validation (Definition 3.1).
+#include "core/mrm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/wavelan.hpp"
+
+namespace csrlmrm::core {
+namespace {
+
+Ctmc tiny_ctmc() {
+  RateMatrixBuilder rates(2);
+  rates.add(0, 1, 1.0);
+  rates.add(1, 0, 2.0);
+  Labeling labels(2);
+  labels.add(0, "a");
+  return Ctmc(rates.build(), std::move(labels));
+}
+
+TEST(Mrm, StoresStateAndImpulseRewards) {
+  ImpulseRewardsBuilder impulses(2);
+  impulses.add(0, 1, 0.5);
+  const Mrm model(tiny_ctmc(), {3.0, 4.0}, impulses.build());
+  EXPECT_DOUBLE_EQ(model.state_reward(0), 3.0);
+  EXPECT_DOUBLE_EQ(model.state_reward(1), 4.0);
+  EXPECT_DOUBLE_EQ(model.impulse_reward(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(model.impulse_reward(1, 0), 0.0);
+  EXPECT_TRUE(model.has_impulse_rewards());
+}
+
+TEST(Mrm, NoImpulseConstructorYieldsZeroImpulses) {
+  const Mrm model(tiny_ctmc(), {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(model.impulse_reward(0, 1), 0.0);
+  EXPECT_FALSE(model.has_impulse_rewards());
+}
+
+TEST(Mrm, RejectsWrongRewardCount) {
+  EXPECT_THROW(Mrm(tiny_ctmc(), {1.0}), std::invalid_argument);
+  EXPECT_THROW(Mrm(tiny_ctmc(), {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Mrm, RejectsNegativeStateReward) {
+  EXPECT_THROW(Mrm(tiny_ctmc(), {-1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Mrm, RejectsImpulseOnMissingTransition) {
+  // No transition 1 -> 1 nor 0 -> 0 exists, and (1,0) exists but (0,0) not.
+  linalg::CsrBuilder impulses(2, 2);
+  impulses.add(1, 1, 0.5);
+  EXPECT_THROW(Mrm(tiny_ctmc(), {1.0, 2.0}, impulses.build()), std::invalid_argument);
+}
+
+TEST(Mrm, RejectsImpulseOnSelfLoop) {
+  // Definition 3.1: R(s,s) > 0 requires iota(s,s) = 0.
+  RateMatrixBuilder rates(1);
+  rates.add(0, 0, 1.0);
+  Labeling labels(1);
+  linalg::CsrBuilder impulses(1, 1);
+  impulses.add(0, 0, 0.25);
+  EXPECT_THROW(Mrm(Ctmc(rates.build(), std::move(labels)), {0.0}, impulses.build()),
+               std::invalid_argument);
+}
+
+TEST(Mrm, RejectsImpulseShapeMismatch) {
+  linalg::CsrBuilder impulses(3, 3);
+  EXPECT_THROW(Mrm(tiny_ctmc(), {1.0, 2.0}, impulses.build()), std::invalid_argument);
+}
+
+TEST(Mrm, WavelanExampleCarriesThesisRewards) {
+  const Mrm model = models::make_wavelan();
+  ASSERT_EQ(model.num_states(), 5u);
+  // Example 3.1 values.
+  EXPECT_DOUBLE_EQ(model.state_reward(models::kWavelanOff), 0.0);
+  EXPECT_DOUBLE_EQ(model.state_reward(models::kWavelanSleep), 80.0);
+  EXPECT_DOUBLE_EQ(model.state_reward(models::kWavelanIdle), 1319.0);
+  EXPECT_DOUBLE_EQ(model.state_reward(models::kWavelanReceive), 1675.0);
+  EXPECT_DOUBLE_EQ(model.state_reward(models::kWavelanTransmit), 1425.0);
+  EXPECT_NEAR(model.impulse_reward(models::kWavelanOff, models::kWavelanSleep), 0.02, 1e-12);
+  EXPECT_NEAR(model.impulse_reward(models::kWavelanSleep, models::kWavelanIdle), 0.32975,
+              1e-12);
+  EXPECT_NEAR(model.impulse_reward(models::kWavelanIdle, models::kWavelanReceive), 0.42545,
+              1e-12);
+  EXPECT_NEAR(model.impulse_reward(models::kWavelanIdle, models::kWavelanTransmit), 0.36195,
+              1e-12);
+  EXPECT_DOUBLE_EQ(model.impulse_reward(models::kWavelanReceive, models::kWavelanIdle), 0.0);
+}
+
+TEST(ImpulseRewardsBuilder, RejectsNegativeReward) {
+  ImpulseRewardsBuilder builder(2);
+  EXPECT_THROW(builder.add(0, 1, -0.1), std::invalid_argument);
+}
+
+TEST(Ctmc, RejectsLabelingSizeMismatch) {
+  RateMatrixBuilder rates(2);
+  Labeling labels(3);
+  EXPECT_THROW(Ctmc(rates.build(), std::move(labels)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csrlmrm::core

@@ -1,0 +1,117 @@
+// Next-operator evaluation (eq. 3.4) against closed forms on the WaveLAN
+// model.
+#include "checker/next.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/wavelan.hpp"
+
+namespace csrlmrm::checker {
+namespace {
+
+using logic::Interval;
+
+class NextOnWavelan : public ::testing::Test {
+ protected:
+  core::Mrm model_ = models::make_wavelan();
+  std::vector<bool> busy_ = model_.labels().states_with("busy");
+  static constexpr double kIdleExit = 14.25;  // E(idle)
+};
+
+TEST_F(NextOnWavelan, UnboundedNextIsJumpProbability) {
+  // Eq. (3.5): P(s, X Phi) = sum_{s'|=Phi} P(s,s').
+  const auto p = next_probabilities(model_, busy_, Interval{}, Interval{});
+  EXPECT_NEAR(p[models::kWavelanIdle], (1.5 + 0.75) / kIdleExit, 1e-12);
+  EXPECT_DOUBLE_EQ(p[models::kWavelanOff], 0.0);    // off's successor is sleep
+  EXPECT_DOUBLE_EQ(p[models::kWavelanSleep], 0.0);  // sleep's successors aren't busy
+}
+
+TEST_F(NextOnWavelan, TimeBoundScalesBySojournCdf) {
+  const double t = 0.1;
+  const auto p = next_probabilities(model_, busy_, logic::up_to(t), Interval{});
+  const double expected = (1.5 + 0.75) / kIdleExit * (1.0 - std::exp(-kIdleExit * t));
+  EXPECT_NEAR(p[models::kWavelanIdle], expected, 1e-12);
+}
+
+TEST_F(NextOnWavelan, TimeWindowUsesBothEnds) {
+  const double a = 0.05;
+  const double b = 0.2;
+  const auto p = next_probabilities(model_, busy_, Interval(a, b), Interval{});
+  const double expected =
+      (1.5 + 0.75) / kIdleExit * (std::exp(-kIdleExit * a) - std::exp(-kIdleExit * b));
+  EXPECT_NEAR(p[models::kWavelanIdle], expected, 1e-12);
+}
+
+TEST_F(NextOnWavelan, RewardBoundTruncatesTheWindow) {
+  // From idle (rho = 1319), jumping to receive pays iota = 0.42545; the
+  // reward bound [0, r] allows jump times x <= (r - iota)/rho.
+  const double r = 100.0;
+  const auto p = next_probabilities(model_, busy_, Interval{}, logic::up_to(r));
+  const double x_receive = (r - 0.42545) / 1319.0;
+  const double x_transmit = (r - 0.36195) / 1319.0;
+  const double expected = 1.5 / kIdleExit * (1.0 - std::exp(-kIdleExit * x_receive)) +
+                          0.75 / kIdleExit * (1.0 - std::exp(-kIdleExit * x_transmit));
+  EXPECT_NEAR(p[models::kWavelanIdle], expected, 1e-12);
+}
+
+TEST_F(NextOnWavelan, UnsatisfiableRewardBoundGivesZero) {
+  // The impulse alone (0.42545 / 0.36195) exceeds the bound.
+  const auto p = next_probabilities(model_, busy_, Interval{}, logic::up_to(0.3));
+  EXPECT_DOUBLE_EQ(p[models::kWavelanIdle], 0.0);
+}
+
+TEST_F(NextOnWavelan, ZeroRewardStateDependsOnlyOnImpulse) {
+  // rho(off) = 0; jump off->sleep pays 0.02. Bound below that: impossible;
+  // bound above: the time window is the whole time bound.
+  std::vector<bool> sleep = model_.labels().states_with("sleep");
+  const auto blocked = next_probabilities(model_, sleep, Interval{}, logic::up_to(0.01));
+  EXPECT_DOUBLE_EQ(blocked[models::kWavelanOff], 0.0);
+  const auto allowed = next_probabilities(model_, sleep, logic::up_to(5.0), logic::up_to(0.05));
+  EXPECT_NEAR(allowed[models::kWavelanOff], 1.0 - std::exp(-0.1 * 5.0), 1e-12);
+}
+
+TEST_F(NextOnWavelan, AbsorbingStateHasNoNext) {
+  core::RateMatrixBuilder rates(2);
+  rates.add(0, 1, 1.0);
+  core::Labeling labels(2);
+  labels.add(1, "goal");
+  const core::Mrm model(core::Ctmc(rates.build(), std::move(labels)), {1.0, 1.0});
+  const auto p =
+      next_probabilities(model, model.labels().states_with("goal"), Interval{}, Interval{});
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+}
+
+TEST_F(NextOnWavelan, RewardLowerBoundDelaysTheWindow) {
+  // J = [r1, ~]: need rho * x + iota >= r1, i.e. x >= (r1 - iota) / rho.
+  const double r1 = 50.0;
+  const auto p = next_probabilities(
+      model_, busy_, Interval{}, Interval(r1, std::numeric_limits<double>::infinity()));
+  const double x_receive = (r1 - 0.42545) / 1319.0;
+  const double x_transmit = (r1 - 0.36195) / 1319.0;
+  const double expected = 1.5 / kIdleExit * std::exp(-kIdleExit * x_receive) +
+                          0.75 / kIdleExit * std::exp(-kIdleExit * x_transmit);
+  EXPECT_NEAR(p[models::kWavelanIdle], expected, 1e-12);
+}
+
+TEST_F(NextOnWavelan, WindowHelperMatchesManualIntersection) {
+  const auto window = next_time_window(model_, models::kWavelanIdle, models::kWavelanReceive,
+                                       logic::up_to(0.1), logic::up_to(100.0));
+  ASSERT_TRUE(window.has_value());
+  EXPECT_DOUBLE_EQ(window->lower(), 0.0);
+  EXPECT_NEAR(window->upper(), (100.0 - 0.42545) / 1319.0, 1e-12);
+
+  EXPECT_FALSE(next_time_window(model_, models::kWavelanIdle, models::kWavelanReceive,
+                                Interval(0.2, 0.3), logic::up_to(100.0))
+                   .has_value());
+}
+
+TEST_F(NextOnWavelan, RejectsMaskSizeMismatch) {
+  EXPECT_THROW(next_probabilities(model_, std::vector<bool>(3), Interval{}, Interval{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csrlmrm::checker

@@ -1,0 +1,133 @@
+// The Omega recursion (Algorithm 4.8) against closed forms, symmetry
+// properties, and the thesis's worked Example 4.4.
+#include "numeric/omega.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace csrlmrm::numeric {
+namespace {
+
+TEST(Omega, EmptySumComparesZeroAgainstThreshold) {
+  EXPECT_DOUBLE_EQ(omega(0.5, {1.0}, {0}), 1.0);
+  EXPECT_DOUBLE_EQ(omega(-0.5, {1.0}, {0}), 0.0);
+}
+
+TEST(Omega, AllCoefficientsBelowThresholdGivesOne) {
+  EXPECT_DOUBLE_EQ(omega(5.0, {4.0, 2.0, 0.0}, {3, 2, 1}), 1.0);
+}
+
+TEST(Omega, AllCoefficientsAboveThresholdGivesZero) {
+  EXPECT_DOUBLE_EQ(omega(1.0, {4.0, 2.0}, {3, 2}), 0.0);
+}
+
+TEST(Omega, TotalOfAllSpacingsIsOne) {
+  // sum of all n+1 spacings is identically 1, so Pr{sum <= r} is a step at 1.
+  EXPECT_DOUBLE_EQ(omega(0.999, {1.0}, {7}), 0.0);
+  EXPECT_DOUBLE_EQ(omega(1.0, {1.0}, {7}), 1.0);
+}
+
+TEST(Omega, SingleUniformIsLinear) {
+  // a * Y1 with one interior point: Y1 ~ U(0,1), so Pr{a Y1 <= r} = r/a.
+  const double a = 4.0;
+  for (double r : {0.5, 1.0, 2.0, 3.5}) {
+    EXPECT_NEAR(omega(r, {a, 0.0}, {1, 1}), r / a, 1e-12) << "r=" << r;
+  }
+}
+
+TEST(Omega, SumOfTwoUniformsIsIrwinHall) {
+  // c = {2,1,0}, k = {1,1,1}: G = 2 Y1 + Y2 = U_(1) + U_(2) = U1 + U2, whose
+  // CDF is the Irwin-Hall distribution of order 2.
+  EXPECT_NEAR(omega(0.5, {2.0, 1.0, 0.0}, {1, 1, 1}), 0.125, 1e-12);
+  EXPECT_NEAR(omega(1.0, {2.0, 1.0, 0.0}, {1, 1, 1}), 0.5, 1e-12);
+  EXPECT_NEAR(omega(1.5, {2.0, 1.0, 0.0}, {1, 1, 1}), 0.875, 1e-12);
+}
+
+TEST(Omega, ThesisExample44) {
+  // r' = 1, c = <5,3,1,0>, k = <1,2,2,2> (Example 4.4); exact value 47/675,
+  // cross-checked by Monte Carlo during development.
+  EXPECT_NEAR(omega(1.0, {5.0, 3.0, 1.0, 0.0}, {1, 2, 2, 2}), 47.0 / 675.0, 1e-12);
+}
+
+TEST(Omega, CoefficientOrderDoesNotMatter) {
+  const double a = omega(1.3, {5.0, 3.0, 1.0, 0.0}, {1, 2, 2, 2});
+  const double b = omega(1.3, {0.0, 1.0, 3.0, 5.0}, {2, 2, 2, 1});
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(Omega, MonotoneInThreshold) {
+  const std::vector<double> c{6.0, 3.5, 1.0, 0.0};
+  const SpacingCounts k{2, 3, 1, 2};
+  double prev = 0.0;
+  for (double r = 0.0; r <= 6.5; r += 0.25) {
+    const double value = omega(r, c, k);
+    EXPECT_GE(value, prev - 1e-12) << "r=" << r;
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+    prev = value;
+  }
+}
+
+TEST(Omega, AgreesWithMonteCarlo) {
+  // Random-instance cross-check of the full recursion against simulation.
+  const std::vector<double> c{4.0, 2.5, 1.0, 0.0};
+  const SpacingCounts k{1, 2, 1, 2};  // 6 spacings from 5 points
+  const double r = 1.8;
+
+  std::mt19937_64 rng(12345);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const int points = 5;
+  long long hits = 0;
+  const long long trials = 400000;
+  for (long long trial = 0; trial < trials; ++trial) {
+    double u[points];
+    for (double& x : u) x = uniform(rng);
+    std::sort(u, u + points);
+    double y[points + 1];
+    y[0] = u[0];
+    for (int i = 1; i < points; ++i) y[i] = u[i] - u[i - 1];
+    y[points] = 1.0 - u[points - 1];
+    // coefficients laid out per counts: c0 x1, c1 x2, c2 x1, c3 x2
+    const double g = 4.0 * y[0] + 2.5 * (y[1] + y[2]) + 1.0 * y[3] + 0.0 * (y[4] + y[5]);
+    if (g <= r) ++hits;
+  }
+  const double estimate = static_cast<double>(hits) / static_cast<double>(trials);
+  EXPECT_NEAR(omega(r, c, k), estimate, 5e-3);
+}
+
+TEST(OmegaEvaluator, RejectsDuplicateCoefficients) {
+  EXPECT_THROW(OmegaEvaluator({1.0, 1.0}, 0.5), std::invalid_argument);
+}
+
+TEST(OmegaEvaluator, RejectsEmptyCoefficients) {
+  EXPECT_THROW(OmegaEvaluator({}, 0.5), std::invalid_argument);
+}
+
+TEST(OmegaEvaluator, RejectsCountSizeMismatch) {
+  OmegaEvaluator evaluator({1.0, 0.0}, 0.5);
+  EXPECT_THROW(evaluator.evaluate({1}), std::invalid_argument);
+}
+
+TEST(OmegaEvaluator, MemoizationGrowsOnlyOnNewSubproblems) {
+  OmegaEvaluator evaluator({3.0, 1.0, 0.0}, 1.5);
+  evaluator.evaluate({2, 2, 2});
+  const std::size_t after_first = evaluator.cache_size();
+  EXPECT_GT(after_first, 0u);
+  evaluator.evaluate({2, 2, 2});  // fully cached
+  EXPECT_EQ(evaluator.cache_size(), after_first);
+  evaluator.evaluate({3, 2, 2});  // superset: adds new lattice points
+  EXPECT_GT(evaluator.cache_size(), after_first);
+}
+
+TEST(Omega, DeepCountsStayInUnitInterval) {
+  // Numerical-stability spot check: only multiplications in [0,1] happen, so
+  // a 300-residence query remains a probability.
+  const double value = omega(0.7, {2.0, 1.0, 0.0}, {100, 100, 100});
+  EXPECT_GE(value, 0.0);
+  EXPECT_LE(value, 1.0);
+}
+
+}  // namespace
+}  // namespace csrlmrm::numeric

@@ -1,0 +1,96 @@
+// Pretty printer: output re-parses to a structurally identical formula.
+#include "logic/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.hpp"
+
+namespace csrlmrm::logic {
+namespace {
+
+/// Structural equality of formulas (recursive).
+bool structurally_equal(const FormulaPtr& a, const FormulaPtr& b) {
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return true;
+    case FormulaKind::kAtomic:
+      return static_cast<const AtomicFormula&>(*a).name ==
+             static_cast<const AtomicFormula&>(*b).name;
+    case FormulaKind::kNot:
+      return structurally_equal(static_cast<const NotFormula&>(*a).operand,
+                                static_cast<const NotFormula&>(*b).operand);
+    case FormulaKind::kOr: {
+      const auto& la = static_cast<const OrFormula&>(*a);
+      const auto& lb = static_cast<const OrFormula&>(*b);
+      return structurally_equal(la.lhs, lb.lhs) && structurally_equal(la.rhs, lb.rhs);
+    }
+    case FormulaKind::kAnd: {
+      const auto& la = static_cast<const AndFormula&>(*a);
+      const auto& lb = static_cast<const AndFormula&>(*b);
+      return structurally_equal(la.lhs, lb.lhs) && structurally_equal(la.rhs, lb.rhs);
+    }
+    case FormulaKind::kSteady: {
+      const auto& sa = static_cast<const SteadyFormula&>(*a);
+      const auto& sb = static_cast<const SteadyFormula&>(*b);
+      return sa.op == sb.op && sa.bound == sb.bound &&
+             structurally_equal(sa.operand, sb.operand);
+    }
+    case FormulaKind::kProbNext: {
+      const auto& na = static_cast<const ProbNextFormula&>(*a);
+      const auto& nb = static_cast<const ProbNextFormula&>(*b);
+      return na.op == nb.op && na.bound == nb.bound && na.time_bound == nb.time_bound &&
+             na.reward_bound == nb.reward_bound && structurally_equal(na.operand, nb.operand);
+    }
+    case FormulaKind::kProbUntil: {
+      const auto& ua = static_cast<const ProbUntilFormula&>(*a);
+      const auto& ub = static_cast<const ProbUntilFormula&>(*b);
+      return ua.op == ub.op && ua.bound == ub.bound && ua.time_bound == ub.time_bound &&
+             ua.reward_bound == ub.reward_bound && structurally_equal(ua.lhs, ub.lhs) &&
+             structurally_equal(ua.rhs, ub.rhs);
+    }
+  }
+  return false;
+}
+
+class PrinterRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrinterRoundTrip, ParsePrintParseIsIdentity) {
+  const FormulaPtr original = parse_formula(GetParam());
+  const std::string printed = to_string(original);
+  const FormulaPtr reparsed = parse_formula(printed);
+  EXPECT_TRUE(structurally_equal(original, reparsed))
+      << "input: " << GetParam() << "\nprinted: " << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formulas, PrinterRoundTrip,
+    ::testing::Values(
+        "TT", "FF", "busy", "!a", "a || b", "a && b", "!a && (b || c)",
+        "S(>0.5) busy", "S(<=0.1)(a || b)",
+        "P(>0.1)[a U b]", "P(>=0.3)[a U[0,3][0,23] b]",
+        "P(<0.5)[TT U[0,600][0,50] busy]", "P(>0.8)[X sleep]",
+        "P(>0.8)[X[0,10][0,50] sleep]",
+        "P(>0.1)[Sup U[0,500][0,3000] failed]",
+        "P(>0.8)[X (P(>0.5)[X[0,10][0,50] sleep])]",
+        "S(>0.3)(P(>0.1)[a U[0,1][0,2] b])",
+        "P(>0.1)[a U[0,~][0,5] b]",
+        "P(>0.1)[(busy || idle) U[0,10][0,50] sleep]"));
+
+TEST(Printer, AppendixFormulaPrintsRecognizably) {
+  const auto f = parse_formula("P(>= 0.3) [a U[0,3][0,23] b]");
+  EXPECT_EQ(to_string(f), "P(>= 0.3) [a U[0,3][0,23] b]");
+}
+
+TEST(Printer, TrivialBoundsAreOmitted) {
+  const auto f = parse_formula("P(<0.5)[a U b]");
+  EXPECT_EQ(to_string(f), "P(< 0.5) [a U b]");
+}
+
+TEST(Printer, RejectsNullFormula) {
+  EXPECT_THROW(to_string(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csrlmrm::logic

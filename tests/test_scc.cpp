@@ -1,0 +1,105 @@
+// Tarjan SCC / BSCC detection (Algorithm 4.2), including the thesis's
+// Example 3.5 graph.
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace csrlmrm::graph {
+namespace {
+
+linalg::CsrMatrix graph_from_edges(std::size_t n,
+                                   std::initializer_list<std::pair<int, int>> edges) {
+  linalg::CsrBuilder builder(n, n);
+  for (const auto& [from, to] : edges) {
+    builder.add(static_cast<std::size_t>(from), static_cast<std::size_t>(to), 1.0);
+  }
+  return builder.build();
+}
+
+TEST(Scc, SingleStateWithoutEdgesIsBottom) {
+  const auto scc = strongly_connected_components(graph_from_edges(1, {}));
+  EXPECT_EQ(scc.component_count, 1u);
+  EXPECT_TRUE(scc.is_bottom[0]);
+}
+
+TEST(Scc, SelfLoopDoesNotSplitComponent) {
+  const auto scc = strongly_connected_components(graph_from_edges(1, {{0, 0}}));
+  EXPECT_EQ(scc.component_count, 1u);
+  EXPECT_TRUE(scc.is_bottom[0]);
+}
+
+TEST(Scc, ChainYieldsSingletonComponents) {
+  const auto scc = strongly_connected_components(graph_from_edges(3, {{0, 1}, {1, 2}}));
+  EXPECT_EQ(scc.component_count, 3u);
+  // Only the final state is bottom.
+  EXPECT_FALSE(scc.is_bottom[scc.component_of[0]]);
+  EXPECT_FALSE(scc.is_bottom[scc.component_of[1]]);
+  EXPECT_TRUE(scc.is_bottom[scc.component_of[2]]);
+}
+
+TEST(Scc, CycleIsOneComponent) {
+  const auto scc = strongly_connected_components(graph_from_edges(3, {{0, 1}, {1, 2}, {2, 0}}));
+  EXPECT_EQ(scc.component_count, 1u);
+  EXPECT_TRUE(scc.is_bottom[0]);
+}
+
+TEST(Scc, ComponentIdsAreReverseTopological) {
+  // 0 -> 1 (two singleton components): the successor must have a smaller id.
+  const auto scc = strongly_connected_components(graph_from_edges(2, {{0, 1}}));
+  EXPECT_GT(scc.component_of[0], scc.component_of[1]);
+}
+
+TEST(Scc, RejectsNonSquareMatrix) {
+  linalg::CsrBuilder builder(2, 3);
+  EXPECT_THROW(strongly_connected_components(builder.build()), std::invalid_argument);
+}
+
+TEST(Bscc, ThesisExample35HasTwoBsccs) {
+  // Figure 3.2: s1..s5 (0-based 0..4); B1 = {s3,s4} = {2,3}, B2 = {s5} = {4}.
+  // Edges (rates irrelevant for the graph analysis): s1->s2, s2->s1, s2->s3,
+  // s1->s5, s3->s4, s4->s3.
+  const auto bsccs = bottom_sccs(
+      graph_from_edges(5, {{0, 1}, {1, 0}, {1, 2}, {0, 4}, {2, 3}, {3, 2}}));
+  ASSERT_EQ(bsccs.size(), 2u);
+  EXPECT_EQ(bsccs[0], (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(bsccs[1], (std::vector<std::size_t>{4}));
+}
+
+TEST(Bscc, NonBottomCycleIsExcluded) {
+  // Cycle {0,1} drains into absorbing 2.
+  const auto bsccs = bottom_sccs(graph_from_edges(3, {{0, 1}, {1, 0}, {1, 2}}));
+  ASSERT_EQ(bsccs.size(), 1u);
+  EXPECT_EQ(bsccs[0], (std::vector<std::size_t>{2}));
+}
+
+TEST(Bscc, DisconnectedGraphFindsAllBottoms) {
+  // Two separate cycles and one transient chain into the first.
+  const auto bsccs =
+      bottom_sccs(graph_from_edges(6, {{0, 1}, {1, 0}, {2, 3}, {3, 2}, {4, 5}, {5, 0}}));
+  ASSERT_EQ(bsccs.size(), 2u);
+  EXPECT_EQ(bsccs[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(bsccs[1], (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Bscc, LongChainDoesNotOverflowTheStack) {
+  // 20000-state chain exercises the iterative DFS.
+  const std::size_t n = 20000;
+  linalg::CsrBuilder builder(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) builder.add(i, i + 1, 1.0);
+  const auto bsccs = bottom_sccs(builder.build());
+  ASSERT_EQ(bsccs.size(), 1u);
+  EXPECT_EQ(bsccs[0], (std::vector<std::size_t>{n - 1}));
+}
+
+TEST(Bscc, EveryStateBelongsToExactlyOneComponent) {
+  const auto graph =
+      graph_from_edges(5, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 3}, {0, 3}});
+  const auto scc = strongly_connected_components(graph);
+  ASSERT_EQ(scc.component_of.size(), 5u);
+  for (const std::size_t c : scc.component_of) EXPECT_LT(c, scc.component_count);
+}
+
+}  // namespace
+}  // namespace csrlmrm::graph

@@ -1,0 +1,93 @@
+// The make_absorbing transformation (Definition 4.1), checked on the
+// WaveLAN model per Example 4.1 (M[busy]).
+#include "core/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/wavelan.hpp"
+
+namespace csrlmrm::core {
+namespace {
+
+TEST(MakeAbsorbing, BusyStatesLoseDynamicsAndRewards) {
+  const Mrm model = models::make_wavelan();
+  const std::vector<bool> busy = model.labels().states_with("busy");
+  const Mrm transformed = make_absorbing(model, busy);
+
+  // Example 4.1: receive and transmit become absorbing with zero rewards.
+  for (const StateIndex s : {models::kWavelanReceive, models::kWavelanTransmit}) {
+    EXPECT_TRUE(transformed.rates().is_absorbing(s));
+    EXPECT_DOUBLE_EQ(transformed.state_reward(s), 0.0);
+  }
+}
+
+TEST(MakeAbsorbing, NonAbsorbedStatesKeepEverything) {
+  const Mrm model = models::make_wavelan();
+  const Mrm transformed = make_absorbing(model, model.labels().states_with("busy"));
+  EXPECT_DOUBLE_EQ(transformed.rates().rate(models::kWavelanIdle, models::kWavelanReceive),
+                   model.rates().rate(models::kWavelanIdle, models::kWavelanReceive));
+  EXPECT_DOUBLE_EQ(transformed.state_reward(models::kWavelanIdle), 1319.0);
+  EXPECT_DOUBLE_EQ(transformed.rates().exit_rate(models::kWavelanIdle), 14.25);
+}
+
+TEST(MakeAbsorbing, ImpulsesIntoAbsorbedStatesSurvive) {
+  // The jump that first reaches the absorbing set still pays its impulse.
+  const Mrm model = models::make_wavelan();
+  const Mrm transformed = make_absorbing(model, model.labels().states_with("busy"));
+  EXPECT_NEAR(transformed.impulse_reward(models::kWavelanIdle, models::kWavelanReceive),
+              0.42545, 1e-12);
+}
+
+TEST(MakeAbsorbing, OutgoingImpulsesOfAbsorbedStatesVanish) {
+  const Mrm model = models::make_wavelan();
+  std::vector<bool> absorb(5, false);
+  absorb[models::kWavelanIdle] = true;
+  const Mrm transformed = make_absorbing(model, absorb);
+  EXPECT_DOUBLE_EQ(
+      transformed.impulse_reward(models::kWavelanIdle, models::kWavelanReceive), 0.0);
+  EXPECT_DOUBLE_EQ(transformed.rates().exit_rate(models::kWavelanIdle), 0.0);
+}
+
+TEST(MakeAbsorbing, LabelingIsUnchanged) {
+  const Mrm model = models::make_wavelan();
+  const Mrm transformed = make_absorbing(model, model.labels().states_with("busy"));
+  EXPECT_TRUE(transformed.labels().has(models::kWavelanReceive, "busy"));
+  EXPECT_TRUE(transformed.labels().has(models::kWavelanReceive, "receive"));
+}
+
+TEST(MakeAbsorbing, EmptyMaskIsIdentity) {
+  const Mrm model = models::make_wavelan();
+  const Mrm transformed = make_absorbing(model, std::vector<bool>(5, false));
+  for (StateIndex s = 0; s < 5; ++s) {
+    EXPECT_DOUBLE_EQ(transformed.state_reward(s), model.state_reward(s));
+    EXPECT_DOUBLE_EQ(transformed.rates().exit_rate(s), model.rates().exit_rate(s));
+  }
+}
+
+TEST(MakeAbsorbing, SequentialAbsorptionEqualsUnion) {
+  // M[Phi][Psi] = M[Phi v Psi] (remark after Definition 4.1).
+  const Mrm model = models::make_wavelan();
+  const auto busy = model.labels().states_with("busy");
+  const auto sleep = model.labels().states_with("sleep");
+  std::vector<bool> both(5, false);
+  for (StateIndex s = 0; s < 5; ++s) both[s] = busy[s] || sleep[s];
+
+  const Mrm sequential = make_absorbing(make_absorbing(model, busy), sleep);
+  const Mrm direct = make_absorbing(model, both);
+  for (StateIndex s = 0; s < 5; ++s) {
+    EXPECT_DOUBLE_EQ(sequential.state_reward(s), direct.state_reward(s));
+    EXPECT_DOUBLE_EQ(sequential.rates().exit_rate(s), direct.rates().exit_rate(s));
+    for (StateIndex s2 = 0; s2 < 5; ++s2) {
+      EXPECT_DOUBLE_EQ(sequential.rates().rate(s, s2), direct.rates().rate(s, s2));
+      EXPECT_DOUBLE_EQ(sequential.impulse_reward(s, s2), direct.impulse_reward(s, s2));
+    }
+  }
+}
+
+TEST(MakeAbsorbing, RejectsMaskSizeMismatch) {
+  const Mrm model = models::make_wavelan();
+  EXPECT_THROW(make_absorbing(model, std::vector<bool>(4, false)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csrlmrm::core

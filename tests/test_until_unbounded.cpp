@@ -1,0 +1,102 @@
+// Unbounded until (P0, eq. 3.8): graph precomputation + linear solve.
+#include <gtest/gtest.h>
+
+#include "checker/until.hpp"
+#include "models/wavelan.hpp"
+
+namespace csrlmrm::checker {
+namespace {
+
+std::vector<bool> mask(std::size_t n, std::initializer_list<int> members) {
+  std::vector<bool> m(n, false);
+  for (int i : members) m[static_cast<std::size_t>(i)] = true;
+  return m;
+}
+
+core::Mrm chain_mrm(std::initializer_list<std::tuple<int, int, double>> edges, std::size_t n) {
+  core::RateMatrixBuilder rates(n);
+  for (const auto& [from, to, rate] : edges) {
+    rates.add(static_cast<std::size_t>(from), static_cast<std::size_t>(to), rate);
+  }
+  return core::Mrm(core::Ctmc(rates.build(), core::Labeling(n)), std::vector<double>(n, 0.0));
+}
+
+TEST(UnboundedUntil, PsiStatesHaveProbabilityOne) {
+  const auto model = chain_mrm({{0, 1, 1.0}}, 2);
+  const auto p = unbounded_until_probabilities(model, mask(2, {0, 1}), mask(2, {1}));
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+}
+
+TEST(UnboundedUntil, RaceSplitsByRates) {
+  // 0 -> 1 (rate a) vs 0 -> 2 (rate b): P(0, tt U {1}) = a/(a+b).
+  const double a = 3.0;
+  const double b = 1.0;
+  const auto model = chain_mrm({{0, 1, a}, {0, 2, b}}, 3);
+  const auto p =
+      unbounded_until_probabilities(model, std::vector<bool>(3, true), mask(3, {1}));
+  EXPECT_NEAR(p[0], a / (a + b), 1e-10);
+  EXPECT_DOUBLE_EQ(p[2], 0.0);
+}
+
+TEST(UnboundedUntil, Example35ReachProbabilityIsFourSevenths) {
+  // The Diamond B1 computation inside Example 3.5.
+  core::RateMatrixBuilder rates(5);
+  rates.add(0, 1, 2.0);
+  rates.add(0, 4, 1.0);
+  rates.add(1, 0, 1.0);
+  rates.add(1, 2, 2.0);
+  rates.add(2, 3, 2.0);
+  rates.add(3, 2, 1.0);
+  const core::Mrm model(core::Ctmc(rates.build(), core::Labeling(5)),
+                        std::vector<double>(5, 0.0));
+  const auto p =
+      unbounded_until_probabilities(model, std::vector<bool>(5, true), mask(5, {2, 3}));
+  EXPECT_NEAR(p[0], 4.0 / 7.0, 1e-10);
+  EXPECT_NEAR(p[1], 6.0 / 7.0, 1e-10);
+  EXPECT_DOUBLE_EQ(p[4], 0.0);
+}
+
+TEST(UnboundedUntil, PhiConstraintBlocksDetours) {
+  // 0 -> 1 -> 2; Phi = {0}: the path to 2 must pass the !Phi state 1.
+  const auto model = chain_mrm({{0, 1, 1.0}, {1, 2, 1.0}}, 3);
+  const auto p = unbounded_until_probabilities(model, mask(3, {0}), mask(3, {2}));
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_DOUBLE_EQ(p[2], 1.0);
+}
+
+TEST(UnboundedUntil, LoopsEventuallyDecide) {
+  // 0 <-> 1, from 1 escape to 2 (psi) or 3 (dead). Closed form by first-step
+  // analysis: from 1 with rates back=1, win=2, lose=1 -> P(1) = 2/4 + 1/4 P(0),
+  // P(0) = P(1) -> P = 2/3.
+  const auto model = chain_mrm({{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 2.0}, {1, 3, 1.0}}, 4);
+  const auto p =
+      unbounded_until_probabilities(model, std::vector<bool>(4, true), mask(4, {2}));
+  EXPECT_NEAR(p[0], 2.0 / 3.0, 1e-10);
+  EXPECT_NEAR(p[1], 2.0 / 3.0, 1e-10);
+}
+
+TEST(UnboundedUntil, WavelanEventuallyBusyIsCertain) {
+  // The WaveLAN chain is irreducible, so busy is reached almost surely.
+  const core::Mrm model = models::make_wavelan();
+  const auto p = unbounded_until_probabilities(model, std::vector<bool>(5, true),
+                                               model.labels().states_with("busy"));
+  for (std::size_t s = 0; s < 5; ++s) EXPECT_NEAR(p[s], 1.0, 1e-9) << "state " << s;
+}
+
+TEST(UnboundedUntil, SelfLoopDoesNotTrapProbability) {
+  // CTMC self-loops are probabilistically irrelevant for reachability.
+  const auto model = chain_mrm({{0, 0, 10.0}, {0, 1, 1.0}, {0, 2, 1.0}}, 3);
+  const auto p =
+      unbounded_until_probabilities(model, std::vector<bool>(3, true), mask(3, {1}));
+  EXPECT_NEAR(p[0], 0.5, 1e-10);
+}
+
+TEST(UnboundedUntil, RejectsMaskSizeMismatch) {
+  const auto model = chain_mrm({{0, 1, 1.0}}, 2);
+  EXPECT_THROW(unbounded_until_probabilities(model, mask(3, {}), mask(2, {})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csrlmrm::checker

@@ -1,0 +1,70 @@
+#include "linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace csrlmrm::linalg {
+namespace {
+
+TEST(VectorOps, DotOfOrthogonalVectorsIsZero) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 0.0}, {0.0, 1.0}), 0.0);
+}
+
+TEST(VectorOps, DotComputesInnerProduct) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+}
+
+TEST(VectorOps, DotRejectsSizeMismatch) {
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, AxpyAccumulatesScaledVector) {
+  std::vector<double> y{1.0, 1.0};
+  axpy(2.0, {3.0, 4.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+}
+
+TEST(VectorOps, AxpyRejectsSizeMismatch) {
+  std::vector<double> y{1.0};
+  EXPECT_THROW(axpy(1.0, {1.0, 2.0}, y), std::invalid_argument);
+}
+
+TEST(VectorOps, LinfNormOfEmptyVectorIsZero) { EXPECT_DOUBLE_EQ(linf_norm({}), 0.0); }
+
+TEST(VectorOps, LinfNormUsesAbsoluteValues) {
+  EXPECT_DOUBLE_EQ(linf_norm({1.0, -5.0, 3.0}), 5.0);
+}
+
+TEST(VectorOps, LinfDistanceFindsLargestGap) {
+  EXPECT_DOUBLE_EQ(linf_distance({1.0, 2.0}, {1.5, 0.0}), 2.0);
+}
+
+TEST(VectorOps, SumAddsEntries) { EXPECT_DOUBLE_EQ(sum({0.25, 0.5, 0.125}), 0.875); }
+
+TEST(VectorOps, NormalizeProducesDistribution) {
+  std::vector<double> v{1.0, 3.0};
+  normalize_to_distribution(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+  EXPECT_TRUE(is_distribution(v));
+}
+
+TEST(VectorOps, NormalizeRejectsZeroVector) {
+  std::vector<double> v{0.0, 0.0};
+  EXPECT_THROW(normalize_to_distribution(v), std::domain_error);
+}
+
+TEST(VectorOps, IsDistributionRejectsNegativeEntries) {
+  EXPECT_FALSE(is_distribution({-0.5, 1.5}));
+}
+
+TEST(VectorOps, IsDistributionRejectsWrongSum) { EXPECT_FALSE(is_distribution({0.4, 0.4})); }
+
+TEST(VectorOps, IsDistributionAcceptsWithinTolerance) {
+  EXPECT_TRUE(is_distribution({0.5, 0.5 + 1e-12}));
+}
+
+}  // namespace
+}  // namespace csrlmrm::linalg
