@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lumping.dir/bench_lumping.cpp.o"
+  "CMakeFiles/bench_lumping.dir/bench_lumping.cpp.o.d"
+  "bench_lumping"
+  "bench_lumping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lumping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

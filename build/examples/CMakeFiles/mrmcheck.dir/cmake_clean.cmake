@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmcheck.dir/mrmcheck.cpp.o"
+  "CMakeFiles/mrmcheck.dir/mrmcheck.cpp.o.d"
+  "mrmcheck"
+  "mrmcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

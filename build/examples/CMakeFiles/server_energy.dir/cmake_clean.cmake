@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_energy.dir/server_energy.cpp.o"
+  "CMakeFiles/server_energy.dir/server_energy.cpp.o.d"
+  "server_energy"
+  "server_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

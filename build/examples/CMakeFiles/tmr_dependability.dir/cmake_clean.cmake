@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmr_dependability.dir/tmr_dependability.cpp.o"
+  "CMakeFiles/tmr_dependability.dir/tmr_dependability.cpp.o.d"
+  "tmr_dependability"
+  "tmr_dependability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmr_dependability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

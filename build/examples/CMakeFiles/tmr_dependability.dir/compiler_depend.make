@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tmr_dependability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavelan_energy.dir/wavelan_energy.cpp.o"
+  "CMakeFiles/wavelan_energy.dir/wavelan_energy.cpp.o.d"
+  "wavelan_energy"
+  "wavelan_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavelan_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

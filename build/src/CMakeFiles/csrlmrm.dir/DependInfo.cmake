@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/absorption.cpp" "src/CMakeFiles/csrlmrm.dir/checker/absorption.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/checker/absorption.cpp.o.d"
+  "/root/repo/src/checker/next.cpp" "src/CMakeFiles/csrlmrm.dir/checker/next.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/checker/next.cpp.o.d"
+  "/root/repo/src/checker/options.cpp" "src/CMakeFiles/csrlmrm.dir/checker/options.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/checker/options.cpp.o.d"
+  "/root/repo/src/checker/performability.cpp" "src/CMakeFiles/csrlmrm.dir/checker/performability.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/checker/performability.cpp.o.d"
+  "/root/repo/src/checker/sat.cpp" "src/CMakeFiles/csrlmrm.dir/checker/sat.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/checker/sat.cpp.o.d"
+  "/root/repo/src/checker/steady.cpp" "src/CMakeFiles/csrlmrm.dir/checker/steady.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/checker/steady.cpp.o.d"
+  "/root/repo/src/checker/until.cpp" "src/CMakeFiles/csrlmrm.dir/checker/until.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/checker/until.cpp.o.d"
+  "/root/repo/src/core/ctmc.cpp" "src/CMakeFiles/csrlmrm.dir/core/ctmc.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/core/ctmc.cpp.o.d"
+  "/root/repo/src/core/labels.cpp" "src/CMakeFiles/csrlmrm.dir/core/labels.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/core/labels.cpp.o.d"
+  "/root/repo/src/core/lumping.cpp" "src/CMakeFiles/csrlmrm.dir/core/lumping.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/core/lumping.cpp.o.d"
+  "/root/repo/src/core/mrm.cpp" "src/CMakeFiles/csrlmrm.dir/core/mrm.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/core/mrm.cpp.o.d"
+  "/root/repo/src/core/path.cpp" "src/CMakeFiles/csrlmrm.dir/core/path.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/core/path.cpp.o.d"
+  "/root/repo/src/core/rate_matrix.cpp" "src/CMakeFiles/csrlmrm.dir/core/rate_matrix.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/core/rate_matrix.cpp.o.d"
+  "/root/repo/src/core/transform.cpp" "src/CMakeFiles/csrlmrm.dir/core/transform.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/core/transform.cpp.o.d"
+  "/root/repo/src/core/uniformized.cpp" "src/CMakeFiles/csrlmrm.dir/core/uniformized.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/core/uniformized.cpp.o.d"
+  "/root/repo/src/graph/reachability.cpp" "src/CMakeFiles/csrlmrm.dir/graph/reachability.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/graph/reachability.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/CMakeFiles/csrlmrm.dir/graph/scc.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/graph/scc.cpp.o.d"
+  "/root/repo/src/io/model_files.cpp" "src/CMakeFiles/csrlmrm.dir/io/model_files.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/io/model_files.cpp.o.d"
+  "/root/repo/src/lang/builder.cpp" "src/CMakeFiles/csrlmrm.dir/lang/builder.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/lang/builder.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/csrlmrm.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/spec.cpp" "src/CMakeFiles/csrlmrm.dir/lang/spec.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/lang/spec.cpp.o.d"
+  "/root/repo/src/linalg/csr_matrix.cpp" "src/CMakeFiles/csrlmrm.dir/linalg/csr_matrix.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/linalg/csr_matrix.cpp.o.d"
+  "/root/repo/src/linalg/dense_solve.cpp" "src/CMakeFiles/csrlmrm.dir/linalg/dense_solve.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/linalg/dense_solve.cpp.o.d"
+  "/root/repo/src/linalg/gauss_seidel.cpp" "src/CMakeFiles/csrlmrm.dir/linalg/gauss_seidel.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/linalg/gauss_seidel.cpp.o.d"
+  "/root/repo/src/linalg/jacobi.cpp" "src/CMakeFiles/csrlmrm.dir/linalg/jacobi.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/linalg/jacobi.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/CMakeFiles/csrlmrm.dir/linalg/vector_ops.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/linalg/vector_ops.cpp.o.d"
+  "/root/repo/src/logic/ast.cpp" "src/CMakeFiles/csrlmrm.dir/logic/ast.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/logic/ast.cpp.o.d"
+  "/root/repo/src/logic/interval.cpp" "src/CMakeFiles/csrlmrm.dir/logic/interval.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/logic/interval.cpp.o.d"
+  "/root/repo/src/logic/lexer.cpp" "src/CMakeFiles/csrlmrm.dir/logic/lexer.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/logic/lexer.cpp.o.d"
+  "/root/repo/src/logic/parser.cpp" "src/CMakeFiles/csrlmrm.dir/logic/parser.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/logic/parser.cpp.o.d"
+  "/root/repo/src/logic/printer.cpp" "src/CMakeFiles/csrlmrm.dir/logic/printer.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/logic/printer.cpp.o.d"
+  "/root/repo/src/models/cellphone.cpp" "src/CMakeFiles/csrlmrm.dir/models/cellphone.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/models/cellphone.cpp.o.d"
+  "/root/repo/src/models/explicit_nmr.cpp" "src/CMakeFiles/csrlmrm.dir/models/explicit_nmr.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/models/explicit_nmr.cpp.o.d"
+  "/root/repo/src/models/mm1k.cpp" "src/CMakeFiles/csrlmrm.dir/models/mm1k.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/models/mm1k.cpp.o.d"
+  "/root/repo/src/models/random_formula.cpp" "src/CMakeFiles/csrlmrm.dir/models/random_formula.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/models/random_formula.cpp.o.d"
+  "/root/repo/src/models/random_mrm.cpp" "src/CMakeFiles/csrlmrm.dir/models/random_mrm.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/models/random_mrm.cpp.o.d"
+  "/root/repo/src/models/tmr.cpp" "src/CMakeFiles/csrlmrm.dir/models/tmr.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/models/tmr.cpp.o.d"
+  "/root/repo/src/models/wavelan.cpp" "src/CMakeFiles/csrlmrm.dir/models/wavelan.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/models/wavelan.cpp.o.d"
+  "/root/repo/src/numeric/conditional.cpp" "src/CMakeFiles/csrlmrm.dir/numeric/conditional.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/numeric/conditional.cpp.o.d"
+  "/root/repo/src/numeric/discretization.cpp" "src/CMakeFiles/csrlmrm.dir/numeric/discretization.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/numeric/discretization.cpp.o.d"
+  "/root/repo/src/numeric/fox_glynn.cpp" "src/CMakeFiles/csrlmrm.dir/numeric/fox_glynn.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/numeric/fox_glynn.cpp.o.d"
+  "/root/repo/src/numeric/omega.cpp" "src/CMakeFiles/csrlmrm.dir/numeric/omega.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/numeric/omega.cpp.o.d"
+  "/root/repo/src/numeric/path_explorer.cpp" "src/CMakeFiles/csrlmrm.dir/numeric/path_explorer.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/numeric/path_explorer.cpp.o.d"
+  "/root/repo/src/numeric/poisson.cpp" "src/CMakeFiles/csrlmrm.dir/numeric/poisson.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/numeric/poisson.cpp.o.d"
+  "/root/repo/src/numeric/transient.cpp" "src/CMakeFiles/csrlmrm.dir/numeric/transient.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/numeric/transient.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/csrlmrm.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/csrlmrm.dir/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

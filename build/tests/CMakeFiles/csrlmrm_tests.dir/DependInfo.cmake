@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_absorption.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_absorption.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_absorption.cpp.o.d"
+  "/root/repo/tests/test_checker.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_checker.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_checker.cpp.o.d"
+  "/root/repo/tests/test_conditional.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_conditional.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_conditional.cpp.o.d"
+  "/root/repo/tests/test_csr_matrix.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_csr_matrix.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_csr_matrix.cpp.o.d"
+  "/root/repo/tests/test_depth_truncation.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_depth_truncation.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_depth_truncation.cpp.o.d"
+  "/root/repo/tests/test_discretization.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_discretization.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_discretization.cpp.o.d"
+  "/root/repo/tests/test_explicit_nmr.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_explicit_nmr.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_explicit_nmr.cpp.o.d"
+  "/root/repo/tests/test_fox_glynn.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_fox_glynn.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_fox_glynn.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interval.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_interval.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_interval.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_labels.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_labels.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_labels.cpp.o.d"
+  "/root/repo/tests/test_lang_builder.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_lang_builder.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_lang_builder.cpp.o.d"
+  "/root/repo/tests/test_lang_parser.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_lang_parser.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_lang_parser.cpp.o.d"
+  "/root/repo/tests/test_lumping.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_lumping.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_lumping.cpp.o.d"
+  "/root/repo/tests/test_mm1k.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_mm1k.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_mm1k.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_mrm.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_mrm.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_mrm.cpp.o.d"
+  "/root/repo/tests/test_next.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_next.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_next.cpp.o.d"
+  "/root/repo/tests/test_occupation_times.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_occupation_times.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_occupation_times.cpp.o.d"
+  "/root/repo/tests/test_omega.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_omega.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_omega.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_path.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_path.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_path.cpp.o.d"
+  "/root/repo/tests/test_performability.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_performability.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_performability.cpp.o.d"
+  "/root/repo/tests/test_poisson.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_poisson.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_poisson.cpp.o.d"
+  "/root/repo/tests/test_printer.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_printer.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_printer.cpp.o.d"
+  "/root/repo/tests/test_property_cross_validation.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_property_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_property_cross_validation.cpp.o.d"
+  "/root/repo/tests/test_property_invariants.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_property_invariants.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_property_invariants.cpp.o.d"
+  "/root/repo/tests/test_random_formulas.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_random_formulas.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_random_formulas.cpp.o.d"
+  "/root/repo/tests/test_rate_matrix.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_rate_matrix.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_rate_matrix.cpp.o.d"
+  "/root/repo/tests/test_reachability.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_reachability.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_reachability.cpp.o.d"
+  "/root/repo/tests/test_reward_operator.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_reward_operator.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_reward_operator.cpp.o.d"
+  "/root/repo/tests/test_scc.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_scc.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_scc.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_solvers.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_solvers.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_solvers.cpp.o.d"
+  "/root/repo/tests/test_steady.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_steady.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_steady.cpp.o.d"
+  "/root/repo/tests/test_transform.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_transform.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_transform.cpp.o.d"
+  "/root/repo/tests/test_transient.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_transient.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_transient.cpp.o.d"
+  "/root/repo/tests/test_uniformized.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_uniformized.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_uniformized.cpp.o.d"
+  "/root/repo/tests/test_until_interval.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_until_interval.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_until_interval.cpp.o.d"
+  "/root/repo/tests/test_until_reward_bounded.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_until_reward_bounded.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_until_reward_bounded.cpp.o.d"
+  "/root/repo/tests/test_until_time_bounded.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_until_time_bounded.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_until_time_bounded.cpp.o.d"
+  "/root/repo/tests/test_until_unbounded.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_until_unbounded.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_until_unbounded.cpp.o.d"
+  "/root/repo/tests/test_vector_ops.cpp" "tests/CMakeFiles/csrlmrm_tests.dir/test_vector_ops.cpp.o" "gcc" "tests/CMakeFiles/csrlmrm_tests.dir/test_vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csrlmrm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
