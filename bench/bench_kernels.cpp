@@ -1,18 +1,23 @@
 // google-benchmark microbenchmarks for the numerical kernels: Omega
 // recursion, Poisson masses, Gauss-Seidel sweeps, BSCC detection, the DFPG
-// path explorer, and one discretization step-sweep.
+// path explorer, one discretization step-sweep, and serial-vs-parallel
+// scaling cases for the thread-pool layer (Arg = thread count; run
+// `bench_parallel` for the JSON scaling record).
 #include <benchmark/benchmark.h>
 
 #include "checker/steady.hpp"
+#include "checker/until.hpp"
 #include "core/transform.hpp"
 #include "graph/scc.hpp"
 #include "linalg/gauss_seidel.hpp"
+#include "models/mm1k.hpp"
 #include "models/random_mrm.hpp"
 #include "models/tmr.hpp"
 #include "numeric/discretization.hpp"
 #include "numeric/omega.hpp"
 #include "numeric/path_explorer.hpp"
 #include "numeric/poisson.hpp"
+#include "numeric/transient.hpp"
 
 namespace {
 
@@ -114,6 +119,53 @@ void BM_DiscretizationTmrUntil(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DiscretizationTmrUntil)->Arg(50)->Arg(100)->Arg(200);
+
+// --- Serial-vs-parallel scaling (Arg = worker threads) ---------------------
+
+void BM_DiscretizationMm1kSweepThreads(benchmark::State& state) {
+  models::Mm1kConfig config;
+  config.capacity = 64;
+  const core::Mrm model = models::make_mm1k(config);
+  const auto full = model.labels().states_with("full");
+  numeric::DiscretizationOptions options;
+  options.step = 0.25;  // d * max exit rate = 0.45; divides the wakeup impulse
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        numeric::until_probability_discretization(model, full, 0, 50.0, 200.0, options));
+  }
+}
+BENCHMARK(BM_DiscretizationMm1kSweepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_TransientMm1kThreads(benchmark::State& state) {
+  models::Mm1kConfig config;
+  config.capacity = 4096;  // large state space: row-parallel SpMV territory
+  const core::Mrm model = models::make_mm1k(config);
+  numeric::TransientOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        numeric::transient_distribution_from(model.rates(), 0, 100.0, options));
+  }
+}
+BENCHMARK(BM_TransientMm1kThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_UntilFanoutMm1kThreads(benchmark::State& state) {
+  models::Mm1kConfig config;
+  config.capacity = 16;
+  const core::Mrm model = models::make_mm1k(config);
+  const auto busy = model.labels().states_with("busy");
+  const auto full = model.labels().states_with("full");
+  checker::CheckerOptions options;
+  options.until_method = checker::UntilMethod::kDiscretization;
+  options.discretization.step = 0.25;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker::until_probabilities(
+        model, busy, full, logic::Interval(0.0, 20.0), logic::Interval(0.0, 60.0), options));
+  }
+}
+BENCHMARK(BM_UntilFanoutMm1kThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_SteadyStateNmr(benchmark::State& state) {
   models::TmrConfig config;

@@ -1,8 +1,8 @@
 // mrmcheck — the command-line model checker of the thesis appendix:
 //
 //   mrmcheck <model.tra> <model.lab> <model.rewr> [model.rewi]
-//            [u=<w> | d=<step>] [NP] "<CSRL formula>"
-//   mrmcheck <model.spec> [u=<w> | d=<step>] [NP] "<CSRL formula>"
+//            [u=<w> | d=<step>] [--threads N] [NP] "<CSRL formula>"
+//   mrmcheck <model.spec> [u=<w> | d=<step>] [--threads N] [NP] "<CSRL formula>"
 //
 // Reads an MRM from the four file formats (or builds it from a
 // guarded-command .spec file, see src/lang/spec.hpp), checks the formula,
@@ -20,6 +20,7 @@
 #include "lang/builder.hpp"
 #include "logic/parser.hpp"
 #include "logic/printer.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace {
 
@@ -32,6 +33,9 @@ void usage() {
                "  u=<w>     until formulas by uniformization, truncation probability w\n"
                "            (default: u=1e-8)\n"
                "  d=<step>  until formulas by discretization with the given step\n"
+               "  --threads N  worker threads for the numeric engines and the\n"
+               "            per-state fan-out (default: CSRLMRM_THREADS env var,\n"
+               "            else hardware concurrency; 1 = serial)\n"
                "  NP        do not print per-state probabilities\n"
                "\n"
                "formula syntax (appendix of the thesis, plus the R extension):\n"
@@ -43,6 +47,22 @@ void usage() {
 bool ends_with(const std::string& text, const char* suffix) {
   const std::string s(suffix);
   return text.size() >= s.size() && text.compare(text.size() - s.size(), s.size(), s) == 0;
+}
+
+/// Parses the --threads value; returns 0 (and prints a diagnostic) when it
+/// is not a positive integer, so a typo fails with a named error instead of
+/// a bare std::stoi exception message.
+unsigned parse_thread_count(const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const int threads = std::stoi(text, &consumed);
+    if (consumed != text.size() || threads < 1) throw std::invalid_argument(text);
+    return static_cast<unsigned>(threads);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mrmcheck: --threads expects a positive integer, got '%s'\n",
+                 text.c_str());
+    return 0;
+  }
 }
 
 csrlmrm::core::Mrm load_spec_model(const std::string& path) {
@@ -95,6 +115,20 @@ int main(int argc, char** argv) {
       } else if (token.rfind("d=", 0) == 0) {
         options.until_method = checker::UntilMethod::kDiscretization;
         options.discretization.step = std::stod(token.substr(2));
+      } else if (token == "--threads" || token.rfind("--threads=", 0) == 0) {
+        std::string value;
+        if (token == "--threads") {
+          if (arg + 1 >= argc) {
+            usage();
+            return 2;
+          }
+          value = argv[++arg];
+        } else {
+          value = token.substr(10);
+        }
+        options.threads = parse_thread_count(value);
+        if (options.threads == 0) return 2;
+        parallel::set_default_thread_count(options.threads);
       } else if (token == "NP") {
         print_probabilities = false;
       } else {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace csrlmrm::checker {
 
 std::optional<logic::Interval> next_time_window(const core::Mrm& model, core::StateIndex from,
@@ -32,28 +34,33 @@ std::optional<logic::Interval> next_time_window(const core::Mrm& model, core::St
 
 std::vector<double> next_probabilities(const core::Mrm& model, const std::vector<bool>& sat_phi,
                                        const logic::Interval& time_bound,
-                                       const logic::Interval& reward_bound) {
+                                       const logic::Interval& reward_bound, unsigned threads) {
   const std::size_t n = model.num_states();
   if (sat_phi.size() != n) {
     throw std::invalid_argument("next_probabilities: mask size mismatch");
   }
 
   std::vector<double> result(n, 0.0);
-  for (core::StateIndex s = 0; s < n; ++s) {
-    const double exit = model.rates().exit_rate(s);
-    if (exit == 0.0) continue;  // absorbing: no next state ever
-    double probability = 0.0;
-    for (const auto& e : model.rates().transitions(s)) {
-      if (!sat_phi[e.col]) continue;
-      const auto window = next_time_window(model, s, e.col, time_bound, reward_bound);
-      if (!window) continue;
-      const double survive_to_lower = std::exp(-exit * window->lower());
-      const double survive_to_upper =
-          window->is_upper_unbounded() ? 0.0 : std::exp(-exit * window->upper());
-      probability += (e.value / exit) * (survive_to_lower - survive_to_upper);
+  // ~3 exp/div per outgoing transition; only sizeable models leave serial.
+  const unsigned effective = parallel::choose_thread_count(
+      threads, model.rates().matrix().non_zeros() * 64);
+  parallel::parallel_for(n, effective, [&](std::size_t begin, std::size_t end) {
+    for (core::StateIndex s = begin; s < end; ++s) {
+      const double exit = model.rates().exit_rate(s);
+      if (exit == 0.0) continue;  // absorbing: no next state ever
+      double probability = 0.0;
+      for (const auto& e : model.rates().transitions(s)) {
+        if (!sat_phi[e.col]) continue;
+        const auto window = next_time_window(model, s, e.col, time_bound, reward_bound);
+        if (!window) continue;
+        const double survive_to_lower = std::exp(-exit * window->lower());
+        const double survive_to_upper =
+            window->is_upper_unbounded() ? 0.0 : std::exp(-exit * window->upper());
+        probability += (e.value / exit) * (survive_to_lower - survive_to_upper);
+      }
+      result[s] = probability;
     }
-    result[s] = probability;
-  }
+  });
   return result;
 }
 

@@ -23,8 +23,12 @@ std::optional<logic::Interval> next_time_window(const core::Mrm& model, core::St
 
 /// P(s, X_J^I Phi) for every state s. `sat_phi` must have one entry per
 /// state. Absorbing states yield probability 0 (no next transition exists).
+/// Each state's probability is independent of the others, so the states fan
+/// out over the thread pool (`threads`; 0 = the process default, and small
+/// models stay serial).
 std::vector<double> next_probabilities(const core::Mrm& model, const std::vector<bool>& sat_phi,
                                        const logic::Interval& time_bound,
-                                       const logic::Interval& reward_bound);
+                                       const logic::Interval& reward_bound,
+                                       unsigned threads = 0);
 
 }  // namespace csrlmrm::checker

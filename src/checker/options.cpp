@@ -1,4 +1,13 @@
 #include "checker/options.hpp"
 
-// Currently header-only; this translation unit anchors the vtable-free types
-// and keeps the build layout uniform (one .cpp per public header).
+namespace csrlmrm::checker {
+
+CheckerOptions with_inherited_threads(CheckerOptions options) {
+  if (options.threads > 0) {
+    if (options.discretization.threads == 0) options.discretization.threads = options.threads;
+    if (options.transient.threads == 0) options.transient.threads = options.threads;
+  }
+  return options;
+}
+
+}  // namespace csrlmrm::checker

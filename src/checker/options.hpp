@@ -33,7 +33,17 @@ struct CheckerOptions {
   linalg::IterativeOptions solver;
   /// Transient-analysis controls (time-bounded until without reward bound).
   numeric::TransientOptions transient;
+  /// Worker threads for per-state fan-out (Until/Next/R-operator evaluation
+  /// over all start states) and, through the engine options above, for the
+  /// numeric kernels; 0 = the process default (CSRLMRM_THREADS or hardware
+  /// concurrency). Engine-level `threads` fields that are 0 inherit this
+  /// value, so setting it once configures the whole checker.
+  unsigned threads = 0;
 };
+
+/// The engine options with an unset (0) `threads` field inheriting the
+/// checker-level count; returns `options` with the inheritance applied.
+CheckerOptions with_inherited_threads(CheckerOptions options);
 
 /// Raised when a formula uses bounds outside the algorithms' scope (the
 /// thesis supports time/reward intervals of the forms [0,b], [b,b] with

@@ -4,6 +4,7 @@
 
 #include "checker/absorption.hpp"
 #include "checker/performability.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace csrlmrm::checker {
 
@@ -28,7 +29,8 @@ std::vector<UntilValue> ModelChecker::path_probabilities(const logic::FormulaPtr
     case logic::FormulaKind::kProbNext: {
       const auto& node = static_cast<const logic::ProbNextFormula&>(*formula);
       const auto probabilities = next_probabilities(*model_, evaluate(node.operand),
-                                                    node.time_bound, node.reward_bound);
+                                                    node.time_bound, node.reward_bound,
+                                                    options_.threads);
       std::vector<UntilValue> values(probabilities.size());
       for (std::size_t s = 0; s < probabilities.size(); ++s) values[s] = {probabilities[s], 0.0};
       return values;
@@ -68,11 +70,16 @@ std::vector<double> ModelChecker::expected_rewards(const logic::FormulaPtr& form
   const std::size_t n = model_->num_states();
   switch (node.query) {
     case logic::RewardQuery::kCumulative: {
+      // One occupation-time series per start state, all independent: fan
+      // out over the pool (inner series run serial when nested).
       std::vector<double> values(n, 0.0);
-      for (core::StateIndex s = 0; s < n; ++s) {
-        values[s] = expected_accumulated_reward(*model_, s, node.time_horizon,
-                                                options_.transient);
-      }
+      const unsigned threads = parallel::resolve_thread_count(options_.threads);
+      parallel::parallel_for(n, threads, [&](std::size_t begin, std::size_t end) {
+        for (core::StateIndex s = begin; s < end; ++s) {
+          values[s] = expected_accumulated_reward(*model_, s, node.time_horizon,
+                                                  options_.transient);
+        }
+      });
       return values;
     }
     case logic::RewardQuery::kReachability:

@@ -9,6 +9,7 @@
 #include "numeric/discretization.hpp"
 #include "numeric/path_explorer.hpp"
 #include "numeric/transient.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace csrlmrm::checker {
 
@@ -92,26 +93,37 @@ std::vector<UntilValue> bounded_time_reward(const core::Mrm& transformed,
                                             const CheckerOptions& options, bool psi_absorbed) {
   const std::size_t n = transformed.num_states();
   std::vector<UntilValue> values(n);
+  // Every start state is an independent engine query on the one shared
+  // transformed MRM (and, for uniformization, the one shared engine — its
+  // compute() is const and touches only per-call state), so the start states
+  // fan out over the thread pool. When the fan-out runs parallel, nested
+  // engine-level regions stay inline; when it runs serial (threads == 1),
+  // the engines are free to use their own thread options.
+  const unsigned threads = parallel::resolve_thread_count(options.threads);
   if (options.until_method == UntilMethod::kUniformization) {
-    numeric::UniformizationUntilEngine engine(transformed, sat_psi, dead);
-    for (core::StateIndex s = 0; s < n; ++s) {
-      if (psi_absorbed && sat_psi[s]) {
-        values[s] = {1.0, 0.0};
-        continue;
+    const numeric::UniformizationUntilEngine engine(transformed, sat_psi, dead);
+    parallel::parallel_for(n, threads, [&](std::size_t begin, std::size_t end) {
+      for (core::StateIndex s = begin; s < end; ++s) {
+        if (psi_absorbed && sat_psi[s]) {
+          values[s] = {1.0, 0.0};
+          continue;
+        }
+        const auto result = engine.compute(s, t, r, options.uniformization);
+        values[s] = {result.probability, result.error_bound};
       }
-      const auto result = engine.compute(s, t, r, options.uniformization);
-      values[s] = {result.probability, result.error_bound};
-    }
+    });
   } else {
-    for (core::StateIndex s = 0; s < n; ++s) {
-      if (psi_absorbed && sat_psi[s]) {
-        values[s] = {1.0, 0.0};
-        continue;
+    parallel::parallel_for(n, threads, [&](std::size_t begin, std::size_t end) {
+      for (core::StateIndex s = begin; s < end; ++s) {
+        if (psi_absorbed && sat_psi[s]) {
+          values[s] = {1.0, 0.0};
+          continue;
+        }
+        const auto result = numeric::until_probability_discretization(
+            transformed, sat_psi, s, t, r, options.discretization);
+        values[s] = {result.probability, 0.0};
       }
-      const auto result = numeric::until_probability_discretization(transformed, sat_psi, s, t,
-                                                                    r, options.discretization);
-      values[s] = {result.probability, 0.0};
-    }
+    });
   }
   return values;
 }
@@ -123,9 +135,11 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
                                             const std::vector<bool>& sat_psi,
                                             const logic::Interval& time_bound,
                                             const logic::Interval& reward_bound,
-                                            const CheckerOptions& options) {
+                                            const CheckerOptions& caller_options) {
   require_masks(model, sat_phi, sat_psi);
   const std::size_t n = model.num_states();
+  // Engine-level thread counts left at 0 inherit the checker-level knob.
+  const CheckerOptions options = with_inherited_threads(caller_options);
 
   const bool time_trivial = time_bound.is_trivial();
   const bool reward_trivial = reward_bound.is_trivial();
@@ -166,11 +180,19 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
                                               logic::Interval(0.0, t2 - t1),
                                               logic::Interval{}, options);
 
-    std::vector<UntilValue> values(n);
+    // Phase-one distributions for every Phi-state at once: the uniformized
+    // matrix and Fox-Glynn window are built once, the start states fan out
+    // over the thread pool.
+    std::vector<core::StateIndex> phi_states;
     for (core::StateIndex s = 0; s < n; ++s) {
-      if (!sat_phi[s]) continue;  // fails Phi at time 0 < t1: probability 0
-      const auto at_t1 =
-          numeric::transient_distribution_from(phase_one.rates(), s, t1, options.transient);
+      if (sat_phi[s]) phi_states.push_back(s);
+    }
+    const auto at_t1_rows = numeric::transient_distributions_from_states(
+        phase_one.rates(), phi_states, t1, options.transient);
+
+    std::vector<UntilValue> values(n);
+    for (std::size_t i = 0; i < phi_states.size(); ++i) {
+      const auto& at_t1 = at_t1_rows[i];
       double probability = 0.0;
       double error = options.transient.epsilon;
       for (core::StateIndex mid = 0; mid < n; ++mid) {
@@ -178,7 +200,7 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
         probability += at_t1[mid] * residual[mid].probability;
         error += at_t1[mid] * residual[mid].error_bound;
       }
-      values[s] = {probability, error};
+      values[phi_states[i]] = {probability, error};
     }
     return values;
   }
@@ -200,18 +222,22 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
     for (core::StateIndex s = 0; s < n; ++s) absorb[s] = !sat_phi[s] || sat_psi[s];
     const core::Mrm transformed = core::make_absorbing(model, absorb);
     std::vector<UntilValue> values(n);
+    std::vector<core::StateIndex> starts;
     for (core::StateIndex s = 0; s < n; ++s) {
       if (sat_psi[s]) {
         values[s] = {1.0, 0.0};  // absorbed Psi start: case 1 of eq. (3.6)
-        continue;
+      } else {
+        starts.push_back(s);
       }
-      const auto distribution = numeric::transient_distribution_from(
-          transformed.rates(), s, time_bound.upper(), options.transient);
+    }
+    const auto distributions = numeric::transient_distributions_from_states(
+        transformed.rates(), starts, time_bound.upper(), options.transient);
+    for (std::size_t i = 0; i < starts.size(); ++i) {
       double p = 0.0;
       for (core::StateIndex s2 = 0; s2 < n; ++s2) {
-        if (sat_psi[s2]) p += distribution[s2];
+        if (sat_psi[s2]) p += distributions[i][s2];
       }
-      values[s] = {p, options.transient.epsilon};
+      values[starts[i]] = {p, options.transient.epsilon};
     }
     return values;
   }

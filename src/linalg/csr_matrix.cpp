@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "parallel/thread_pool.hpp"
+
 namespace csrlmrm::linalg {
 
 CsrBuilder::CsrBuilder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
@@ -100,6 +102,35 @@ std::vector<double> CsrMatrix::left_multiply(const std::vector<double>& x) const
     for (const Entry& e : row(r)) y[e.col] += xr * e.value;
   }
   return y;
+}
+
+void CsrMatrix::multiply_into(const std::vector<double>& x, std::vector<double>& y,
+                              unsigned threads) const {
+  if (x.size() != cols_) throw std::invalid_argument("CsrMatrix::multiply_into: size mismatch");
+  if (y.size() != rows_) throw std::invalid_argument("CsrMatrix::multiply_into: output size mismatch");
+  if (&x == &y) throw std::invalid_argument("CsrMatrix::multiply_into: x and y must not alias");
+  const unsigned effective = parallel::choose_thread_count(threads, non_zeros());
+  parallel::parallel_for(rows_, effective, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const Entry* entry = entries_.data() + row_ptr_[r];
+      const Entry* stop = entries_.data() + row_ptr_[r + 1];
+      double acc = 0.0;
+      for (; entry != stop; ++entry) acc += entry->value * x[entry->col];
+      y[r] = acc;
+    }
+  });
+}
+
+void CsrMatrix::left_multiply_into(const std::vector<double>& x, std::vector<double>& y) const {
+  if (x.size() != rows_) throw std::invalid_argument("CsrMatrix::left_multiply_into: size mismatch");
+  if (y.size() != cols_) throw std::invalid_argument("CsrMatrix::left_multiply_into: output size mismatch");
+  if (&x == &y) throw std::invalid_argument("CsrMatrix::left_multiply_into: x and y must not alias");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (const Entry& e : row(r)) y[e.col] += xr * e.value;
+  }
 }
 
 double CsrMatrix::row_sum(std::size_t r) const {

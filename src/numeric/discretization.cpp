@@ -1,8 +1,11 @@
 #include "numeric/discretization.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
+
+#include "parallel/thread_pool.hpp"
 
 namespace csrlmrm::numeric {
 
@@ -10,6 +13,12 @@ namespace {
 
 bool is_integral(double v, double scale = 1.0) {
   return std::abs(v - std::round(v)) <= 1e-9 * std::max(1.0, std::abs(scale));
+}
+
+/// dst[k] += a * src[k] over a contiguous range — the level-sweep kernel in
+/// a form the auto-vectorizer handles (no per-iteration index shifting).
+void shifted_axpy(double* dst, const double* src, std::size_t count, double a) {
+  for (std::size_t k = 0; k < count; ++k) dst[k] += a * src[k];
 }
 
 }  // namespace
@@ -82,9 +91,12 @@ UntilDiscretizationResult until_probability_discretization(
 
   const std::size_t levels =
       static_cast<std::size_t>(std::floor(r * fscale / d + 1e-9)) + 1;  // levels 0..R
+  const std::size_t non_zeros = transformed.rates().matrix().non_zeros();
 
   // Incoming adjacency per target state: (source, R(source,target)*d,
-  // level shift = rho(source) + iota(source,target)/d).
+  // level shift = rho(source) + iota(source,target)/d). Arcs whose shift
+  // falls beyond the level cap can never deposit mass inside the grid, so
+  // they are dropped here instead of being re-tested every time step.
   struct Incoming {
     core::StateIndex source;
     double probability;     // R(s',s) * d
@@ -100,9 +112,10 @@ UntilDiscretizationResult until_probability_discretization(
             "until_probability_discretization: impulse reward " + std::to_string(impulse) +
             " is not a multiple of the (scaled) step; choose d dividing the impulse rewards");
       }
-      incoming[e.col].push_back(
-          {s_from, e.value * d,
-           residence_shift[s_from] + static_cast<std::size_t>(std::llround(impulse_levels))});
+      const std::size_t shift =
+          residence_shift[s_from] + static_cast<std::size_t>(std::llround(impulse_levels));
+      if (shift >= levels) continue;
+      incoming[e.col].push_back({s_from, e.value * d, shift});
     }
   }
 
@@ -115,32 +128,63 @@ UntilDiscretizationResult until_probability_discretization(
     cur[start * levels + residence_shift[start]] = 1.0;
   }
 
+  // Invariant per-state factors, hoisted out of the time loop: the stay
+  // probability 1 - E(s) d and whether the residence term can deposit mass
+  // at all (positive stay probability, shift below the level cap).
   std::vector<double> stay(n, 0.0);
+  std::vector<bool> residence_active(n, false);
   for (core::StateIndex s = 0; s < n; ++s) {
     stay[s] = 1.0 - transformed.rates().exit_rate(s) * d;
+    residence_active[s] = stay[s] > 0.0 && residence_shift[s] < levels;
   }
 
+  // Conservative per-state emptiness of the current grid rows: a row only
+  // becomes nonzero by receiving mass from a nonzero row, so propagating one
+  // boolean per state along the same residence/incoming structure (O(degree)
+  // per row, not O(levels)) lets the sweep skip every shifted-add sourced
+  // from a still-empty row — the analogue of the xr == 0.0 skip in
+  // CsrMatrix::left_multiply. All grid entries are non-negative, so skipping
+  // an empty source only omits += 0.0 terms and the result stays
+  // bitwise-identical. Until the probability mass reaches a state (graph
+  // distance many steps), its whole row sweep collapses to a fill.
+  std::vector<char> row_nonzero(n, 0);
+  std::vector<char> next_nonzero(n, 0);
+  if (residence_shift[start] < levels) row_nonzero[start] = 1;
+
+  // The level sweep: each target state's next_row is written by exactly one
+  // task, in residence-then-incoming order, so the parallel sweep is
+  // bitwise-identical to the serial one for every thread count.
+  const unsigned threads = parallel::choose_thread_count(
+      options.threads, n > 0 ? time_steps * levels * (1 + non_zeros / n) : 0);
   for (std::size_t step = 1; step < time_steps; ++step) {
-    std::fill(next.begin(), next.end(), 0.0);
-    for (core::StateIndex s = 0; s < n; ++s) {
-      double* next_row = next.data() + s * levels;
-      // Residence term: stay in s, advance reward by rho(s) levels.
-      const double* cur_row = cur.data() + s * levels;
-      const std::size_t shift = residence_shift[s];
-      if (stay[s] > 0.0) {
-        for (std::size_t k = shift; k < levels; ++k) {
-          next_row[k] += cur_row[k - shift] * stay[s];
+    parallel::parallel_for(n, threads, [&](std::size_t begin, std::size_t end) {
+      for (core::StateIndex s = begin; s < end; ++s) {
+        double* next_row = next.data() + s * levels;
+        char touched = 0;
+        // Residence term: stay in s, advance reward by rho(s) levels.
+        if (residence_active[s] && row_nonzero[s]) {
+          std::fill(next_row, next_row + residence_shift[s], 0.0);
+          const double* cur_row = cur.data() + s * levels;
+          double* dst = next_row + residence_shift[s];
+          const std::size_t count = levels - residence_shift[s];
+          const double a = stay[s];
+          for (std::size_t k = 0; k < count; ++k) dst[k] = a * cur_row[k];
+          touched = 1;
+        } else {
+          std::fill(next_row, next_row + levels, 0.0);
         }
-      }
-      // Transition terms: arrive from s', consuming rho(s') + iota levels.
-      for (const Incoming& in : incoming[s]) {
-        const double* src_row = cur.data() + in.source * levels;
-        for (std::size_t k = in.shift; k < levels; ++k) {
-          next_row[k] += src_row[k - in.shift] * in.probability;
+        // Transition terms: arrive from s', consuming rho(s') + iota levels.
+        for (const Incoming& in : incoming[s]) {
+          if (!row_nonzero[in.source]) continue;
+          shifted_axpy(next_row + in.shift, cur.data() + in.source * levels,
+                       levels - in.shift, in.probability);
+          touched = 1;
         }
+        next_nonzero[s] = touched;
       }
-    }
+    });
     cur.swap(next);
+    row_nonzero.swap(next_nonzero);
   }
 
   double probability = 0.0;

@@ -34,6 +34,11 @@ struct DiscretizationOptions {
   /// Largest integer factor tried when scaling rational state rewards to
   /// integers.
   unsigned max_reward_scale = 1000;
+  /// Worker threads for the per-state level sweep; 0 = the process default
+  /// (CSRLMRM_THREADS or hardware concurrency). Each state's row of the
+  /// level grid is written by exactly one task in the same order as the
+  /// serial sweep, so the result is bitwise-identical at every thread count.
+  unsigned threads = 0;
 };
 
 /// Result of a discretization evaluation.

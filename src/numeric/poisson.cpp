@@ -11,13 +11,25 @@ void require_valid_mean(double mean) {
     throw std::invalid_argument("poisson: mean must be finite and >= 0");
   }
 }
+
+// std::lgamma writes the global `signgam` (a data race when the thread pool
+// evaluates Poisson masses concurrently); the argument here is always >= 1,
+// so the sign is irrelevant and the reentrant variant is safe to use.
+double log_gamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 }  // namespace
 
 double poisson_pmf(std::size_t n, double mean) {
   require_valid_mean(mean);
   if (mean == 0.0) return n == 0 ? 1.0 : 0.0;
   const double dn = static_cast<double>(n);
-  return std::exp(dn * std::log(mean) - mean - std::lgamma(dn + 1.0));
+  return std::exp(dn * std::log(mean) - mean - log_gamma(dn + 1.0));
 }
 
 double poisson_cdf(std::size_t n, double mean) {

@@ -1,10 +1,12 @@
 #include "numeric/transient.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "numeric/fox_glynn.hpp"
 #include "numeric/poisson.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace csrlmrm::numeric {
 
@@ -28,6 +30,39 @@ void require_time(double t) {
   if (!(t >= 0.0) || !std::isfinite(t)) {
     throw std::invalid_argument("transient: t must be finite and >= 0");
   }
+}
+
+/// Two reused buffers driving term = term * P: the gather form over P^T when
+/// a transpose is supplied (row-parallel), the serial scatter otherwise.
+/// Both accumulate each output entry in ascending source-state order, so
+/// they agree bitwise.
+void advance_term(const linalg::CsrMatrix& P, const linalg::CsrMatrix* P_transposed,
+                  unsigned threads, std::vector<double>& term, std::vector<double>& scratch) {
+  if (P_transposed != nullptr) {
+    P_transposed->multiply_into(term, scratch, threads);
+  } else {
+    P.left_multiply_into(term, scratch);
+  }
+  term.swap(scratch);
+}
+
+/// Body of transient_distribution once the window and matrix exist; shared
+/// with the batched per-start-state fan-out.
+std::vector<double> accumulate_series(const linalg::CsrMatrix& P,
+                                      const linalg::CsrMatrix* P_transposed, unsigned threads,
+                                      const FoxGlynnWeights& window,
+                                      std::vector<double> initial) {
+  std::vector<double> term = std::move(initial);  // p(0) * P^i
+  std::vector<double> scratch(term.size(), 0.0);
+  std::vector<double> result(term.size(), 0.0);
+  for (std::size_t i = 0; i <= window.right; ++i) {
+    if (i >= window.left) {
+      const double weight = window.probability(i - window.left);
+      for (std::size_t s = 0; s < result.size(); ++s) result[s] += weight * term[s];
+    }
+    if (i < window.right) advance_term(P, P_transposed, threads, term, scratch);
+  }
+  return result;
 }
 
 }  // namespace
@@ -68,16 +103,12 @@ std::vector<double> transient_distribution(const core::RateMatrix& rates,
   // the result an (eps-accurate) distribution.
   const auto window = fox_glynn(lambda * t, options.epsilon);
 
-  std::vector<double> term = initial;  // p(0) * P^i
-  std::vector<double> result(rates.num_states(), 0.0);
-  for (std::size_t i = 0; i <= window.right; ++i) {
-    if (i >= window.left) {
-      const double weight = window.probability(i - window.left);
-      for (std::size_t s = 0; s < result.size(); ++s) result[s] += weight * term[s];
-    }
-    if (i < window.right) term = P.left_multiply(term);
-  }
-  return result;
+  const unsigned threads =
+      parallel::choose_thread_count(options.threads, P.non_zeros() * (window.right + 1));
+  std::optional<linalg::CsrMatrix> P_transposed;
+  if (threads > 1 && !parallel::in_parallel_region()) P_transposed = P.transposed();
+
+  return accumulate_series(P, P_transposed ? &*P_transposed : nullptr, threads, window, initial);
 }
 
 std::vector<double> transient_distribution_from(const core::RateMatrix& rates,
@@ -89,6 +120,45 @@ std::vector<double> transient_distribution_from(const core::RateMatrix& rates,
   std::vector<double> initial(rates.num_states(), 0.0);
   initial[start] = 1.0;
   return transient_distribution(rates, initial, t, options);
+}
+
+std::vector<std::vector<double>> transient_distributions_from_states(
+    const core::RateMatrix& rates, const std::vector<core::StateIndex>& starts, double t,
+    const TransientOptions& options) {
+  require_time(t);
+  const std::size_t n = rates.num_states();
+  for (const core::StateIndex start : starts) {
+    if (start >= n) {
+      throw std::invalid_argument("transient_distributions_from_states: start out of range");
+    }
+  }
+  std::vector<std::vector<double>> results(starts.size());
+  if (starts.empty()) return results;
+
+  if (t == 0.0 || rates.max_exit_rate() == 0.0) {
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      results[i].assign(n, 0.0);
+      results[i][starts[i]] = 1.0;
+    }
+    return results;
+  }
+
+  double lambda = 0.0;
+  const linalg::CsrMatrix P = uniformized_transition_matrix(rates, lambda);
+  const auto window = fox_glynn(lambda * t, options.epsilon);
+
+  // Fan out over start states; every state runs the serial series (nested
+  // regions stay inline), so chunking cannot change any row's result.
+  const unsigned threads = parallel::choose_thread_count(
+      options.threads, starts.size() * P.non_zeros() * (window.right + 1));
+  parallel::parallel_for(starts.size(), threads, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      std::vector<double> initial(n, 0.0);
+      initial[starts[i]] = 1.0;
+      results[i] = accumulate_series(P, nullptr, 1, window, std::move(initial));
+    }
+  });
+  return results;
 }
 
 std::vector<double> expected_occupation_times(const core::RateMatrix& rates,
@@ -113,15 +183,22 @@ std::vector<double> expected_occupation_times(const core::RateMatrix& rates,
   // weights sum to E[N_t] = Lambda t; truncate once the remaining tail mass
   // contributes less than epsilon * t.
   PoissonCdfTable tail_table(mean);
-  std::vector<double> term = initial;
-  std::vector<double> result(n, 0.0);
   const std::size_t hard_cap =
       poisson_truncation_point(mean, options.epsilon / (mean + 1.0)) + 1;
+
+  const unsigned threads =
+      parallel::choose_thread_count(options.threads, P.non_zeros() * hard_cap);
+  std::optional<linalg::CsrMatrix> P_transposed;
+  if (threads > 1 && !parallel::in_parallel_region()) P_transposed = P.transposed();
+
+  std::vector<double> term = initial;
+  std::vector<double> scratch(n, 0.0);
+  std::vector<double> result(n, 0.0);
   for (std::size_t k = 0; k <= hard_cap; ++k) {
     const double weight = tail_table.tail(k + 1) / lambda;
     if (weight <= 0.0) break;
     for (std::size_t s = 0; s < n; ++s) result[s] += weight * term[s];
-    term = P.left_multiply(term);
+    advance_term(P, P_transposed ? &*P_transposed : nullptr, threads, term, scratch);
   }
   return result;
 }

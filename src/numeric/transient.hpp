@@ -6,6 +6,12 @@
 // workhorse for the P1 class of until formulas (time bound, no reward bound,
 // Theorem 4.1 + [Bai03]) and the reference oracle several property tests
 // compare the reward engines against.
+//
+// The Poisson series ping-pongs two preallocated buffers (no per-term
+// allocation). With threads > 1 the vector-matrix product runs row-parallel
+// over P^T (the gather form accumulates every output entry in the same
+// ascending-source order as the serial scatter, so parallel results are
+// bitwise-identical to serial ones).
 #pragma once
 
 #include <vector>
@@ -19,6 +25,10 @@ namespace csrlmrm::numeric {
 struct TransientOptions {
   /// Total truncation error budget for the Poisson sum.
   double epsilon = 1e-12;
+  /// Worker threads for the series' matrix-vector products and for batched
+  /// per-start-state fan-out; 0 = the process default (CSRLMRM_THREADS or
+  /// hardware concurrency).
+  unsigned threads = 0;
 };
 
 /// State occupation probabilities at time t >= 0 starting from distribution
@@ -32,6 +42,16 @@ std::vector<double> transient_distribution(const core::RateMatrix& rates,
 std::vector<double> transient_distribution_from(const core::RateMatrix& rates,
                                                 core::StateIndex start, double t,
                                                 const TransientOptions& options = {});
+
+/// Transient distributions from many start states at the same horizon t:
+/// result[i] is the distribution started from starts[i]. The uniformized
+/// matrix and Fox-Glynn window are computed once and shared; the start
+/// states fan out over the thread pool (options.threads), each running the
+/// serial series, so every row is bitwise-identical to the corresponding
+/// transient_distribution_from call.
+std::vector<std::vector<double>> transient_distributions_from_states(
+    const core::RateMatrix& rates, const std::vector<core::StateIndex>& starts, double t,
+    const TransientOptions& options = {});
 
 /// The uniformized one-step matrix P = I + Q/Lambda with Lambda = max exit
 /// rate (1 for an all-absorbing chain); `lambda_out` receives Lambda. Shared
