@@ -1,9 +1,14 @@
 // google-benchmark microbenchmarks for the numerical kernels: Omega
 // recursion, Poisson masses, Gauss-Seidel sweeps, BSCC detection, the DFPG
-// path explorer, one discretization step-sweep, and serial-vs-parallel
-// scaling cases for the thread-pool layer (Arg = thread count; run
-// `bench_parallel` for the JSON scaling record).
+// path explorer, one discretization step-sweep, serial-vs-parallel scaling
+// cases for the thread-pool layer (Arg = thread count; run `bench_parallel`
+// for the JSON scaling record), and the observability-layer overhead
+// benches (BM_Stats*, Arg = stats enabled). After the benchmark run, main()
+// re-runs one representative DFPG + discretization workload with statistics
+// collection on and writes the registry to BENCH_kernels_stats.json.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "checker/steady.hpp"
 #include "checker/until.hpp"
@@ -18,6 +23,7 @@
 #include "numeric/path_explorer.hpp"
 #include "numeric/poisson.hpp"
 #include "numeric/transient.hpp"
+#include "obs/stats.hpp"
 
 namespace {
 
@@ -179,6 +185,123 @@ void BM_SteadyStateNmr(benchmark::State& state) {
 }
 BENCHMARK(BM_SteadyStateNmr)->Arg(3)->Arg(11)->Arg(41)->Arg(101);
 
+// --- Observability overhead (Arg: 0 = stats disabled, 1 = enabled) ---------
+
+/// RAII enable/disable around a benchmark body; resets the registry on exit
+/// so repeated runs don't accumulate into one snapshot.
+struct StatsMode {
+  explicit StatsMode(bool enabled) { obs::set_stats_enabled(enabled); }
+  ~StatsMode() {
+    obs::set_stats_enabled(false);
+    obs::StatsRegistry::global().reset();
+  }
+};
+
+void BM_StatsCounterAdd(benchmark::State& state) {
+  const StatsMode mode(state.range(0) != 0);
+  for (auto _ : state) {
+    obs::counter_add("bench.counter");
+  }
+}
+BENCHMARK(BM_StatsCounterAdd)->Arg(0)->Arg(1);
+
+void BM_StatsScopedTimer(benchmark::State& state) {
+  const StatsMode mode(state.range(0) != 0);
+  for (auto _ : state) {
+    obs::ScopedTimer timer("bench.scope");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_StatsScopedTimer)->Arg(0)->Arg(1);
+
+/// The overhead claim that matters: a real instrumented kernel with
+/// collection off must cost the same as before the instrumentation existed
+/// (the disabled checks are one relaxed atomic load per call site).
+void BM_StatsInstrumentedGaussSeidel(benchmark::State& state) {
+  const StatsMode mode(state.range(0) != 0);
+  constexpr std::size_t n = 512;
+  linalg::CsrBuilder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.add(i, i, 4.0);
+    if (i > 0) builder.add(i, i - 1, -1.0);
+    if (i + 1 < n) builder.add(i, i + 1, -1.0);
+  }
+  const auto matrix = builder.build();
+  const std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    std::vector<double> x(n, 0.0);
+    benchmark::DoNotOptimize(linalg::gauss_seidel_solve(matrix, b, x));
+  }
+}
+BENCHMARK(BM_StatsInstrumentedGaussSeidel)->Arg(0)->Arg(1);
+
+void BM_StatsInstrumentedDfpg(benchmark::State& state) {
+  const StatsMode mode(state.range(0) != 0);
+  const core::Mrm model = models::make_tmr(models::TmrConfig{});
+  const auto sup = model.labels().states_with("Sup");
+  const auto failed = model.labels().states_with("failed");
+  std::vector<bool> absorb(model.num_states());
+  std::vector<bool> dead(model.num_states());
+  for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+    absorb[s] = !sup[s] || failed[s];
+    dead[s] = !sup[s] && !failed[s];
+  }
+  numeric::UniformizationUntilEngine engine(core::make_absorbing(model, absorb), failed, dead);
+  numeric::PathExplorerOptions options;
+  options.truncation_probability = 1e-11;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute(0, 100.0, 3000.0, options));
+  }
+}
+BENCHMARK(BM_StatsInstrumentedDfpg)->Arg(0)->Arg(1);
+
+/// One representative instrumented workload (the TMR DFPG until plus its
+/// discretization counterpart) whose statistics snapshot becomes
+/// BENCH_kernels_stats.json.
+void write_stats_record(const char* path) {
+  obs::set_stats_enabled(true);
+  obs::StatsRegistry::global().reset();
+
+  const core::Mrm model = models::make_tmr(models::TmrConfig{});
+  const auto sup = model.labels().states_with("Sup");
+  const auto failed = model.labels().states_with("failed");
+  std::vector<bool> absorb(model.num_states());
+  std::vector<bool> dead(model.num_states());
+  for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+    absorb[s] = !sup[s] || failed[s];
+    dead[s] = !sup[s] && !failed[s];
+  }
+  const core::Mrm transformed = core::make_absorbing(model, absorb);
+  numeric::UniformizationUntilEngine engine(transformed, failed, dead);
+  numeric::PathExplorerOptions uopts;
+  uopts.truncation_probability = 1e-11;
+  engine.compute(0, 100.0, 3000.0, uopts);
+  numeric::DiscretizationOptions dopts;
+  dopts.step = 0.5;
+  numeric::until_probability_discretization(transformed, failed, 0, 100.0, 3000.0, dopts);
+  checker::steady_state_probability_of_set(model, failed);
+
+  const std::string json = obs::StatsRegistry::global().to_json();
+  obs::StatsRegistry::global().reset();
+  obs::set_stats_enabled(false);
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_kernels: cannot write %s\n", path);
+    return;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_stats_record("BENCH_kernels_stats.json");
+  return 0;
+}

@@ -28,6 +28,7 @@
 #include "models/mm1k.hpp"
 #include "numeric/discretization.hpp"
 #include "numeric/transient.hpp"
+#include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace {
@@ -123,7 +124,35 @@ struct CaseRecord {
   double seed_baseline_ms = -1.0;  // < 0 = no seed-kernel baseline for this case
   std::vector<double> timings_ms;  // one per kThreadCounts entry
   double max_abs_diff_vs_serial = 0.0;
+  std::string stats_json;  // obs stats of one instrumented evaluation
 };
+
+/// Runs `fn` once with statistics collection on and returns the registry as
+/// a JSON blob. Collection stays off for the timed runs (the timings must
+/// keep measuring the engines, not the instrumentation).
+template <typename Fn>
+std::string capture_stats(Fn&& fn) {
+  obs::set_stats_enabled(true);
+  obs::StatsRegistry::global().reset();
+  fn();
+  std::string json = obs::StatsRegistry::global().to_json();
+  obs::StatsRegistry::global().reset();
+  obs::set_stats_enabled(false);
+  return json;
+}
+
+/// Re-indents a serialized JSON document so it can be embedded as a member
+/// of the hand-written BENCH_parallel.json at the given depth.
+std::string indent_json(const std::string& json, const std::string& indent) {
+  std::string out;
+  out.reserve(json.size());
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    out.push_back(json[i]);
+    if (json[i] == '\n' && i + 1 < json.size()) out += indent;
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) out.pop_back();
+  return out;
+}
 
 void print_case(std::FILE* out, const CaseRecord& record, bool last) {
   std::fprintf(out, "    {\n      \"name\": \"%s\",\n      \"model\": \"%s\",\n",
@@ -143,8 +172,10 @@ void print_case(std::FILE* out, const CaseRecord& record, bool last) {
   std::fprintf(out, "},\n");
   std::fprintf(out, "      \"speedup_at_4_threads\": %.2f,\n",
                record.timings_ms[0] / record.timings_ms[2]);
-  std::fprintf(out, "      \"max_abs_diff_vs_serial\": %.3e\n    }%s\n",
-               record.max_abs_diff_vs_serial, last ? "" : ",");
+  std::fprintf(out, "      \"max_abs_diff_vs_serial\": %.3e,\n",
+               record.max_abs_diff_vs_serial);
+  std::fprintf(out, "      \"stats\": %s\n    }%s\n",
+               indent_json(record.stats_json, "      ").c_str(), last ? "" : ",");
 }
 
 }  // namespace
@@ -185,6 +216,12 @@ int main(int argc, char** argv) {
     }
     record.max_abs_diff_vs_serial = std::max(
         record.max_abs_diff_vs_serial, std::abs(seed_probability - serial_probability));
+    record.stats_json = capture_stats([&] {
+      numeric::DiscretizationOptions options;
+      options.step = d;
+      options.threads = 4;
+      numeric::until_probability_discretization(model, full, 0, t, r, options);
+    });
     records.push_back(std::move(record));
     std::printf("discretization_sweep: seed kernel %.2f ms, serial %.2f ms, 4 threads %.2f ms\n",
                 records.back().seed_baseline_ms, records.back().timings_ms[0],
@@ -213,6 +250,11 @@ int main(int argc, char** argv) {
       record.timings_ms.push_back(best_of(
           [&] { numeric::transient_distribution_from(model.rates(), 0, 100.0, options); }));
     }
+    record.stats_json = capture_stats([&] {
+      numeric::TransientOptions options;
+      options.threads = 4;
+      numeric::transient_distribution_from(model.rates(), 0, 100.0, options);
+    });
     records.push_back(std::move(record));
     std::printf("transient_distribution: serial %.2f ms, 4 threads %.2f ms\n",
                 records.back().timings_ms[0], records.back().timings_ms[2]);
@@ -249,6 +291,13 @@ int main(int argc, char** argv) {
         checker::until_probabilities(model, busy, full, time_bound, reward_bound, options);
       }));
     }
+    record.stats_json = capture_stats([&] {
+      checker::CheckerOptions options;
+      options.until_method = checker::UntilMethod::kDiscretization;
+      options.discretization.step = 0.25;
+      options.threads = 4;
+      checker::until_probabilities(model, busy, full, time_bound, reward_bound, options);
+    });
     records.push_back(std::move(record));
     std::printf("checker_until_fanout: serial %.2f ms, 4 threads %.2f ms\n",
                 records.back().timings_ms[0], records.back().timings_ms[2]);

@@ -9,6 +9,7 @@
 // and prints the satisfying states (and, unless NP is given, the computed
 // per-state probabilities for the outermost S/P/R operator). Defaults to
 // uniformization with w = 1e-8, exactly like the original tool.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +21,7 @@
 #include "lang/builder.hpp"
 #include "logic/parser.hpp"
 #include "logic/printer.hpp"
+#include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace {
@@ -36,6 +38,10 @@ void usage() {
                "  --threads N  worker threads for the numeric engines and the\n"
                "            per-state fan-out (default: CSRLMRM_THREADS env var,\n"
                "            else hardware concurrency; 1 = serial)\n"
+               "  --stats[=file.json]  collect engine statistics (solver iterations,\n"
+               "            Fox-Glynn windows, path counts, per-operator timings) and\n"
+               "            write them as JSON to the file (or stdout). The\n"
+               "            CSRLMRM_STATS env var enables collection as well.\n"
                "  NP        do not print per-state probabilities\n"
                "\n"
                "formula syntax (appendix of the thesis, plus the R extension):\n"
@@ -62,6 +68,25 @@ unsigned parse_thread_count(const std::string& text) {
     std::fprintf(stderr, "mrmcheck: --threads expects a positive integer, got '%s'\n",
                  text.c_str());
     return 0;
+  }
+}
+
+/// Parses the value of u= / d= strictly: the whole token must be a finite,
+/// positive double. Returns false (with a diagnostic) otherwise, so
+/// `u=1e-8x` or `d=` fail loudly instead of being half-parsed by stod.
+bool parse_positive_double(const std::string& text, const char* flag, double& out) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size() || !(value > 0.0) || !std::isfinite(value)) {
+      throw std::invalid_argument(text);
+    }
+    out = value;
+    return true;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "mrmcheck: %s expects a positive number, got '%s'\n", flag,
+                 text.c_str());
+    return false;
   }
 }
 
@@ -106,15 +131,23 @@ int main(int argc, char** argv) {
 
     checker::CheckerOptions options;
     bool print_probabilities = true;
+    bool stats_requested = obs::stats_enabled();  // CSRLMRM_STATS env var
+    std::string stats_path;
+    bool have_formula = false;
     std::string formula_text;
     for (; arg < argc; ++arg) {
       const std::string token = argv[arg];
       if (token.rfind("u=", 0) == 0) {
         options.until_method = checker::UntilMethod::kUniformization;
-        options.uniformization.truncation_probability = std::stod(token.substr(2));
+        if (!parse_positive_double(token.substr(2), "u=",
+                                   options.uniformization.truncation_probability)) {
+          return 2;
+        }
       } else if (token.rfind("d=", 0) == 0) {
         options.until_method = checker::UntilMethod::kDiscretization;
-        options.discretization.step = std::stod(token.substr(2));
+        if (!parse_positive_double(token.substr(2), "d=", options.discretization.step)) {
+          return 2;
+        }
       } else if (token == "--threads" || token.rfind("--threads=", 0) == 0) {
         std::string value;
         if (token == "--threads") {
@@ -129,15 +162,47 @@ int main(int argc, char** argv) {
         options.threads = parse_thread_count(value);
         if (options.threads == 0) return 2;
         parallel::set_default_thread_count(options.threads);
+      } else if (token == "--stats" || token.rfind("--stats=", 0) == 0) {
+        stats_requested = true;
+        if (token.rfind("--stats=", 0) == 0) {
+          stats_path = token.substr(8);
+          if (stats_path.empty()) {
+            std::fprintf(stderr, "mrmcheck: --stats= expects a file path\n");
+            return 2;
+          }
+        }
+      } else if (token.rfind("--", 0) == 0) {
+        std::fprintf(stderr, "mrmcheck: unknown option '%s'\n", token.c_str());
+        usage();
+        return 2;
       } else if (token == "NP") {
         print_probabilities = false;
-      } else {
+      } else if (!have_formula) {
         formula_text = token;
+        have_formula = true;
+      } else {
+        std::fprintf(stderr, "mrmcheck: unexpected argument '%s' (formula already given as '%s')\n",
+                     token.c_str(), formula_text.c_str());
+        usage();
+        return 2;
       }
     }
-    if (formula_text.empty()) {
+    if (!have_formula || formula_text.empty()) {
       usage();
       return 2;
+    }
+
+    if (stats_requested) {
+      obs::set_stats_enabled(true);
+      if (!stats_path.empty()) {
+        // Fail before any model checking runs: a long run that then cannot
+        // record its stats is the worst outcome.
+        std::ofstream probe(stats_path);
+        if (!probe) {
+          std::fprintf(stderr, "mrmcheck: cannot write stats file '%s'\n", stats_path.c_str());
+          return 2;
+        }
+      }
     }
 
     const core::Mrm model =
@@ -184,6 +249,21 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("%s\n", any ? "" : " (none)");
+
+    if (stats_requested) {
+      const std::string json = obs::StatsRegistry::global().to_json();
+      if (stats_path.empty()) {
+        std::printf("stats:\n%s", json.c_str());
+      } else {
+        std::ofstream out(stats_path);
+        out << json;
+        if (!out) {
+          std::fprintf(stderr, "mrmcheck: failed writing stats file '%s'\n", stats_path.c_str());
+          return 1;
+        }
+        std::printf("stats: written to %s\n", stats_path.c_str());
+      }
+    }
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "mrmcheck: %s\n", error.what());

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace csrlmrm::checker {
@@ -35,6 +36,8 @@ std::optional<logic::Interval> next_time_window(const core::Mrm& model, core::St
 std::vector<double> next_probabilities(const core::Mrm& model, const std::vector<bool>& sat_phi,
                                        const logic::Interval& time_bound,
                                        const logic::Interval& reward_bound, unsigned threads) {
+  obs::ScopedTimer timer("checker.next");
+  obs::counter_add("checker.next.calls");
   const std::size_t n = model.num_states();
   if (sat_phi.size() != n) {
     throw std::invalid_argument("next_probabilities: mask size mismatch");

@@ -6,6 +6,7 @@
 #include "numeric/discretization.hpp"
 #include "numeric/path_explorer.hpp"
 #include "numeric/transient.hpp"
+#include "obs/stats.hpp"
 
 namespace csrlmrm::checker {
 
@@ -27,6 +28,8 @@ std::vector<double> gain_rates(const core::Mrm& model) {
 
 PerformabilityValue performability(const core::Mrm& model, core::StateIndex start, double t,
                                    double r, const CheckerOptions& options) {
+  obs::ScopedTimer timer("checker.performability");
+  obs::counter_add("checker.performability.calls");
   const std::vector<bool> everything(model.num_states(), true);
   const std::vector<bool> nothing(model.num_states(), false);
   if (options.until_method == UntilMethod::kUniformization) {
@@ -63,6 +66,8 @@ std::vector<PerformabilityValue> performability_cdf(const core::Mrm& model,
 
 double expected_accumulated_reward(const core::Mrm& model, core::StateIndex start, double t,
                                    const numeric::TransientOptions& options) {
+  obs::ScopedTimer timer("checker.expected_reward");
+  obs::counter_add("checker.expected_reward.calls");
   if (start >= model.num_states()) {
     throw std::invalid_argument("expected_accumulated_reward: start state out of range");
   }

@@ -4,6 +4,7 @@
 
 #include "checker/absorption.hpp"
 #include "checker/performability.hpp"
+#include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace csrlmrm::checker {
@@ -94,6 +95,8 @@ const std::vector<bool>& ModelChecker::evaluate(const logic::FormulaPtr& formula
   const auto cached = cache_.find(formula.get());
   if (cached != cache_.end()) return cached->second;
 
+  obs::ScopedTimer timer("checker.evaluate");
+  obs::counter_add("checker.evaluate.subformulas");
   const std::size_t n = model_->num_states();
   std::vector<bool> sat(n, false);
   switch (formula->kind) {

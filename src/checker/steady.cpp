@@ -6,6 +6,7 @@
 #include "graph/scc.hpp"
 #include "linalg/dense_solve.hpp"
 #include "linalg/gauss_seidel.hpp"
+#include "obs/stats.hpp"
 
 namespace csrlmrm::checker {
 
@@ -20,8 +21,11 @@ struct SteadyAnalysis {
 };
 
 SteadyAnalysis analyze(const core::Mrm& model, const linalg::IterativeOptions& solver) {
+  obs::ScopedTimer timer("checker.steady");
+  obs::counter_add("checker.steady.calls");
   SteadyAnalysis analysis;
   analysis.bsccs = graph::bottom_sccs(model.rates().matrix());
+  obs::counter_add("checker.steady.bsccs", analysis.bsccs.size());
   const std::size_t n = model.num_states();
 
   const std::vector<bool> everywhere(n, true);

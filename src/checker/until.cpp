@@ -9,6 +9,7 @@
 #include "numeric/discretization.hpp"
 #include "numeric/path_explorer.hpp"
 #include "numeric/transient.hpp"
+#include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace csrlmrm::checker {
@@ -28,6 +29,8 @@ std::vector<double> unbounded_until_probabilities(const core::Mrm& model,
                                                   const std::vector<bool>& sat_phi,
                                                   const std::vector<bool>& sat_psi,
                                                   const linalg::IterativeOptions& solver) {
+  obs::ScopedTimer timer("checker.until.unbounded");
+  obs::counter_add("checker.until.unbounded.calls");
   require_masks(model, sat_phi, sat_psi);
   const std::size_t n = model.num_states();
 
@@ -91,6 +94,9 @@ std::vector<UntilValue> bounded_time_reward(const core::Mrm& transformed,
                                             const std::vector<bool>& sat_psi,
                                             const std::vector<bool>& dead, double t, double r,
                                             const CheckerOptions& options, bool psi_absorbed) {
+  obs::ScopedTimer timer(options.until_method == UntilMethod::kUniformization
+                             ? "checker.until.bounded.uniformization"
+                             : "checker.until.bounded.discretization");
   const std::size_t n = transformed.num_states();
   std::vector<UntilValue> values(n);
   // Every start state is an independent engine query on the one shared
@@ -136,6 +142,8 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
                                             const logic::Interval& time_bound,
                                             const logic::Interval& reward_bound,
                                             const CheckerOptions& caller_options) {
+  obs::ScopedTimer timer("checker.until");
+  obs::counter_add("checker.until.calls");
   require_masks(model, sat_phi, sat_psi);
   const std::size_t n = model.num_states();
   // Engine-level thread counts left at 0 inherit the checker-level knob.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace csrlmrm::linalg {
@@ -109,6 +110,8 @@ void CsrMatrix::multiply_into(const std::vector<double>& x, std::vector<double>&
   if (x.size() != cols_) throw std::invalid_argument("CsrMatrix::multiply_into: size mismatch");
   if (y.size() != rows_) throw std::invalid_argument("CsrMatrix::multiply_into: output size mismatch");
   if (&x == &y) throw std::invalid_argument("CsrMatrix::multiply_into: x and y must not alias");
+  obs::counter_add("spmv.calls");
+  obs::counter_add("spmv.rows", rows_);
   const unsigned effective = parallel::choose_thread_count(threads, non_zeros());
   parallel::parallel_for(rows_, effective, [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) {
@@ -125,6 +128,8 @@ void CsrMatrix::left_multiply_into(const std::vector<double>& x, std::vector<dou
   if (x.size() != rows_) throw std::invalid_argument("CsrMatrix::left_multiply_into: size mismatch");
   if (y.size() != cols_) throw std::invalid_argument("CsrMatrix::left_multiply_into: output size mismatch");
   if (&x == &y) throw std::invalid_argument("CsrMatrix::left_multiply_into: x and y must not alias");
+  obs::counter_add("spmv.calls");
+  obs::counter_add("spmv.rows", rows_);
   std::fill(y.begin(), y.end(), 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];

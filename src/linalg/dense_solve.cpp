@@ -3,9 +3,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/stats.hpp"
+
 namespace csrlmrm::linalg {
 
 std::vector<double> dense_solve(std::vector<std::vector<double>> A, std::vector<double> b) {
+  obs::ScopedTimer timer("solver.dense_solve");
+  obs::counter_add("solver.dense_solve.calls");
   const std::size_t n = A.size();
   if (b.size() != n) throw std::invalid_argument("dense_solve: rhs size mismatch");
   for (const auto& row : A) {

@@ -5,11 +5,14 @@
 #include <stdexcept>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/stats.hpp"
 
 namespace csrlmrm::linalg {
 
 IterativeResult gauss_seidel_solve(const CsrMatrix& A, const std::vector<double>& b,
                                    std::vector<double>& x, const IterativeOptions& options) {
+  obs::ScopedTimer timer("solver.gauss_seidel");
+  obs::counter_add("solver.gauss_seidel.calls");
   const std::size_t n = A.rows();
   if (A.cols() != n) throw std::invalid_argument("gauss_seidel_solve: matrix not square");
   if (b.size() != n || x.size() != n) {
@@ -44,11 +47,14 @@ IterativeResult gauss_seidel_solve(const CsrMatrix& A, const std::vector<double>
       break;
     }
   }
+  obs::counter_add("solver.gauss_seidel.iterations", result.iterations);
   return result;
 }
 
 std::vector<double> steady_state_gauss_seidel(const CsrMatrix& Q, const IterativeOptions& options,
                                               IterativeResult* result_out) {
+  obs::ScopedTimer timer("solver.steady_state_gauss_seidel");
+  obs::counter_add("solver.steady_state_gauss_seidel.calls");
   const std::size_t n = Q.rows();
   if (Q.cols() != n) throw std::invalid_argument("steady_state_gauss_seidel: Q not square");
   if (n == 0) throw std::invalid_argument("steady_state_gauss_seidel: empty generator");
@@ -96,6 +102,7 @@ std::vector<double> steady_state_gauss_seidel(const CsrMatrix& Q, const Iterativ
       break;
     }
   }
+  obs::counter_add("solver.steady_state_gauss_seidel.iterations", result.iterations);
   if (result_out) *result_out = result;
   return pi;
 }

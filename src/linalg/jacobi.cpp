@@ -3,10 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/stats.hpp"
+
 namespace csrlmrm::linalg {
 
 IterativeResult jacobi_solve(const CsrMatrix& A, const std::vector<double>& b,
                              std::vector<double>& x, const IterativeOptions& options) {
+  obs::ScopedTimer timer("solver.jacobi");
+  obs::counter_add("solver.jacobi.calls");
   const std::size_t n = A.rows();
   if (A.cols() != n) throw std::invalid_argument("jacobi_solve: matrix not square");
   if (b.size() != n || x.size() != n) {
@@ -41,6 +45,7 @@ IterativeResult jacobi_solve(const CsrMatrix& A, const std::vector<double>& b,
       break;
     }
   }
+  obs::counter_add("solver.jacobi.iterations", result.iterations);
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/stats.hpp"
+
 namespace csrlmrm::numeric {
 
 namespace {
@@ -62,9 +64,11 @@ double RewardStructureContext::conditional_probability(const SpacingCounts& k,
     throw std::invalid_argument("RewardStructureContext: a path visits at least one state");
   }
 
+  obs::counter_add("omega.evaluations");
   const double r_prime = threshold(j, t, r);
   auto it = evaluators_.find(r_prime);
   if (it == evaluators_.end()) {
+    obs::counter_add("omega.evaluators_built");
     it = evaluators_.emplace(r_prime, OmegaEvaluator(coefficients_, r_prime)).first;
   }
   return it->second.evaluate(k);

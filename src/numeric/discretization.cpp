@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace csrlmrm::numeric {
@@ -42,6 +43,8 @@ unsigned find_integer_scale(const std::vector<double>& values, unsigned max_scal
 UntilDiscretizationResult until_probability_discretization(
     const core::Mrm& transformed, const std::vector<bool>& psi, core::StateIndex start,
     double t, double r, const DiscretizationOptions& options) {
+  obs::ScopedTimer timer("discretization.until");
+  obs::counter_add("discretization.calls");
   const std::size_t n = transformed.num_states();
   if (psi.size() != n) {
     throw std::invalid_argument("until_probability_discretization: psi mask size mismatch");
@@ -198,6 +201,9 @@ UntilDiscretizationResult until_probability_discretization(
   result.time_steps = time_steps;
   result.reward_levels = levels;
   result.reward_scale = scale;
+  obs::counter_add("discretization.time_steps", time_steps);
+  obs::gauge_max("discretization.reward_levels", static_cast<double>(levels));
+  obs::gauge_max("discretization.reward_scale", static_cast<double>(scale));
   return result;
 }
 

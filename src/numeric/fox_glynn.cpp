@@ -5,10 +5,12 @@
 #include <stdexcept>
 
 #include "numeric/poisson.hpp"
+#include "obs/stats.hpp"
 
 namespace csrlmrm::numeric {
 
 FoxGlynnWeights fox_glynn(double mean, double epsilon) {
+  obs::counter_add("fox_glynn.calls");
   if (!(mean >= 0.0) || !std::isfinite(mean)) {
     throw std::invalid_argument("fox_glynn: mean must be finite and >= 0");
   }
@@ -22,6 +24,8 @@ FoxGlynnWeights fox_glynn(double mean, double epsilon) {
     result.right = 0;
     result.weights = {1.0};
     result.total_weight = 1.0;
+    obs::gauge_max("fox_glynn.left", 0.0);
+    obs::gauge_max("fox_glynn.right", 0.0);
     return result;
   }
 
@@ -78,6 +82,10 @@ FoxGlynnWeights fox_glynn(double mean, double epsilon) {
   result.right = right;
   result.weights = std::move(weights);
   result.total_weight = total;
+  // Max-merge keeps right >= left across threads: each thread's own pair
+  // satisfies it, and max(right_i) >= max(left_i) follows.
+  obs::gauge_max("fox_glynn.left", static_cast<double>(left));
+  obs::gauge_max("fox_glynn.right", static_cast<double>(right));
   return result;
 }
 

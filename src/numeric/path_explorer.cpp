@@ -8,6 +8,7 @@
 
 #include "numeric/conditional.hpp"
 #include "numeric/poisson.hpp"
+#include "obs/stats.hpp"
 
 namespace csrlmrm::numeric {
 
@@ -82,6 +83,8 @@ UniformizationUntilEngine::UniformizationUntilEngine(core::Mrm transformed,
 
 UntilUniformizationResult UniformizationUntilEngine::compute(
     core::StateIndex start, double t, double r, const PathExplorerOptions& options) const {
+  obs::ScopedTimer timer("uniformization.until");
+  obs::counter_add("uniformization.calls");
   const std::size_t n = model_.num_states();
   if (start >= n) {
     throw std::invalid_argument("UniformizationUntilEngine::compute: start out of range");
@@ -129,9 +132,11 @@ UntilUniformizationResult UniformizationUntilEngine::compute(
   };
 
   std::size_t nodes = 0;
+  std::size_t visited = 0;
 
   // Recursive lambda via explicit Y-combinator style to keep undo logic tight.
   auto explore = [&](auto&& self, const Frame& frame) -> void {
+    ++visited;
     if (dead_[frame.state]) return;  // (!Phi && !Psi): unsatisfiable, exact cut
     const double log_p = frame.log_poisson + frame.log_weight;
     const bool too_deep =
@@ -140,6 +145,7 @@ UntilUniformizationResult UniformizationUntilEngine::compute(
       // Truncated (below w, eq. 4.4, or beyond the depth bound N, eq. 4.3):
       // account the whole discarded sub-tree per eq. (4.6). The last state
       // satisfies Phi v Psi here (dead states returned above).
+      ++result.paths_truncated;
       result.error_bound += std::exp(frame.log_weight) * poisson_tail.tail(frame.depth);
       return;
     }
@@ -189,6 +195,13 @@ UntilUniformizationResult UniformizationUntilEngine::compute(
     result.signature_classes = result.paths_stored;
   }
   result.nodes_expanded = nodes;
+
+  obs::counter_add("uniformization.paths_visited", visited);
+  obs::counter_add("uniformization.nodes_expanded", result.nodes_expanded);
+  obs::counter_add("uniformization.paths_stored", result.paths_stored);
+  obs::counter_add("uniformization.paths_truncated", result.paths_truncated);
+  obs::counter_add("uniformization.signature_classes", result.signature_classes);
+  obs::gauge_max("uniformization.max_depth", static_cast<double>(result.max_depth));
   return result;
 }
 

@@ -54,6 +54,9 @@ struct UntilUniformizationResult {
   double error_bound = 0.0;
   /// Number of stored path prefixes ending in a Psi-state.
   std::size_t paths_stored = 0;
+  /// Number of DFS branches cut by the truncation probability w or the depth
+  /// bound N (each contributes its discarded mass to error_bound).
+  std::size_t paths_truncated = 0;
   /// Number of distinct (k, j) signatures among stored paths.
   std::size_t signature_classes = 0;
   /// DFS nodes expanded.

@@ -6,6 +6,7 @@
 
 #include "numeric/fox_glynn.hpp"
 #include "numeric/poisson.hpp"
+#include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace csrlmrm::numeric {
@@ -52,6 +53,7 @@ std::vector<double> accumulate_series(const linalg::CsrMatrix& P,
                                       const linalg::CsrMatrix* P_transposed, unsigned threads,
                                       const FoxGlynnWeights& window,
                                       std::vector<double> initial) {
+  obs::counter_add("transient.series_terms", window.right + 1);
   std::vector<double> term = std::move(initial);  // p(0) * P^i
   std::vector<double> scratch(term.size(), 0.0);
   std::vector<double> result(term.size(), 0.0);
@@ -90,6 +92,8 @@ linalg::CsrMatrix uniformized_transition_matrix(const core::RateMatrix& rates,
 std::vector<double> transient_distribution(const core::RateMatrix& rates,
                                            const std::vector<double>& initial, double t,
                                            const TransientOptions& options) {
+  obs::ScopedTimer timer("transient.distribution");
+  obs::counter_add("transient.calls");
   require_distribution(rates, initial);
   require_time(t);
   if (t == 0.0) return initial;
@@ -125,6 +129,8 @@ std::vector<double> transient_distribution_from(const core::RateMatrix& rates,
 std::vector<std::vector<double>> transient_distributions_from_states(
     const core::RateMatrix& rates, const std::vector<core::StateIndex>& starts, double t,
     const TransientOptions& options) {
+  obs::ScopedTimer timer("transient.distributions_from_states");
+  obs::counter_add("transient.calls", starts.size());
   require_time(t);
   const std::size_t n = rates.num_states();
   for (const core::StateIndex start : starts) {
@@ -164,6 +170,8 @@ std::vector<std::vector<double>> transient_distributions_from_states(
 std::vector<double> expected_occupation_times(const core::RateMatrix& rates,
                                               const std::vector<double>& initial, double t,
                                               const TransientOptions& options) {
+  obs::ScopedTimer timer("transient.expected_occupation_times");
+  obs::counter_add("transient.occupation_calls");
   require_distribution(rates, initial);
   require_time(t);
   const std::size_t n = rates.num_states();
@@ -194,12 +202,15 @@ std::vector<double> expected_occupation_times(const core::RateMatrix& rates,
   std::vector<double> term = initial;
   std::vector<double> scratch(n, 0.0);
   std::vector<double> result(n, 0.0);
+  std::size_t terms = 0;
   for (std::size_t k = 0; k <= hard_cap; ++k) {
     const double weight = tail_table.tail(k + 1) / lambda;
     if (weight <= 0.0) break;
+    ++terms;
     for (std::size_t s = 0; s < n; ++s) result[s] += weight * term[s];
     advance_term(P, P_transposed ? &*P_transposed : nullptr, threads, term, scratch);
   }
+  obs::counter_add("transient.series_terms", terms);
   return result;
 }
 

@@ -1,0 +1,305 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/json.hpp"
+
+namespace csrlmrm::obs {
+
+namespace {
+
+/// -1 = not yet initialized from the environment, 0 = off, 1 = on.
+std::atomic<int> g_enabled{-1};
+
+int read_enabled_from_environment() {
+  const char* text = std::getenv("CSRLMRM_STATS");
+  const bool on = text != nullptr && *text != '\0' &&
+                  !(text[0] == '0' && text[1] == '\0');
+  return on ? 1 : 0;
+}
+
+/// Sorts children by name, recursively (snapshot form: deterministic output
+/// regardless of first-seen/merge order).
+void sort_trace(TraceNode& node) {
+  std::sort(node.children.begin(), node.children.end(),
+            [](const TraceNode& a, const TraceNode& b) { return a.name < b.name; });
+  for (TraceNode& child : node.children) sort_trace(child);
+}
+
+void merge_trace_into(TraceNode& target, const TraceNode& source) {
+  target.calls += source.calls;
+  target.total_ns += source.total_ns;
+  for (const TraceNode& child : source.children) {
+    auto it = std::find_if(target.children.begin(), target.children.end(),
+                           [&](const TraceNode& t) { return t.name == child.name; });
+    if (it == target.children.end()) {
+      target.children.push_back({child.name, 0, 0, {}});
+      it = target.children.end() - 1;
+    }
+    merge_trace_into(*it, child);
+  }
+}
+
+}  // namespace
+
+const TraceNode* TraceNode::find(std::string_view child_name) const {
+  for (const TraceNode& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+bool stats_enabled() {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = read_enabled_from_environment();
+    g_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void set_stats_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+#if CSRLMRM_STATS_COMPILED
+
+namespace {
+
+/// Per-thread pending data. Recording never takes a lock; flush_thread()
+/// moves the block's content into the global registry under its mutex.
+struct ThreadBlock {
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  TraceNode root{"root", 0, 0, {}};
+  /// Path of the open ScopedTimers as child indices from `root` (indices,
+  /// not pointers: sibling insertion reallocates children vectors).
+  std::vector<std::size_t> open_scopes;
+  bool has_data = false;
+
+  TraceNode& current() {
+    TraceNode* node = &root;
+    for (const std::size_t index : open_scopes) node = &node->children[index];
+    return *node;
+  }
+};
+
+thread_local ThreadBlock t_block;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void counter_add(std::string_view name, std::uint64_t delta) {
+  if (!stats_enabled()) return;
+  auto& counters = t_block.counters;
+  const auto it = counters.find(name);
+  if (it != counters.end()) {
+    it->second += delta;
+  } else {
+    counters.emplace(std::string(name), delta);
+  }
+  t_block.has_data = true;
+}
+
+void gauge_max(std::string_view name, double value) {
+  if (!stats_enabled()) return;
+  auto& gauges = t_block.gauges;
+  const auto it = gauges.find(name);
+  if (it != gauges.end()) {
+    it->second = std::max(it->second, value);
+  } else {
+    gauges.emplace(std::string(name), value);
+  }
+  t_block.has_data = true;
+}
+
+void flush_thread() {
+  ThreadBlock& block = t_block;
+  if (!block.has_data) return;
+  StatsRegistry& registry = StatsRegistry::global();
+  for (const auto& [name, delta] : block.counters) registry.add_counter(name, delta);
+  for (const auto& [name, value] : block.gauges) registry.max_gauge(name, value);
+  block.counters.clear();
+  block.gauges.clear();
+  // Trace data can only move while no timer is open: open ScopedTimers hold
+  // child indices into this tree. They are closed by the time the pool
+  // reports a chunk done, so worker flushes always include the trace.
+  if (block.open_scopes.empty()) {
+    if (!block.root.children.empty()) {
+      registry.merge_trace(block.root);
+      block.root.children.clear();
+    }
+    block.has_data = false;
+  } else {
+    block.has_data = !block.root.children.empty();
+  }
+}
+
+ScopedTimer::ScopedTimer(const char* name) {
+  if (!stats_enabled()) return;
+  ThreadBlock& block = t_block;
+  TraceNode& parent = block.current();
+  std::size_t index = 0;
+  for (; index < parent.children.size(); ++index) {
+    if (parent.children[index].name == name) break;
+  }
+  if (index == parent.children.size()) parent.children.push_back({name, 0, 0, {}});
+  block.open_scopes.push_back(index);
+  active_ = true;
+  start_ns_ = now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!active_) return;
+  const std::uint64_t elapsed = now_ns() - start_ns_;
+  ThreadBlock& block = t_block;
+  TraceNode& node = block.current();
+  node.calls += 1;
+  node.total_ns += elapsed;
+  block.open_scopes.pop_back();
+  block.has_data = true;
+}
+
+void StatsRegistry::flush_calling_thread_if_global() const {
+  if (this == &StatsRegistry::global()) flush_thread();
+}
+
+#else  // CSRLMRM_STATS_COMPILED == 0
+
+void StatsRegistry::flush_calling_thread_if_global() const {}
+
+#endif  // CSRLMRM_STATS_COMPILED
+
+StatsRegistry& StatsRegistry::global() {
+  static StatsRegistry registry;
+  return registry;
+}
+
+void StatsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+void StatsRegistry::max_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = std::max(it->second, value);
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+void StatsRegistry::merge_trace(const TraceNode& root) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Root-level calls/time are never recorded (the root is not a timer), so
+  // only children merge meaningfully; merge_trace_into handles both anyway.
+  for (const TraceNode& child : root.children) {
+    auto it = std::find_if(root_.children.begin(), root_.children.end(),
+                           [&](const TraceNode& t) { return t.name == child.name; });
+    if (it == root_.children.end()) {
+      root_.children.push_back({child.name, 0, 0, {}});
+      it = root_.children.end() - 1;
+    }
+    merge_trace_into(*it, child);
+  }
+}
+
+std::map<std::string, std::uint64_t> StatsRegistry::counters() const {
+  flush_calling_thread_if_global();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, double> StatsRegistry::gauges() const {
+  flush_calling_thread_if_global();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+TraceNode StatsRegistry::trace() const {
+  flush_calling_thread_if_global();
+  TraceNode snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = root_;
+  }
+  sort_trace(snapshot);
+  return snapshot;
+}
+
+std::uint64_t StatsRegistry::counter(std::string_view name) const {
+  flush_calling_thread_if_global();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+double StatsRegistry::gauge(std::string_view name) const {
+  flush_calling_thread_if_global();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : std::nan("");
+}
+
+namespace {
+
+JsonValue trace_to_json(const TraceNode& node) {
+  JsonValue object = JsonValue::object();
+  object.set("name", JsonValue(node.name));
+  object.set("calls", JsonValue(static_cast<double>(node.calls)));
+  object.set("total_ns", JsonValue(static_cast<double>(node.total_ns)));
+  object.set("total_ms", JsonValue(static_cast<double>(node.total_ns) / 1e6));
+  JsonValue children = JsonValue::array();
+  for (const TraceNode& child : node.children) children.push_back(trace_to_json(child));
+  object.set("children", std::move(children));
+  return object;
+}
+
+}  // namespace
+
+std::string StatsRegistry::to_json() const {
+  // Snapshot through the public accessors (they flush + lock); building the
+  // document itself needs no lock.
+  const auto counter_map = counters();
+  const auto gauge_map = gauges();
+  const TraceNode trace_root = trace();
+
+  JsonValue document = JsonValue::object();
+  document.set("schema", JsonValue(std::string("csrlmrm-stats-v1")));
+  JsonValue counters_json = JsonValue::object();
+  for (const auto& [name, value] : counter_map) {
+    counters_json.set(name, JsonValue(static_cast<double>(value)));
+  }
+  document.set("counters", std::move(counters_json));
+  JsonValue gauges_json = JsonValue::object();
+  for (const auto& [name, value] : gauge_map) gauges_json.set(name, JsonValue(value));
+  document.set("gauges", std::move(gauges_json));
+  document.set("trace", trace_to_json(trace_root));
+  return write_json(document);
+}
+
+void StatsRegistry::reset() {
+  flush_calling_thread_if_global();  // don't let stale thread data resurface later
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  root_.children.clear();
+}
+
+}  // namespace csrlmrm::obs

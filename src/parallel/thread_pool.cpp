@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/stats.hpp"
+
 namespace csrlmrm::parallel {
 
 namespace {
@@ -100,12 +102,19 @@ void ThreadPool::drain_current_job(std::unique_lock<std::mutex>& lock) {
       (*task)(chunk);
     } catch (...) {
       t_in_parallel_region = false;
+      obs::flush_thread();  // unwind closed any timers; don't strand the data
       lock.lock();
       if (!error_) error_ = std::current_exception();
       --active_;
       continue;
     }
     t_in_parallel_region = false;
+    obs::counter_add("thread_pool.chunks");
+    // Flush this thread's pending stats before reporting the chunk done:
+    // run() returns only after active_ reaches 0 under this mutex, so every
+    // flush happens-before the region completes — no thread-local data from
+    // the region can race with a post-region registry snapshot.
+    obs::flush_thread();
     lock.lock();
     --active_;
   }
@@ -114,6 +123,7 @@ void ThreadPool::drain_current_job(std::unique_lock<std::mutex>& lock) {
 
 void ThreadPool::run(std::size_t chunks, const std::function<void(std::size_t)>& task) {
   if (chunks == 0) return;
+  obs::counter_add("thread_pool.jobs");
   std::unique_lock<std::mutex> lock(mutex_);
   // One job at a time: the pool is only entered from non-nested regions, and
   // concurrent top-level callers serialize here.

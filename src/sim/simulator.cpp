@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/stats.hpp"
+
 namespace csrlmrm::sim {
 
 namespace {
@@ -155,6 +157,8 @@ Estimate estimate_until(const core::Mrm& model, core::StateIndex start,
                         const logic::Interval& time_bound, const logic::Interval& reward_bound,
                         const SimulationOptions& options) {
   if (options.samples == 0) throw std::invalid_argument("estimate_until: need samples > 0");
+  obs::ScopedTimer timer("sim.estimate_until");
+  obs::counter_add("sim.samples", options.samples);
   MrmSimulator simulator(model, options.seed);
   std::size_t successes = 0;
   for (std::size_t i = 0; i < options.samples; ++i) {
@@ -167,6 +171,8 @@ Estimate estimate_next(const core::Mrm& model, core::StateIndex start,
                        const std::vector<bool>& sat_phi, const logic::Interval& time_bound,
                        const logic::Interval& reward_bound, const SimulationOptions& options) {
   if (options.samples == 0) throw std::invalid_argument("estimate_next: need samples > 0");
+  obs::ScopedTimer timer("sim.estimate_next");
+  obs::counter_add("sim.samples", options.samples);
   MrmSimulator simulator(model, options.seed);
   std::size_t successes = 0;
   for (std::size_t i = 0; i < options.samples; ++i) {
@@ -180,6 +186,8 @@ Estimate estimate_performability(const core::Mrm& model, core::StateIndex start,
   if (options.samples == 0) {
     throw std::invalid_argument("estimate_performability: need samples > 0");
   }
+  obs::ScopedTimer timer("sim.estimate_performability");
+  obs::counter_add("sim.samples", options.samples);
   MrmSimulator simulator(model, options.seed);
   std::size_t successes = 0;
   for (std::size_t i = 0; i < options.samples; ++i) {
@@ -193,6 +201,8 @@ Estimate estimate_expected_reward(const core::Mrm& model, core::StateIndex start
   if (options.samples == 0) {
     throw std::invalid_argument("estimate_expected_reward: need samples > 0");
   }
+  obs::ScopedTimer timer("sim.estimate_expected_reward");
+  obs::counter_add("sim.samples", options.samples);
   MrmSimulator simulator(model, options.seed);
   double sum = 0.0;
   double sum_squares = 0.0;

@@ -4,11 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
 #include "models/wavelan.hpp"
+#include "obs/json.hpp"
 
 namespace csrlmrm::io {
 namespace {
@@ -154,6 +160,93 @@ TEST_F(IoRoundTrip, MissingFileThrows) {
   EXPECT_THROW(load_mrm("/nonexistent/x.tra", "/nonexistent/x.lab", "/nonexistent/x.rewr", ""),
                std::runtime_error);
 }
+
+#if defined(MRMCHECK_BINARY) && !defined(_WIN32)
+
+// End-to-end tests of the mrmcheck command line: flag errors must exit with
+// status 2 (usage) before any checking runs, and --stats must produce
+// schema-valid JSON.
+class MrmcheckCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    directory_ = std::filesystem::temp_directory_path() / "csrlmrm_cli_test";
+    std::filesystem::create_directories(directory_);
+    const std::string models = CSRLMRM_EXAMPLE_MODELS_DIR;
+    model_args_ = "'" + models + "/tmr.tra' '" + models + "/tmr.lab' '" + models +
+                  "/tmr.rewr' '" + models + "/tmr.rewi'";
+  }
+  void TearDown() override { std::filesystem::remove_all(directory_); }
+
+  /// Runs mrmcheck with the given arguments (output silenced) and returns
+  /// its exit status, or -1 when the child did not exit normally.
+  int run(const std::string& arguments) const {
+    const std::string command = std::string("'") + MRMCHECK_BINARY + "' " + arguments +
+                                " >/dev/null 2>/dev/null";
+    const int status = std::system(command.c_str());
+    if (status == -1 || !WIFEXITED(status)) return -1;
+    return WEXITSTATUS(status);
+  }
+
+  std::filesystem::path directory_;
+  std::string model_args_;
+};
+
+TEST_F(MrmcheckCli, ChecksAFormulaAndExitsZero) {
+  EXPECT_EQ(run(model_args_ + " NP 'P(>0.1)[Sup U[0,50][0,3000] failed]'"), 0);
+}
+
+TEST_F(MrmcheckCli, RejectsUnknownOption) {
+  EXPECT_EQ(run(model_args_ + " --bogus 'TT'"), 2);
+}
+
+TEST_F(MrmcheckCli, RejectsMalformedUniformizationWindow) {
+  EXPECT_EQ(run(model_args_ + " u=abc 'TT'"), 2);
+  EXPECT_EQ(run(model_args_ + " u= 'TT'"), 2);
+  EXPECT_EQ(run(model_args_ + " u=-1e-8 'TT'"), 2);
+  EXPECT_EQ(run(model_args_ + " d=0 'TT'"), 2);
+}
+
+TEST_F(MrmcheckCli, RejectsMalformedThreadCount) {
+  EXPECT_EQ(run(model_args_ + " --threads 0 'TT'"), 2);
+  EXPECT_EQ(run(model_args_ + " --threads=x 'TT'"), 2);
+  EXPECT_EQ(run(model_args_ + " --threads 'TT'"), 2);  // value swallowed the formula
+}
+
+TEST_F(MrmcheckCli, RejectsSecondFormulaArgument) {
+  EXPECT_EQ(run(model_args_ + " 'TT' 'FF'"), 2);
+}
+
+TEST_F(MrmcheckCli, RejectsMissingFormula) {
+  EXPECT_EQ(run(model_args_ + " NP"), 2);
+}
+
+TEST_F(MrmcheckCli, StatsToUnwritablePathFailsBeforeChecking) {
+  EXPECT_EQ(run(model_args_ + " --stats=/nonexistent-dir/stats.json 'TT'"), 2);
+  EXPECT_EQ(run(model_args_ + " --stats= 'TT'"), 2);
+}
+
+TEST_F(MrmcheckCli, StatsFileIsSchemaValidJson) {
+  const std::string stats_file = (directory_ / "stats.json").string();
+  ASSERT_EQ(run(model_args_ + " --stats='" + stats_file +
+                "' NP 'P(>0.1)[Sup U[0,50][0,3000] failed]'"),
+            0);
+  std::ifstream in(stats_file);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const obs::JsonValue stats = obs::parse_json(buffer.str());
+  const obs::JsonValue* schema = stats.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_string(), "csrlmrm-stats-v1");
+  const obs::JsonValue* counters = stats.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find("uniformization.calls"), nullptr);
+  const obs::JsonValue* trace = stats.find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_NE(trace->find("children"), nullptr);
+}
+
+#endif  // MRMCHECK_BINARY && !_WIN32
 
 }  // namespace
 }  // namespace csrlmrm::io

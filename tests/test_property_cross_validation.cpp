@@ -11,6 +11,8 @@
 #include "models/random_mrm.hpp"
 #include "numeric/discretization.hpp"
 #include "numeric/path_explorer.hpp"
+#include "obs/stats.hpp"
+#include "sim/simulator.hpp"
 
 namespace csrlmrm {
 namespace {
@@ -110,6 +112,88 @@ TEST_P(HugeRewardReducesToP1, RewardEngineMatchesTransientAnalysis) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HugeRewardReducesToP1, ::testing::Range(1u, 13u));
+
+class ImpulseHeavyEnginesAgree : public ::testing::TestWithParam<Workload> {
+ protected:
+  void SetUp() override {
+    obs::set_stats_enabled(true);
+    obs::StatsRegistry::global().reset();
+  }
+  void TearDown() override {
+    obs::StatsRegistry::global().reset();
+    obs::set_stats_enabled(false);
+  }
+};
+
+TEST_P(ImpulseHeavyEnginesAgree, AllThreeEnginesAgreeAndReportStats) {
+  // Models where the impulse rewards iota dominate the rate rewards rho:
+  // state rewards at most 1, nine of ten transitions carry an impulse. This
+  // is the regime the thesis is actually about — both engines must keep
+  // agreeing (and with the simulator) when almost all accumulation happens
+  // at jumps.
+  const auto [seed, t, r] = GetParam();
+  models::RandomMrmConfig config;
+  config.num_states = 6;
+  config.max_rate = 1.0;
+  config.max_state_reward = 1;    // rho in {0, 1}
+  config.impulse_probability = 0.9;
+  config.max_impulse = 2.0;       // iota up to 2, multiples of 1/4
+  const core::Mrm model = models::make_random_mrm(seed, config);
+
+  std::vector<bool> phi(model.num_states(), true);
+  std::vector<bool> psi = model.labels().states_with("b");
+  bool any_psi = false;
+  for (auto v : psi) any_psi = any_psi || v;
+  if (!any_psi) psi[seed % config.num_states] = true;
+
+  std::vector<bool> dead(model.num_states(), false);  // phi holds everywhere
+  const core::Mrm transformed = core::make_absorbing(model, psi);
+
+  numeric::UniformizationUntilEngine engine(transformed, psi, dead);
+  numeric::PathExplorerOptions uopts;
+  uopts.truncation_probability = 1e-13;
+
+  numeric::DiscretizationOptions dopts;
+  dopts.step = 1.0 / 64.0;  // impulses are multiples of 1/4 -> integral levels
+
+  sim::SimulationOptions sopts;
+  sopts.samples = 20'000;
+  sopts.seed = 1234 + seed;
+
+  for (core::StateIndex start = 0; start < model.num_states(); ++start) {
+    const auto uni = engine.compute(start, t, r, uopts);
+    const auto disc =
+        numeric::until_probability_discretization(transformed, psi, start, t, r, dopts);
+    EXPECT_NEAR(uni.probability, disc.probability, 0.03 + uni.error_bound)
+        << "start=" << start;
+    const auto sim_estimate = sim::estimate_until(model, start, phi, psi, logic::up_to(t),
+                                                  logic::up_to(r), sopts);
+    EXPECT_NEAR(uni.probability, sim_estimate.mean,
+                sim_estimate.half_width_95 + 0.02 + uni.error_bound)
+        << "start=" << start;
+  }
+
+  // All three engines ran instrumented: their stats blocks must be present.
+  const auto& registry = obs::StatsRegistry::global();
+  EXPECT_EQ(registry.counter("uniformization.calls"),
+            static_cast<std::uint64_t>(model.num_states()));
+  EXPECT_EQ(registry.counter("discretization.calls"),
+            static_cast<std::uint64_t>(model.num_states()));
+  EXPECT_GE(registry.counter("uniformization.paths_visited"),
+            registry.counter("uniformization.paths_truncated"));
+  EXPECT_GE(registry.counter("discretization.time_steps"), 1u);
+  EXPECT_EQ(registry.counter("sim.samples"),
+            static_cast<std::uint64_t>(sopts.samples) * model.num_states());
+  const obs::TraceNode trace = registry.trace();
+  EXPECT_NE(trace.find("uniformization.until"), nullptr);
+  EXPECT_NE(trace.find("discretization.until"), nullptr);
+  EXPECT_NE(trace.find("sim.estimate_until"), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(ImpulseDominatedModels, ImpulseHeavyEnginesAgree,
+                         ::testing::Values(Workload{21, 1.0, 2.0}, Workload{22, 1.5, 3.0},
+                                           Workload{23, 2.0, 5.0}, Workload{24, 1.0, 4.0},
+                                           Workload{25, 1.5, 6.0}));
 
 TEST(CrossValidation, AggregationAblationIsExactOnRandomModels) {
   // Per-path Omega evaluation and per-signature aggregation must agree to
