@@ -42,6 +42,15 @@ void usage() {
                "            Fox-Glynn windows, path counts, per-operator timings) and\n"
                "            write them as JSON to the file (or stdout). The\n"
                "            CSRLMRM_STATS env var enables collection as well.\n"
+               "  --strict  exit with status 3 when any state's verdict is UNKNOWN\n"
+               "            (its value interval straddles a threshold); the default\n"
+               "            only warns and lists the offending intervals\n"
+               "  --fallback=<policy>  what to do when the uniformization engine\n"
+               "            exhausts its node budget: 'discretize' (default: redo\n"
+               "            that state with the discretization engine), 'widen-w'\n"
+               "            (retry with coarser truncation), or 'throw' (fail)\n"
+               "  --max-nodes=N  node budget for the uniformization path DFS\n"
+               "            (default 500000000)\n"
                "  NP        do not print per-state probabilities\n"
                "\n"
                "formula syntax (appendix of the thesis, plus the R extension):\n"
@@ -131,6 +140,7 @@ int main(int argc, char** argv) {
 
     checker::CheckerOptions options;
     bool print_probabilities = true;
+    bool strict = false;
     bool stats_requested = obs::stats_enabled();  // CSRLMRM_STATS env var
     std::string stats_path;
     bool have_formula = false;
@@ -170,6 +180,35 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "mrmcheck: --stats= expects a file path\n");
             return 2;
           }
+        }
+      } else if (token == "--strict") {
+        strict = true;
+      } else if (token.rfind("--fallback=", 0) == 0) {
+        const std::string policy = token.substr(11);
+        if (policy == "throw") {
+          options.on_budget_exhausted = checker::BudgetPolicy::kThrow;
+        } else if (policy == "discretize") {
+          options.on_budget_exhausted = checker::BudgetPolicy::kFallbackToDiscretization;
+        } else if (policy == "widen-w") {
+          options.on_budget_exhausted = checker::BudgetPolicy::kWidenW;
+        } else {
+          std::fprintf(stderr,
+                       "mrmcheck: --fallback= expects 'throw', 'discretize' or 'widen-w', "
+                       "got '%s'\n",
+                       policy.c_str());
+          return 2;
+        }
+      } else if (token.rfind("--max-nodes=", 0) == 0) {
+        const std::string value = token.substr(12);
+        try {
+          std::size_t consumed = 0;
+          const unsigned long long nodes = std::stoull(value, &consumed);
+          if (consumed != value.size() || nodes == 0) throw std::invalid_argument(value);
+          options.uniformization.max_nodes = static_cast<std::size_t>(nodes);
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "mrmcheck: --max-nodes= expects a positive integer, got '%s'\n",
+                       value.c_str());
+          return 2;
         }
       } else if (token.rfind("--", 0) == 0) {
         std::fprintf(stderr, "mrmcheck: unknown option '%s'\n", token.c_str());
@@ -222,7 +261,9 @@ int main(int argc, char** argv) {
       const auto values = checker.path_probabilities(formula);
       for (core::StateIndex s = 0; s < model.num_states(); ++s) {
         std::printf("  P(state %zu) = %.17g", s + 1, values[s].probability);
-        if (values[s].error_bound > 0.0) std::printf("  (error <= %.3e)", values[s].error_bound);
+        if (values[s].bound.width() > 0.0) {
+          std::printf("  (in %s)", values[s].bound.to_string().c_str());
+        }
         std::printf("\n");
       }
     }
@@ -239,16 +280,47 @@ int main(int argc, char** argv) {
       }
     }
 
-    const std::vector<bool>& sat = checker.satisfaction_set(formula);
+    const auto verdicts = checker.verdicts(formula);
     std::printf("satisfying states (1-based):");
     bool any = false;
+    bool any_unknown = false;
     for (core::StateIndex s = 0; s < model.num_states(); ++s) {
-      if (sat[s]) {
+      if (verdicts[s] == checker::Verdict::kSat) {
         std::printf(" %zu", s + 1);
         any = true;
+      } else if (verdicts[s] == checker::Verdict::kUnknown) {
+        any_unknown = true;
       }
     }
     std::printf("%s\n", any ? "" : " (none)");
+
+    if (any_unknown) {
+      const bool is_operator = formula->kind == logic::FormulaKind::kSteady ||
+                               formula->kind == logic::FormulaKind::kProbNext ||
+                               formula->kind == logic::FormulaKind::kProbUntil ||
+                               formula->kind == logic::FormulaKind::kExpectedReward;
+      std::vector<checker::ProbabilityBound> bounds;
+      if (is_operator) bounds = checker.value_bounds(formula);
+      std::printf("UNKNOWN states (1-based):");
+      for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+        if (verdicts[s] == checker::Verdict::kUnknown) std::printf(" %zu", s + 1);
+      }
+      std::printf("\n");
+      for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+        if (verdicts[s] != checker::Verdict::kUnknown) continue;
+        if (is_operator) {
+          std::fprintf(stderr,
+                       "mrmcheck: warning: state %zu is UNKNOWN — value interval %s straddles "
+                       "the threshold; tighten w/epsilon/d or use --strict to fail\n",
+                       s + 1, bounds[s].to_string().c_str());
+        } else {
+          std::fprintf(stderr,
+                       "mrmcheck: warning: state %zu is UNKNOWN — a sub-formula's value "
+                       "interval straddles its threshold at the configured accuracy\n",
+                       s + 1);
+        }
+      }
+    }
 
     if (stats_requested) {
       const std::string json = obs::StatsRegistry::global().to_json();
@@ -263,6 +335,10 @@ int main(int argc, char** argv) {
         }
         std::printf("stats: written to %s\n", stats_path.c_str());
       }
+    }
+    if (strict && any_unknown) {
+      std::fprintf(stderr, "mrmcheck: --strict: UNKNOWN verdicts present\n");
+      return 3;
     }
     return 0;
   } catch (const std::exception& error) {

@@ -21,10 +21,31 @@ enum class UntilMethod {
   kDiscretization,
 };
 
+/// What the checker does when the DFPG explorer exhausts its node budget
+/// (PathExplorerOptions::max_nodes): uniformization is only practical for
+/// small Lambda*t, and a production checker must degrade gracefully instead
+/// of dying mid-formula.
+enum class BudgetPolicy {
+  /// Propagate numeric::NodeBudgetError to the caller (the pre-existing
+  /// behavior).
+  kThrow,
+  /// Re-evaluate the affected start states with the discretization engine
+  /// (recorded in the `uniformization.fallbacks` stats counter); the
+  /// returned interval is the discretization one.
+  kFallbackToDiscretization,
+  /// Retry with the truncation probability w widened by 1000x (up to 1e-2,
+  /// recorded in `uniformization.widenings`), trading accuracy — visible in
+  /// the returned interval — for a smaller search tree; falls back to
+  /// discretization if even the widest w exhausts the budget.
+  kWidenW,
+};
+
 /// All knobs of the checker, with the defaults of the thesis's tool
 /// (uniformization with truncation probability w = 1e-8).
 struct CheckerOptions {
   UntilMethod until_method = UntilMethod::kUniformization;
+  /// Degradation policy on node-budget exhaustion (see BudgetPolicy).
+  BudgetPolicy on_budget_exhausted = BudgetPolicy::kFallbackToDiscretization;
   /// Options for the uniformization path explorer (w lives here).
   numeric::PathExplorerOptions uniformization;
   /// Options for the discretization engine (the step d lives here).

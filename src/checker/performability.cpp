@@ -10,10 +10,7 @@
 
 namespace csrlmrm::checker {
 
-namespace {
-
-/// Per-state gain rate: rho(s) plus the impulse flux of s's transitions.
-std::vector<double> gain_rates(const core::Mrm& model) {
+std::vector<double> per_state_gain_rates(const core::Mrm& model) {
   std::vector<double> gain(model.num_states(), 0.0);
   for (core::StateIndex s = 0; s < model.num_states(); ++s) {
     gain[s] = model.state_reward(s);
@@ -24,8 +21,6 @@ std::vector<double> gain_rates(const core::Mrm& model) {
   return gain;
 }
 
-}  // namespace
-
 PerformabilityValue performability(const core::Mrm& model, core::StateIndex start, double t,
                                    double r, const CheckerOptions& options) {
   obs::ScopedTimer timer("checker.performability");
@@ -35,11 +30,15 @@ PerformabilityValue performability(const core::Mrm& model, core::StateIndex star
   if (options.until_method == UntilMethod::kUniformization) {
     numeric::UniformizationUntilEngine engine(model, everything, nothing);
     const auto result = engine.compute(start, t, r, options.uniformization);
-    return {result.probability, result.error_bound};
+    // Truncation only loses mass: the truth lies in [p, p + error].
+    return {result.probability, result.error_bound,
+            ProbabilityBound::from_point_error(result.probability, 0.0, result.error_bound)};
   }
   const auto result = numeric::until_probability_discretization(model, everything, start, t, r,
                                                                 options.discretization);
-  return {result.probability, 0.0};
+  return {result.probability, result.error_bound,
+          ProbabilityBound::from_point_error(result.probability, result.error_bound,
+                                             result.error_bound)};
 }
 
 std::vector<PerformabilityValue> performability_cdf(const core::Mrm& model,
@@ -56,7 +55,9 @@ std::vector<PerformabilityValue> performability_cdf(const core::Mrm& model,
     numeric::UniformizationUntilEngine engine(model, everything, nothing);
     for (const double r : reward_bounds) {
       const auto result = engine.compute(start, t, r, options.uniformization);
-      values.push_back({result.probability, result.error_bound});
+      values.push_back(
+          {result.probability, result.error_bound,
+           ProbabilityBound::from_point_error(result.probability, 0.0, result.error_bound)});
     }
     return values;
   }
@@ -75,7 +76,7 @@ double expected_accumulated_reward(const core::Mrm& model, core::StateIndex star
   initial[start] = 1.0;
   const auto occupation =
       numeric::expected_occupation_times(model.rates(), initial, t, options);
-  const auto gain = gain_rates(model);
+  const auto gain = per_state_gain_rates(model);
   double expected = 0.0;
   for (core::StateIndex s = 0; s < model.num_states(); ++s) {
     expected += occupation[s] * gain[s];
@@ -85,7 +86,7 @@ double expected_accumulated_reward(const core::Mrm& model, core::StateIndex star
 
 std::vector<double> long_run_reward_rate(const core::Mrm& model,
                                          const linalg::IterativeOptions& solver) {
-  const auto gain = gain_rates(model);
+  const auto gain = per_state_gain_rates(model);
   std::vector<double> rates(model.num_states(), 0.0);
   for (core::StateIndex start = 0; start < model.num_states(); ++start) {
     const auto pi = steady_state_distribution(model, start, solver);

@@ -17,15 +17,18 @@
 #include <vector>
 
 #include "checker/options.hpp"
+#include "checker/verdict.hpp"
 #include "core/mrm.hpp"
 
 namespace csrlmrm::checker {
 
-/// A performability value with the truncation error bound of the engine
-/// that produced it (0 for discretization).
+/// A performability value with the error bound of the engine that produced
+/// it (DFPG truncation mass, or the derived O(d) discretization band) and
+/// the rigorous interval containing the true value.
 struct PerformabilityValue {
   double probability = 0.0;
   double error_bound = 0.0;
+  ProbabilityBound bound = ProbabilityBound::point(0.0);
 };
 
 /// Perf(<= r) = Pr{ Y(t) <= r } from `start` over the utilization interval
@@ -53,5 +56,11 @@ double expected_accumulated_reward(const core::Mrm& model, core::StateIndex star
 /// when the chain has multiple BSCCs).
 std::vector<double> long_run_reward_rate(const core::Mrm& model,
                                          const linalg::IterativeOptions& solver = {});
+
+/// Per-state gain rate rho(s) + sum_s' R(s,s') iota(s,s') — the expected
+/// reward earned per unit of residence in s. Exposed so the checker can
+/// bound the cumulative-reward error (lost occupation mass times the
+/// largest gain rate).
+std::vector<double> per_state_gain_rates(const core::Mrm& model);
 
 }  // namespace csrlmrm::checker

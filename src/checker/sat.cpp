@@ -1,5 +1,6 @@
 #include "checker/sat.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "checker/absorption.hpp"
@@ -9,12 +10,45 @@
 
 namespace csrlmrm::checker {
 
+namespace {
+
+bool any_set(const std::vector<bool>& mask) {
+  return std::find(mask.begin(), mask.end(), true) != mask.end();
+}
+
+/// The optimistic operand set: UNKNOWN counts as satisfied.
+std::vector<bool> optimistic(const std::vector<bool>& sat, const std::vector<bool>& unknown) {
+  std::vector<bool> mask(sat);
+  for (std::size_t s = 0; s < mask.size(); ++s) mask[s] = mask[s] || unknown[s];
+  return mask;
+}
+
+}  // namespace
+
 ModelChecker::ModelChecker(const core::Mrm& model, CheckerOptions options)
     : model_(&model), options_(std::move(options)) {}
 
 const std::vector<bool>& ModelChecker::satisfaction_set(const logic::FormulaPtr& formula) {
   if (!formula) throw std::invalid_argument("ModelChecker: null formula");
-  return evaluate(formula);
+  return evaluate(formula).sat;
+}
+
+const std::vector<bool>& ModelChecker::unknown_set(const logic::FormulaPtr& formula) {
+  if (!formula) throw std::invalid_argument("ModelChecker: null formula");
+  return evaluate(formula).unknown;
+}
+
+std::vector<Verdict> ModelChecker::verdicts(const logic::FormulaPtr& formula) {
+  const SatResult& result = evaluate(formula);
+  std::vector<Verdict> out(result.sat.size(), Verdict::kUnsat);
+  for (std::size_t s = 0; s < result.sat.size(); ++s) {
+    if (result.sat[s]) {
+      out[s] = Verdict::kSat;
+    } else if (result.unknown[s]) {
+      out[s] = Verdict::kUnknown;
+    }
+  }
+  return out;
 }
 
 bool ModelChecker::satisfies(core::StateIndex state, const logic::FormulaPtr& formula) {
@@ -29,25 +63,41 @@ std::vector<UntilValue> ModelChecker::path_probabilities(const logic::FormulaPtr
   switch (formula->kind) {
     case logic::FormulaKind::kProbNext: {
       const auto& node = static_cast<const logic::ProbNextFormula&>(*formula);
-      const auto probabilities = next_probabilities(*model_, evaluate(node.operand),
+      const auto probabilities = next_probabilities(*model_, evaluate(node.operand).sat,
                                                     node.time_bound, node.reward_bound,
                                                     options_.threads);
       std::vector<UntilValue> values(probabilities.size());
-      for (std::size_t s = 0; s < probabilities.size(); ++s) values[s] = {probabilities[s], 0.0};
+      for (std::size_t s = 0; s < probabilities.size(); ++s) {
+        values[s] = exact_until_value(probabilities[s]);
+      }
       return values;
     }
     case logic::FormulaKind::kProbUntil: {
       const auto& node = static_cast<const logic::ProbUntilFormula&>(*formula);
       // Copy the first Sat set: evaluating the second operand can rehash the
       // memoization table and would invalidate a reference into it.
-      const std::vector<bool> sat_lhs = evaluate(node.lhs);
-      const std::vector<bool>& sat_rhs = evaluate(node.rhs);
+      const std::vector<bool> sat_lhs = evaluate(node.lhs).sat;
+      const std::vector<bool>& sat_rhs = evaluate(node.rhs).sat;
       return until_probabilities(*model_, sat_lhs, sat_rhs, node.time_bound, node.reward_bound,
                                  options_);
     }
     default:
       throw std::invalid_argument(
           "ModelChecker::path_probabilities: formula is not a P-operator node");
+  }
+}
+
+std::vector<ProbabilityBound> ModelChecker::value_bounds(const logic::FormulaPtr& formula) {
+  if (!formula) throw std::invalid_argument("ModelChecker: null formula");
+  switch (formula->kind) {
+    case logic::FormulaKind::kSteady:
+    case logic::FormulaKind::kProbNext:
+    case logic::FormulaKind::kProbUntil:
+    case logic::FormulaKind::kExpectedReward:
+      return operator_bounds(formula);
+    default:
+      throw std::invalid_argument(
+          "ModelChecker::value_bounds: formula is not an S/P/R-operator node");
   }
 }
 
@@ -58,7 +108,7 @@ std::vector<double> ModelChecker::steady_probabilities(const logic::FormulaPtr& 
         "ModelChecker::steady_probabilities: formula is not an S-operator node");
   }
   const auto& node = static_cast<const logic::SteadyFormula&>(*formula);
-  return steady_state_probability_of_set(*model_, evaluate(node.operand), options_.solver);
+  return steady_state_probability_of_set(*model_, evaluate(node.operand).sat, options_.solver);
 }
 
 std::vector<double> ModelChecker::expected_rewards(const logic::FormulaPtr& formula) {
@@ -84,84 +134,264 @@ std::vector<double> ModelChecker::expected_rewards(const logic::FormulaPtr& form
       return values;
     }
     case logic::RewardQuery::kReachability:
-      return expected_reward_to_hit(*model_, evaluate(node.operand), options_.solver);
+      return expected_reward_to_hit(*model_, evaluate(node.operand).sat, options_.solver);
     case logic::RewardQuery::kLongRun:
       return long_run_reward_rate(*model_, options_.solver);
   }
   throw std::logic_error("expected_rewards: unknown reward query");
 }
 
-const std::vector<bool>& ModelChecker::evaluate(const logic::FormulaPtr& formula) {
+std::vector<ProbabilityBound> ModelChecker::steady_bounds(const logic::FormulaPtr& formula) {
+  const auto& node = static_cast<const logic::SteadyFormula&>(*formula);
+  const SatResult inner = evaluate(node.operand);  // copy: runs below re-enter evaluate
+  // The steady-state probability of a target set is monotone in the set
+  // (a sum over more states), so the pessimistic/optimistic runs bracket
+  // the truth for UNKNOWN operand states. The iterative solves themselves
+  // converge to solver.tolerance (1e-12 default) and are treated as exact,
+  // like in the thesis.
+  const auto lower_run =
+      steady_state_probability_of_set(*model_, inner.sat, options_.solver);
+  std::vector<ProbabilityBound> bounds(lower_run.size());
+  if (!any_set(inner.unknown)) {
+    for (std::size_t s = 0; s < bounds.size(); ++s) {
+      bounds[s] = ProbabilityBound::point(lower_run[s]);
+    }
+    return bounds;
+  }
+  const auto upper_run = steady_state_probability_of_set(
+      *model_, optimistic(inner.sat, inner.unknown), options_.solver);
+  for (std::size_t s = 0; s < bounds.size(); ++s) {
+    bounds[s] = ProbabilityBound{lower_run[s], upper_run[s]};
+  }
+  return bounds;
+}
+
+std::vector<ProbabilityBound> ModelChecker::next_bounds(const logic::FormulaPtr& formula) {
+  const auto& node = static_cast<const logic::ProbNextFormula&>(*formula);
+  const SatResult inner = evaluate(node.operand);
+  // Closed-form per transition (eq. 3.4): exact up to rounding, and monotone
+  // in the operand set.
+  const auto lower_run = next_probabilities(*model_, inner.sat, node.time_bound,
+                                            node.reward_bound, options_.threads);
+  std::vector<ProbabilityBound> bounds(lower_run.size());
+  if (!any_set(inner.unknown)) {
+    for (std::size_t s = 0; s < bounds.size(); ++s) {
+      bounds[s] = ProbabilityBound::point(lower_run[s]);
+    }
+    return bounds;
+  }
+  const auto upper_run =
+      next_probabilities(*model_, optimistic(inner.sat, inner.unknown), node.time_bound,
+                         node.reward_bound, options_.threads);
+  for (std::size_t s = 0; s < bounds.size(); ++s) {
+    bounds[s] = ProbabilityBound{lower_run[s], upper_run[s]};
+  }
+  return bounds;
+}
+
+std::vector<ProbabilityBound> ModelChecker::until_bounds(const logic::FormulaPtr& formula) {
+  const auto& node = static_cast<const logic::ProbUntilFormula&>(*formula);
+  const SatResult lhs = evaluate(node.lhs);  // copies: see path_probabilities
+  const SatResult rhs = evaluate(node.rhs);
+  const auto lower_run = until_probabilities(*model_, lhs.sat, rhs.sat, node.time_bound,
+                                             node.reward_bound, options_);
+  std::vector<ProbabilityBound> bounds(lower_run.size());
+  if (!any_set(lhs.unknown) && !any_set(rhs.unknown)) {
+    for (std::size_t s = 0; s < bounds.size(); ++s) bounds[s] = lower_run[s].bound;
+    return bounds;
+  }
+  // The until probability is monotone nondecreasing in both operand sets
+  // (every satisfying path stays satisfying when Sat(Phi) or Sat(Psi)
+  // grows), so the pessimistic run's lower end and the optimistic run's
+  // upper end enclose the truth.
+  const auto upper_run = until_probabilities(
+      *model_, optimistic(lhs.sat, lhs.unknown), optimistic(rhs.sat, rhs.unknown),
+      node.time_bound, node.reward_bound, options_);
+  for (std::size_t s = 0; s < bounds.size(); ++s) {
+    bounds[s] = ProbabilityBound{lower_run[s].bound.lower, upper_run[s].bound.upper};
+  }
+  return bounds;
+}
+
+std::vector<ProbabilityBound> ModelChecker::reward_bounds(const logic::FormulaPtr& formula) {
+  const auto& node = static_cast<const logic::ExpectedRewardFormula&>(*formula);
+  const std::size_t n = model_->num_states();
+  std::vector<ProbabilityBound> bounds(n);
+  switch (node.query) {
+    case logic::RewardQuery::kCumulative: {
+      // The occupation-time series truncates the Poisson sum, losing at most
+      // epsilon * t of residence mass; each lost unit earns at most the
+      // largest gain rate, so the truth lies in [v, v + eps * t * max gain].
+      const auto values = expected_rewards(formula);
+      const auto gain = per_state_gain_rates(*model_);
+      const double max_gain =
+          gain.empty() ? 0.0 : *std::max_element(gain.begin(), gain.end());
+      const double slack = options_.transient.epsilon * node.time_horizon * max_gain;
+      for (std::size_t s = 0; s < n; ++s) {
+        bounds[s] = ProbabilityBound{values[s], values[s] + slack};
+      }
+      return bounds;
+    }
+    case logic::RewardQuery::kReachability: {
+      const SatResult inner = evaluate(node.operand);
+      // Antitone in the target set: reaching a *larger* set takes less time
+      // and therefore less reward, so the optimistic run gives the lower
+      // values and the pessimistic run the upper ones.
+      const auto pessimistic_run =
+          expected_reward_to_hit(*model_, inner.sat, options_.solver);
+      if (!any_set(inner.unknown)) {
+        for (std::size_t s = 0; s < n; ++s) {
+          bounds[s] = ProbabilityBound::point(pessimistic_run[s]);
+        }
+        return bounds;
+      }
+      const auto optimistic_run = expected_reward_to_hit(
+          *model_, optimistic(inner.sat, inner.unknown), options_.solver);
+      for (std::size_t s = 0; s < n; ++s) {
+        bounds[s] = ProbabilityBound{optimistic_run[s], pessimistic_run[s]};
+      }
+      return bounds;
+    }
+    case logic::RewardQuery::kLongRun: {
+      const auto values = expected_rewards(formula);
+      for (std::size_t s = 0; s < n; ++s) bounds[s] = ProbabilityBound::point(values[s]);
+      return bounds;
+    }
+  }
+  throw std::logic_error("reward_bounds: unknown reward query");
+}
+
+const std::vector<ProbabilityBound>& ModelChecker::operator_bounds(
+    const logic::FormulaPtr& formula) {
+  const auto cached = bounds_cache_.find(formula.get());
+  if (cached != bounds_cache_.end()) return cached->second;
+
+  std::vector<ProbabilityBound> bounds;
+  switch (formula->kind) {
+    case logic::FormulaKind::kSteady:
+      bounds = steady_bounds(formula);
+      break;
+    case logic::FormulaKind::kProbNext:
+      bounds = next_bounds(formula);
+      break;
+    case logic::FormulaKind::kProbUntil:
+      bounds = until_bounds(formula);
+      break;
+    case logic::FormulaKind::kExpectedReward:
+      bounds = reward_bounds(formula);
+      break;
+    default:
+      throw std::invalid_argument("operator_bounds: formula is not an operator node");
+  }
+  retained_.push_back(formula);
+  return bounds_cache_.emplace(formula.get(), std::move(bounds)).first->second;
+}
+
+const ModelChecker::SatResult& ModelChecker::evaluate(const logic::FormulaPtr& formula) {
   const auto cached = cache_.find(formula.get());
   if (cached != cache_.end()) return cached->second;
 
   obs::ScopedTimer timer("checker.evaluate");
   obs::counter_add("checker.evaluate.subformulas");
   const std::size_t n = model_->num_states();
-  std::vector<bool> sat(n, false);
+  SatResult result;
+  result.sat.assign(n, false);
+  result.unknown.assign(n, false);
   switch (formula->kind) {
     case logic::FormulaKind::kTrue:
-      sat.assign(n, true);
+      result.sat.assign(n, true);
       break;
     case logic::FormulaKind::kFalse:
       break;
     case logic::FormulaKind::kAtomic:
-      sat = model_->labels().states_with(static_cast<const logic::AtomicFormula&>(*formula).name);
+      result.sat =
+          model_->labels().states_with(static_cast<const logic::AtomicFormula&>(*formula).name);
       break;
     case logic::FormulaKind::kNot: {
-      const auto& inner = evaluate(static_cast<const logic::NotFormula&>(*formula).operand);
-      for (core::StateIndex s = 0; s < n; ++s) sat[s] = !inner[s];
+      // Kleene: !T = F, !F = T, !U = U.
+      const SatResult inner = evaluate(static_cast<const logic::NotFormula&>(*formula).operand);
+      for (core::StateIndex s = 0; s < n; ++s) {
+        result.sat[s] = !inner.sat[s] && !inner.unknown[s];
+      }
+      result.unknown = inner.unknown;
       break;
     }
     case logic::FormulaKind::kOr: {
+      // Kleene: T || x = T, F || U = U.
       const auto& node = static_cast<const logic::OrFormula&>(*formula);
-      const auto lhs = evaluate(node.lhs);  // copy: rhs evaluation may rehash cache_
-      const auto& rhs = evaluate(node.rhs);
-      for (core::StateIndex s = 0; s < n; ++s) sat[s] = lhs[s] || rhs[s];
+      const SatResult lhs = evaluate(node.lhs);  // copy: rhs evaluation may rehash cache_
+      const SatResult& rhs = evaluate(node.rhs);
+      for (core::StateIndex s = 0; s < n; ++s) {
+        result.sat[s] = lhs.sat[s] || rhs.sat[s];
+        result.unknown[s] = !result.sat[s] && (lhs.unknown[s] || rhs.unknown[s]);
+      }
       break;
     }
     case logic::FormulaKind::kAnd: {
+      // Kleene: F && x = F, T && U = U.
       const auto& node = static_cast<const logic::AndFormula&>(*formula);
-      const auto lhs = evaluate(node.lhs);
-      const auto& rhs = evaluate(node.rhs);
-      for (core::StateIndex s = 0; s < n; ++s) sat[s] = lhs[s] && rhs[s];
-      break;
-    }
-    case logic::FormulaKind::kSteady: {
-      const auto& node = static_cast<const logic::SteadyFormula&>(*formula);
-      const auto probabilities = steady_probabilities(formula);
+      const SatResult lhs = evaluate(node.lhs);
+      const SatResult& rhs = evaluate(node.rhs);
       for (core::StateIndex s = 0; s < n; ++s) {
-        sat[s] = logic::compare(probabilities[s], node.op, node.bound);
+        result.sat[s] = lhs.sat[s] && rhs.sat[s];
+        const bool lhs_false = !lhs.sat[s] && !lhs.unknown[s];
+        const bool rhs_false = !rhs.sat[s] && !rhs.unknown[s];
+        result.unknown[s] =
+            !lhs_false && !rhs_false && (lhs.unknown[s] || rhs.unknown[s]);
       }
       break;
     }
-    case logic::FormulaKind::kProbNext: {
-      const auto& node = static_cast<const logic::ProbNextFormula&>(*formula);
-      const auto values = path_probabilities(formula);
-      for (core::StateIndex s = 0; s < n; ++s) {
-        sat[s] = logic::compare(values[s].probability, node.op, node.bound);
-      }
-      break;
-    }
-    case logic::FormulaKind::kProbUntil: {
-      const auto& node = static_cast<const logic::ProbUntilFormula&>(*formula);
-      const auto values = path_probabilities(formula);
-      for (core::StateIndex s = 0; s < n; ++s) {
-        sat[s] = logic::compare(values[s].probability, node.op, node.bound);
-      }
-      break;
-    }
+    case logic::FormulaKind::kSteady:
+    case logic::FormulaKind::kProbNext:
+    case logic::FormulaKind::kProbUntil:
     case logic::FormulaKind::kExpectedReward: {
-      const auto& node = static_cast<const logic::ExpectedRewardFormula&>(*formula);
-      const auto values = expected_rewards(formula);
+      const auto& bounds = operator_bounds(formula);
+      logic::Comparison op;
+      double threshold;
+      switch (formula->kind) {
+        case logic::FormulaKind::kSteady: {
+          const auto& node = static_cast<const logic::SteadyFormula&>(*formula);
+          op = node.op;
+          threshold = node.bound;
+          break;
+        }
+        case logic::FormulaKind::kProbNext: {
+          const auto& node = static_cast<const logic::ProbNextFormula&>(*formula);
+          op = node.op;
+          threshold = node.bound;
+          break;
+        }
+        case logic::FormulaKind::kProbUntil: {
+          const auto& node = static_cast<const logic::ProbUntilFormula&>(*formula);
+          op = node.op;
+          threshold = node.bound;
+          break;
+        }
+        default: {
+          const auto& node = static_cast<const logic::ExpectedRewardFormula&>(*formula);
+          op = node.op;
+          threshold = node.bound;
+          break;
+        }
+      }
       for (core::StateIndex s = 0; s < n; ++s) {
-        sat[s] = logic::compare(values[s], node.op, node.bound);
+        switch (compare_bound(bounds[s], op, threshold)) {
+          case Verdict::kSat:
+            result.sat[s] = true;
+            break;
+          case Verdict::kUnknown:
+            result.unknown[s] = true;
+            obs::counter_add("checker.verdicts.unknown");
+            break;
+          case Verdict::kUnsat:
+            break;
+        }
       }
       break;
     }
   }
   retained_.push_back(formula);
-  return cache_.emplace(formula.get(), std::move(sat)).first->second;
+  return cache_.emplace(formula.get(), std::move(result)).first->second;
 }
 
 }  // namespace csrlmrm::checker

@@ -1,9 +1,20 @@
-// The model-checking front end: SatisfyStateFormula (Algorithm 4.1).
+// The model-checking front end: SatisfyStateFormula (Algorithm 4.1),
+// error-aware.
 //
 // A ModelChecker evaluates CSRL state formulas bottom-up over one MRM,
-// memoizing satisfaction sets per formula node (sub-formula sharing through
-// FormulaPtr therefore pays off). Besides the boolean Sat sets it exposes the
-// underlying numeric values (probabilities per state), which is what the
+// memoizing per formula node a *three-valued* satisfaction result: each
+// state is SAT, UNSAT, or UNKNOWN. Numeric operators (S, P, R) produce a
+// rigorous value interval per state (see checker/verdict.hpp for the error
+// sources) and compare it against their threshold three-valued; the boolean
+// connectives propagate UNKNOWN by Kleene's strong three-valued logic
+// (T || U = T, F && U = F, otherwise U). When a sub-formula is UNKNOWN at
+// some states, the numeric operator above it is evaluated twice — once with
+// the pessimistic operand set (UNKNOWN counts as false) and once with the
+// optimistic one (UNKNOWN counts as true); since every operator's value is
+// monotone in its operand sets, the hull of the two runs encloses the truth.
+//
+// Besides the boolean Sat sets the checker exposes the underlying numeric
+// values (probabilities per state, with their intervals), which is what the
 // benchmark harness and the examples report.
 #pragma once
 
@@ -14,6 +25,7 @@
 #include "checker/options.hpp"
 #include "checker/steady.hpp"
 #include "checker/until.hpp"
+#include "checker/verdict.hpp"
 #include "core/mrm.hpp"
 #include "logic/ast.hpp"
 
@@ -24,17 +36,34 @@ class ModelChecker {
  public:
   explicit ModelChecker(const core::Mrm& model, CheckerOptions options = {});
 
-  /// Sat(Phi): the states satisfying the formula (Algorithm 4.1). Results are
-  /// memoized per formula node identity.
+  /// Sat(Phi): the states *provably* satisfying the formula (Algorithm 4.1).
+  /// UNKNOWN states are not included — check unknown_set / verdicts when the
+  /// distinction matters. Results are memoized per formula node identity.
   const std::vector<bool>& satisfaction_set(const logic::FormulaPtr& formula);
 
-  /// Convenience: does one state satisfy the formula?
+  /// The states where the configured accuracy (truncation probability w,
+  /// transient epsilon, discretization step d) cannot decide the formula:
+  /// some threshold comparison's value interval straddles its bound.
+  const std::vector<bool>& unknown_set(const logic::FormulaPtr& formula);
+
+  /// Per-state three-valued verdicts (combines the two sets above).
+  std::vector<Verdict> verdicts(const logic::FormulaPtr& formula);
+
+  /// Convenience: does one state provably satisfy the formula?
   bool satisfies(core::StateIndex state, const logic::FormulaPtr& formula);
 
   /// The per-state probabilities behind a P-operator node (next or until),
-  /// i.e. P(s, phi) before comparison with the bound. Until values carry the
-  /// truncation error bound of the configured engine.
+  /// i.e. P(s, phi) before comparison with the bound, with each value's
+  /// rigorous interval. Computed against the provable operand Sat sets
+  /// (operand UNKNOWN states count as false); evaluate()/verdicts() widen
+  /// for operand uncertainty, these raw values do not.
   std::vector<UntilValue> path_probabilities(const logic::FormulaPtr& formula);
+
+  /// The per-state value intervals behind the outermost S/P/R operator node,
+  /// *including* the widening for UNKNOWN operand states. These are the
+  /// intervals the three-valued verdicts compare against the threshold.
+  /// Throws std::invalid_argument for non-operator nodes.
+  std::vector<ProbabilityBound> value_bounds(const logic::FormulaPtr& formula);
 
   /// The per-state steady-state probabilities behind an S-operator node.
   std::vector<double> steady_probabilities(const logic::FormulaPtr& formula);
@@ -47,12 +76,31 @@ class ModelChecker {
   const CheckerOptions& options() const { return options_; }
 
  private:
-  const std::vector<bool>& evaluate(const logic::FormulaPtr& formula);
+  /// Three-valued satisfaction per state: sat[s] = provably true,
+  /// unknown[s] = undecidable at the configured accuracy; both false =
+  /// provably false.
+  struct SatResult {
+    std::vector<bool> sat;
+    std::vector<bool> unknown;
+  };
+
+  const SatResult& evaluate(const logic::FormulaPtr& formula);
+
+  /// Value intervals of one numeric operator node, widened over the operand
+  /// uncertainty (two monotone mask runs when the operand has UNKNOWN
+  /// states). Caches into bounds_cache_.
+  const std::vector<ProbabilityBound>& operator_bounds(const logic::FormulaPtr& formula);
+
+  std::vector<ProbabilityBound> steady_bounds(const logic::FormulaPtr& formula);
+  std::vector<ProbabilityBound> next_bounds(const logic::FormulaPtr& formula);
+  std::vector<ProbabilityBound> until_bounds(const logic::FormulaPtr& formula);
+  std::vector<ProbabilityBound> reward_bounds(const logic::FormulaPtr& formula);
 
   const core::Mrm* model_;
   CheckerOptions options_;
-  std::unordered_map<const logic::Formula*, std::vector<bool>> cache_;
-  // Keeps every formula we evaluated alive so cache_ keys stay valid even if
+  std::unordered_map<const logic::Formula*, SatResult> cache_;
+  std::unordered_map<const logic::Formula*, std::vector<ProbabilityBound>> bounds_cache_;
+  // Keeps every formula we evaluated alive so cache keys stay valid even if
   // the caller drops its FormulaPtr.
   std::vector<logic::FormulaPtr> retained_;
 };

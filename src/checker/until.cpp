@@ -1,5 +1,6 @@
 #include "checker/until.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -85,6 +86,67 @@ std::vector<double> unbounded_until_probabilities(const core::Mrm& model,
 
 namespace {
 
+/// Discretization options usable as an automatic *fallback* for a query the
+/// path explorer abandoned: the configured step is adapted so it satisfies
+/// d * E_max < 1 and divides t (explicit discretization runs keep the user's
+/// step untouched and fail loudly instead).
+numeric::DiscretizationOptions adapted_discretization_options(
+    const core::Mrm& transformed, double t, numeric::DiscretizationOptions base) {
+  const double max_exit = transformed.rates().max_exit_rate();
+  double target = base.step;
+  if (max_exit > 0.0 && target * max_exit >= 1.0) target = 0.5 / max_exit;
+  const double steps = std::ceil(t / target - 1e-9);
+  if (steps >= 1.0) base.step = t / steps;
+  return base;
+}
+
+/// One uniformization query with the configured degradation policy applied
+/// on node-budget exhaustion (see BudgetPolicy). Runs inside the per-state
+/// fan-out, so a budget-exhausting start state degrades alone while the
+/// cheap ones keep their DFPG answer.
+UntilValue uniformization_value_with_degradation(
+    const numeric::UniformizationUntilEngine& engine, const core::Mrm& transformed,
+    const std::vector<bool>& sat_psi, core::StateIndex s, double t, double r,
+    const CheckerOptions& options) {
+  try {
+    const auto result = engine.compute(s, t, r, options.uniformization);
+    return truncated_until_value(result.probability, result.error_bound);
+  } catch (const numeric::NodeBudgetError& budget_error) {
+    if (options.on_budget_exhausted == BudgetPolicy::kThrow) throw;
+    if (options.on_budget_exhausted == BudgetPolicy::kWidenW) {
+      numeric::PathExplorerOptions widened = options.uniformization;
+      double w = widened.truncation_probability;
+      while (w < 1e-2) {
+        w = std::min(w * 1e3, 1e-2);
+        widened.truncation_probability = w;
+        try {
+          const auto result = engine.compute(s, t, r, widened);
+          obs::counter_add("uniformization.widenings");
+          return truncated_until_value(result.probability, result.error_bound);
+        } catch (const numeric::NodeBudgetError&) {
+          // still too large; widen further, or fall through to discretization
+        }
+      }
+    }
+    const auto fallback =
+        adapted_discretization_options(transformed, t, options.discretization);
+    try {
+      const auto result =
+          numeric::until_probability_discretization(transformed, sat_psi, s, t, r, fallback);
+      obs::counter_add("uniformization.fallbacks");
+      return two_sided_until_value(result.probability, result.error_bound);
+    } catch (const std::invalid_argument& fallback_error) {
+      // The degradation path is itself infeasible (e.g. impulse rewards not
+      // commensurable with any reasonable step). Re-raise the budget error
+      // with both diagnoses so the user can pick a remedy.
+      throw numeric::NodeBudgetError(std::string(budget_error.what()) +
+                                     "; fallback to discretization also failed: " +
+                                     fallback_error.what() +
+                                     " (raise max_nodes, widen w, or adjust rewards)");
+    }
+  }
+}
+
 /// Shared P2 evaluation: Pr{ Y(t) <= r, X(t) |= Psi } on `transformed` for
 /// every state, by the configured engine. `dead` marks !Phi && !Psi states.
 /// When `psi_absorbed` is set (the [0,t] reduction, where Psi-states were
@@ -111,23 +173,23 @@ std::vector<UntilValue> bounded_time_reward(const core::Mrm& transformed,
     parallel::parallel_for(n, threads, [&](std::size_t begin, std::size_t end) {
       for (core::StateIndex s = begin; s < end; ++s) {
         if (psi_absorbed && sat_psi[s]) {
-          values[s] = {1.0, 0.0};
+          values[s] = exact_until_value(1.0);
           continue;
         }
-        const auto result = engine.compute(s, t, r, options.uniformization);
-        values[s] = {result.probability, result.error_bound};
+        values[s] = uniformization_value_with_degradation(engine, transformed, sat_psi, s, t,
+                                                          r, options);
       }
     });
   } else {
     parallel::parallel_for(n, threads, [&](std::size_t begin, std::size_t end) {
       for (core::StateIndex s = begin; s < end; ++s) {
         if (psi_absorbed && sat_psi[s]) {
-          values[s] = {1.0, 0.0};
+          values[s] = exact_until_value(1.0);
           continue;
         }
         const auto result = numeric::until_probability_discretization(
             transformed, sat_psi, s, t, r, options.discretization);
-        values[s] = {result.probability, 0.0};
+        values[s] = two_sided_until_value(result.probability, result.error_bound);
       }
     });
   }
@@ -161,12 +223,13 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
         "intervals are future work)");
   }
 
-  // P0: Phi U Psi.
+  // P0: Phi U Psi. Graph precomputation pins exact zeros/ones; the linear
+  // solve converges to solver.tolerance (treated as exact, like the thesis).
   if (time_trivial && reward_trivial) {
     const auto probabilities =
         unbounded_until_probabilities(model, sat_phi, sat_psi, options.solver);
     std::vector<UntilValue> values(n);
-    for (core::StateIndex s = 0; s < n; ++s) values[s] = {probabilities[s], 0.0};
+    for (core::StateIndex s = 0; s < n; ++s) values[s] = exact_until_value(probabilities[s]);
     return values;
   }
 
@@ -203,12 +266,21 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
       const auto& at_t1 = at_t1_rows[i];
       double probability = 0.0;
       double error = options.transient.epsilon;
+      // Interval arithmetic over the convex combination: the phase-one
+      // weights underestimate by at most epsilon of total mass (Fox-Glynn
+      // truncation only loses terms), and each residual contributes its own
+      // enclosure, so [sum w * lo, sum w * hi + epsilon] contains the truth.
+      double lower = 0.0;
+      double upper = options.transient.epsilon;
       for (core::StateIndex mid = 0; mid < n; ++mid) {
         if (!sat_phi[mid] || at_t1[mid] == 0.0) continue;
         probability += at_t1[mid] * residual[mid].probability;
         error += at_t1[mid] * residual[mid].error_bound;
+        lower += at_t1[mid] * residual[mid].bound.lower;
+        upper += at_t1[mid] * residual[mid].bound.upper;
       }
-      values[phi_states[i]] = {probability, error};
+      values[phi_states[i]] = {probability, error,
+                               ProbabilityBound{std::max(0.0, lower), std::min(1.0, upper)}};
     }
     return values;
   }
@@ -233,7 +305,7 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
     std::vector<core::StateIndex> starts;
     for (core::StateIndex s = 0; s < n; ++s) {
       if (sat_psi[s]) {
-        values[s] = {1.0, 0.0};  // absorbed Psi start: case 1 of eq. (3.6)
+        values[s] = exact_until_value(1.0);  // absorbed Psi start: case 1 of eq. (3.6)
       } else {
         starts.push_back(s);
       }
@@ -245,7 +317,9 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
       for (core::StateIndex s2 = 0; s2 < n; ++s2) {
         if (sat_psi[s2]) p += distributions[i][s2];
       }
-      values[starts[i]] = {p, options.transient.epsilon};
+      // Fox-Glynn truncation only loses Poisson mass: the true value lies in
+      // [p, p + epsilon].
+      values[starts[i]] = truncated_until_value(p, options.transient.epsilon);
     }
     return values;
   }

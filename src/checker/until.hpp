@@ -19,19 +19,42 @@
 #include <vector>
 
 #include "checker/options.hpp"
+#include "checker/verdict.hpp"
 #include "core/mrm.hpp"
 #include "logic/interval.hpp"
 
 namespace csrlmrm::checker {
 
-/// Probability (and, for truncating methods, error bound) of one until query.
+/// Probability (and, for approximate methods, error bound) of one until
+/// query, with a rigorous interval enclosing the true probability.
 struct UntilValue {
   double probability = 0.0;
-  /// A-priori bound on the probability mass lost to truncation; 0 for exact
-  /// (graph/linear-algebra) methods and for discretization (which has no
-  /// computable a-priori bound in the thesis).
+  /// A-priori bound on the one-sided error: for the truncating engines
+  /// (Fox-Glynn transient, DFPG uniformization) the probability mass lost
+  /// below the reported value; for discretization the half-width of the
+  /// derived O(d) error band. 0 for exact graph/linear-algebra methods.
   double error_bound = 0.0;
+  /// Rigorous enclosure of the true probability. Truncating engines yield
+  /// [p, p + error_bound]; discretization yields [p - e, p + e] with the
+  /// derived step-error e; exact methods the point [p, p].
+  ProbabilityBound bound = ProbabilityBound::point(0.0);
 };
+
+/// An exactly computed probability (graph/linear-algebra path).
+inline UntilValue exact_until_value(double p) {
+  return {p, 0.0, ProbabilityBound::point(p)};
+}
+
+/// A probability computed by a truncating engine: up to `lost` mass was cut
+/// and would only have *increased* the value.
+inline UntilValue truncated_until_value(double p, double lost) {
+  return {p, lost, ProbabilityBound::from_point_error(p, 0.0, lost)};
+}
+
+/// A probability with a symmetric error band (discretization).
+inline UntilValue two_sided_until_value(double p, double half_width) {
+  return {p, half_width, ProbabilityBound::from_point_error(p, half_width, half_width)};
+}
 
 /// P(s, Phi U Psi) for every state s: the unbounded-until probabilities of
 /// eq. (3.8), computed by graph precomputation (states that cannot reach Psi

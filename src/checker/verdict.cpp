@@ -1,0 +1,46 @@
+#include "checker/verdict.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace csrlmrm::checker {
+
+ProbabilityBound ProbabilityBound::from_point_error(double p, double below, double above) {
+  return {std::max(0.0, p - below), std::min(1.0, p + above)};
+}
+
+ProbabilityBound ProbabilityBound::hull(const ProbabilityBound& other) const {
+  return {std::min(lower, other.lower), std::max(upper, other.upper)};
+}
+
+std::string ProbabilityBound::to_string() const {
+  std::ostringstream out;
+  out.precision(12);
+  out << '[' << lower << ", " << upper << ']';
+  return out.str();
+}
+
+std::string to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kSat:
+      return "SAT";
+    case Verdict::kUnsat:
+      return "UNSAT";
+    case Verdict::kUnknown:
+      return "UNKNOWN";
+  }
+  throw std::logic_error("to_string: invalid verdict");
+}
+
+Verdict compare_bound(const ProbabilityBound& value, logic::Comparison op, double bound) {
+  const bool lower_sat = logic::compare(value.lower, op, bound);
+  const bool upper_sat = logic::compare(value.upper, op, bound);
+  // The satisfying set of every comparison operator is a half-line, so the
+  // interval lies fully inside it iff both endpoints do.
+  if (lower_sat && upper_sat) return Verdict::kSat;
+  if (!lower_sat && !upper_sat) return Verdict::kUnsat;
+  return Verdict::kUnknown;
+}
+
+}  // namespace csrlmrm::checker

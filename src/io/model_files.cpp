@@ -1,5 +1,6 @@
 #include "io/model_files.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -44,6 +45,24 @@ core::StateIndex parse_state(long value, std::size_t num_states, std::size_t lin
   return static_cast<core::StateIndex>(value - 1);  // files are 1-based
 }
 
+/// Rejects extra tokens after a line's expected fields ("1 2 0.5 oops" must
+/// not parse as "1 2 0.5"). A trailing '%...' comment is fine.
+void require_line_consumed(std::istringstream& parse, std::size_t line) {
+  std::string extra;
+  if ((parse >> extra) && extra[0] != '%') {
+    throw ModelFileError("unexpected trailing token '" + extra + "'", line);
+  }
+}
+
+/// Does the line's first whitespace-separated token equal `expected`?
+/// (Header keywords like '#END' must stand alone — an atomic proposition
+/// merely *containing* the keyword must not terminate a section.)
+bool first_token_is(const std::string& line, const char* expected) {
+  std::istringstream parse(line);
+  std::string token;
+  return (parse >> token) && token == expected;
+}
+
 }  // namespace
 
 ModelFileError::ModelFileError(const std::string& message, std::size_t line)
@@ -61,6 +80,7 @@ core::RateMatrix read_tra(std::istream& in) {
     if (!(parse >> keyword >> num_states) || keyword != "STATES") {
       throw ModelFileError("expected 'STATES n'", reader.line_number());
     }
+    require_line_consumed(parse, reader.line_number());
   }
   if (!reader.next(line)) {
     throw ModelFileError("missing TRANSITIONS header", reader.line_number());
@@ -72,6 +92,7 @@ core::RateMatrix read_tra(std::istream& in) {
     if (!(parse >> keyword >> num_transitions) || keyword != "TRANSITIONS") {
       throw ModelFileError("expected 'TRANSITIONS m'", reader.line_number());
     }
+    require_line_consumed(parse, reader.line_number());
   }
 
   core::RateMatrixBuilder builder(num_states);
@@ -83,6 +104,12 @@ core::RateMatrix read_tra(std::istream& in) {
     double rate = 0.0;
     if (!(parse >> from >> to >> rate)) {
       throw ModelFileError("expected 'state1 state2 rate'", reader.line_number());
+    }
+    require_line_consumed(parse, reader.line_number());
+    if (!std::isfinite(rate) || rate <= 0.0) {
+      throw ModelFileError("transition rate must be a positive finite number, got " +
+                               std::to_string(rate),
+                           reader.line_number());
     }
     builder.add(parse_state(from, num_states, reader.line_number()),
                 parse_state(to, num_states, reader.line_number()), rate);
@@ -101,12 +128,12 @@ core::Labeling read_lab(std::istream& in, std::size_t num_states) {
   core::Labeling labels(num_states);
   std::string line;
 
-  if (!reader.next(line) || line.find("#DECLARATION") == std::string::npos) {
+  if (!reader.next(line) || !first_token_is(line, "#DECLARATION")) {
     throw ModelFileError("expected '#DECLARATION'", reader.line_number());
   }
   bool declaration_closed = false;
   while (reader.next(line)) {
-    if (line.find("#END") != std::string::npos) {
+    if (first_token_is(line, "#END")) {
       declaration_closed = true;
       break;
     }
@@ -152,6 +179,12 @@ std::vector<double> read_rewr(std::istream& in, std::size_t num_states) {
     if (!(parse >> state >> reward)) {
       throw ModelFileError("expected 'state reward'", reader.line_number());
     }
+    require_line_consumed(parse, reader.line_number());
+    if (!std::isfinite(reward) || reward < 0.0) {
+      throw ModelFileError("state reward must be a finite non-negative number, got " +
+                               std::to_string(reward),
+                           reader.line_number());
+    }
     rewards[parse_state(state, num_states, reader.line_number())] = reward;
   }
   return rewards;
@@ -170,6 +203,7 @@ linalg::CsrMatrix read_rewi(std::istream& in, std::size_t num_states) {
     if (!(parse >> keyword >> announced) || keyword != "TRANSITIONS") {
       throw ModelFileError("expected 'TRANSITIONS n'", reader.line_number());
     }
+    require_line_consumed(parse, reader.line_number());
   }
   core::ImpulseRewardsBuilder builder(num_states);
   std::size_t seen = 0;
@@ -180,6 +214,12 @@ linalg::CsrMatrix read_rewi(std::istream& in, std::size_t num_states) {
     double reward = 0.0;
     if (!(parse >> from >> to >> reward)) {
       throw ModelFileError("expected 'state1 state2 reward'", reader.line_number());
+    }
+    require_line_consumed(parse, reader.line_number());
+    if (!std::isfinite(reward) || reward < 0.0) {
+      throw ModelFileError("impulse reward must be a finite non-negative number, got " +
+                               std::to_string(reward),
+                           reader.line_number());
     }
     builder.add(parse_state(from, num_states, reader.line_number()),
                 parse_state(to, num_states, reader.line_number()), reward);

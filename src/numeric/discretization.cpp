@@ -92,8 +92,20 @@ UntilDiscretizationResult until_probability_discretization(
         static_cast<std::size_t>(std::llround(transformed.state_reward(s) * fscale));
   }
 
-  const std::size_t levels =
-      static_cast<std::size_t>(std::floor(r * fscale / d + 1e-9)) + 1;  // levels 0..R
+  // Grid sizing, checked in floating point *before* the integer cast: a
+  // large r or tiny d would overflow the cast and/or attempt an n * levels
+  // allocation far beyond memory, dying with bad_alloc instead of a
+  // diagnosis.
+  const double levels_estimate = std::floor(r * fscale / d + 1e-9) + 1.0;  // levels 0..R
+  const double cells_estimate = static_cast<double>(n) * levels_estimate;
+  if (!(cells_estimate <= static_cast<double>(options.max_grid_cells))) {
+    throw std::invalid_argument(
+        "until_probability_discretization: reward grid of " + std::to_string(n) +
+        " states x " + std::to_string(levels_estimate) +
+        " levels exceeds max_grid_cells = " + std::to_string(options.max_grid_cells) +
+        "; choose a coarser step d, a smaller reward bound r, or the uniformization engine");
+  }
+  const std::size_t levels = static_cast<std::size_t>(levels_estimate);
   const std::size_t non_zeros = transformed.rates().matrix().non_zeros();
 
   // Incoming adjacency per target state: (source, R(source,target)*d,
@@ -198,6 +210,10 @@ UntilDiscretizationResult until_probability_discretization(
   }
 
   result.probability = probability;
+  // O(d) error band (see UntilDiscretizationResult::error_bound): discarded
+  // multi-jump mass per step plus one step of boundary quantization.
+  result.error_bound =
+      std::min(1.0, 0.5 * t * max_exit * max_exit * d + max_exit * d);
   result.time_steps = time_steps;
   result.reward_levels = levels;
   result.reward_scale = scale;

@@ -39,11 +39,25 @@ struct DiscretizationOptions {
   /// level grid is written by exactly one task in the same order as the
   /// serial sweep, so the result is bitwise-identical at every thread count.
   unsigned threads = 0;
+  /// Cap on the level grid size n * levels (two such buffers of doubles are
+  /// allocated). A large reward bound r or a tiny step d would otherwise
+  /// silently attempt a multi-gigabyte allocation and die with bad_alloc;
+  /// instead the engine raises std::invalid_argument with the offending
+  /// sizes and the remedies (coarser d, smaller r, or the uniformization
+  /// engine). The default (64M cells = 512 MiB per buffer) is far above any
+  /// practical configuration.
+  std::size_t max_grid_cells = 64ull * 1024 * 1024;
 };
 
 /// Result of a discretization evaluation.
 struct UntilDiscretizationResult {
   double probability = 0.0;
+  /// Derived half-width of the O(d) error band (section 4.5: the scheme
+  /// converges linearly in the step): per time step the scheme drops the
+  /// multi-jump events, whose probability is at most (E_max d)^2 / 2, plus
+  /// one step's worth of single-jump timing/reward quantization at the
+  /// boundary, giving t E_max^2 d / 2 + E_max d overall (clamped to 1).
+  double error_bound = 0.0;
   /// T = t / d time steps performed.
   std::size_t time_steps = 0;
   /// R = (scaled r) / d reward levels maintained per state.

@@ -150,7 +150,7 @@ UntilUniformizationResult UniformizationUntilEngine::compute(
       return;
     }
     if (++nodes > options.max_nodes) {
-      throw std::runtime_error(
+      throw NodeBudgetError(
           "UniformizationUntilEngine: node budget exhausted; raise truncation probability w "
           "or use the discretization engine (Lambda*t too large for path enumeration)");
     }

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/labels.hpp"
@@ -24,6 +26,15 @@
 #include "core/uniformized.hpp"
 
 namespace csrlmrm::numeric {
+
+/// Thrown when the DFS exceeds PathExplorerOptions::max_nodes. Typed so the
+/// checker can distinguish "model too large for path enumeration" (and apply
+/// its degradation policy, see checker::BudgetPolicy) from genuine input
+/// errors.
+class NodeBudgetError : public std::runtime_error {
+ public:
+  explicit NodeBudgetError(const std::string& message) : std::runtime_error(message) {}
+};
 
 /// Tuning knobs for the depth-first exploration.
 struct PathExplorerOptions {

@@ -187,6 +187,24 @@ class MrmcheckCli : public ::testing::Test {
     return WEXITSTATUS(status);
   }
 
+  /// Writes a three-state cycle (a -> a -> b -> a, unit rates, integer state
+  /// rewards, no impulses) into the temp directory and returns its
+  /// quoted .tra/.lab/.rewr argument string. Integer rewards keep the
+  /// discretization fallback feasible; state 1's P2 value for
+  /// "a U[0,1][0,10] b" is 1 - 2/e ~ 0.2584, so thresholds near 0.26 sit
+  /// inside any coarse engine's error band.
+  std::string write_cycle_model() const {
+    const auto write = [&](const char* name, const char* text) {
+      std::ofstream out(directory_ / name);
+      out << text;
+    };
+    write("cycle.tra", "STATES 3\nTRANSITIONS 3\n1 2 1.0\n2 3 1.0\n3 1 1.0\n");
+    write("cycle.lab", "#DECLARATION\na b\n#END\n1 a\n2 a\n3 b\n");
+    write("cycle.rewr", "1 1.0\n2 2.0\n3 1.0\n");
+    const std::string base = (directory_ / "cycle").string();
+    return "'" + base + ".tra' '" + base + ".lab' '" + base + ".rewr'";
+  }
+
   std::filesystem::path directory_;
   std::string model_args_;
 };
@@ -218,6 +236,52 @@ TEST_F(MrmcheckCli, RejectsSecondFormulaArgument) {
 
 TEST_F(MrmcheckCli, RejectsMissingFormula) {
   EXPECT_EQ(run(model_args_ + " NP"), 2);
+}
+
+TEST_F(MrmcheckCli, RejectsMalformedFallbackPolicyAndNodeBudget) {
+  EXPECT_EQ(run(model_args_ + " --fallback=bogus 'TT'"), 2);
+  EXPECT_EQ(run(model_args_ + " --max-nodes=0 'TT'"), 2);
+  EXPECT_EQ(run(model_args_ + " --max-nodes=abc 'TT'"), 2);
+}
+
+TEST_F(MrmcheckCli, StrictExitsThreeWhenTheIntervalStraddlesTheThreshold) {
+  const std::string cycle = write_cycle_model();
+  const std::string query = " NP 'P(>=0.26)[a U[0,1][0,10] b]'";
+  // Coarse discretization: the O(d) band around ~0.2584 contains 0.26.
+  EXPECT_EQ(run(cycle + " d=0.125 --strict" + query), 3);
+  // Same verdict from the other engine: coarse truncation widens the
+  // one-sided DFPG interval across the threshold. UNKNOWN must never
+  // degenerate into an engine-dependent SAT/UNSAT flip.
+  EXPECT_EQ(run(cycle + " u=0.2 --strict" + query), 3);
+  // Without --strict the run warns but succeeds.
+  EXPECT_EQ(run(cycle + " d=0.125" + query), 0);
+  // A tight engine decides the formula and --strict passes.
+  EXPECT_EQ(run(cycle + " u=1e-10 --strict" + query), 0);
+}
+
+TEST_F(MrmcheckCli, NodeBudgetExhaustionFallsBackInsteadOfFailing) {
+  const std::string cycle = write_cycle_model();
+  const std::string stats_file = (directory_ / "fallback_stats.json").string();
+  // Budget of 5 DFS nodes cannot explore the cycle: the checker must fall
+  // back to discretization per start state, still exit 0, and record the
+  // degradation in the stats JSON.
+  ASSERT_EQ(run(cycle + " u=1e-12 --max-nodes=5 --stats='" + stats_file +
+                "' NP 'P(>=0.5)[a U[0,1][0,10] b]'"),
+            0);
+  std::ifstream in(stats_file);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const obs::JsonValue stats = obs::parse_json(buffer.str());
+  const obs::JsonValue* counters = stats.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* fallbacks = counters->find("uniformization.fallbacks");
+  ASSERT_NE(fallbacks, nullptr);
+  EXPECT_GE(fallbacks->as_number(), 1.0);
+  // With the throw policy the same starved run fails loudly instead.
+  EXPECT_EQ(run(cycle + " u=1e-12 --max-nodes=5 --fallback=throw NP "
+                        "'P(>=0.5)[a U[0,1][0,10] b]'"),
+            1);
 }
 
 TEST_F(MrmcheckCli, StatsToUnwritablePathFailsBeforeChecking) {

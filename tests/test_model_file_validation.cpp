@@ -1,0 +1,120 @@
+// Input-validation corpus for the .tra/.lab/.rewr/.rewi readers: malformed
+// files must fail with a ModelFileError naming the offending line, never
+// parse silently. (This suite is also the corpus `ctest -L asan` replays
+// under AddressSanitizer.)
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/model_files.hpp"
+
+namespace csrlmrm::io {
+namespace {
+
+std::size_t failing_line_tra(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    read_tra(in);
+  } catch (const ModelFileError& error) {
+    return error.line();
+  }
+  ADD_FAILURE() << "expected ModelFileError for:\n" << text;
+  return 0;
+}
+
+TEST(TraValidation, RejectsZeroRate) {
+  EXPECT_EQ(failing_line_tra("STATES 2\nTRANSITIONS 1\n1 2 0.0\n"), 3u);
+}
+
+TEST(TraValidation, RejectsNegativeRate) {
+  EXPECT_EQ(failing_line_tra("STATES 2\nTRANSITIONS 1\n1 2 -0.5\n"), 3u);
+}
+
+TEST(TraValidation, RejectsNonNumericRate) {
+  EXPECT_EQ(failing_line_tra("STATES 2\nTRANSITIONS 1\n1 2 fast\n"), 3u);
+}
+
+TEST(TraValidation, RejectsTrailingGarbageOnDataLine) {
+  // "1 2 0.5 oops" used to parse as "1 2 0.5" with the rest dropped.
+  EXPECT_EQ(failing_line_tra("STATES 2\nTRANSITIONS 1\n1 2 0.5 oops\n"), 3u);
+}
+
+TEST(TraValidation, RejectsTrailingGarbageOnHeader) {
+  EXPECT_EQ(failing_line_tra("STATES 2 3\nTRANSITIONS 1\n1 2 0.5\n"), 1u);
+  EXPECT_EQ(failing_line_tra("STATES 2\nTRANSITIONS 1 x\n1 2 0.5\n"), 2u);
+}
+
+TEST(TraValidation, AllowsTrailingComment) {
+  std::istringstream in("STATES 2\nTRANSITIONS 1\n1 2 0.5 % the repair rate\n");
+  EXPECT_DOUBLE_EQ(read_tra(in).rate(0, 1), 0.5);
+}
+
+TEST(LabValidation, EndKeywordMustBeItsOwnToken) {
+  // A proposition merely containing "#END" must not close the declaration
+  // section (the old reader matched by substring).
+  std::istringstream in(
+      "#DECLARATION\n"
+      "front#ENDback ok\n"
+      "#END\n"
+      "1 ok\n"
+      "2 front#ENDback\n");
+  const core::Labeling labels = read_lab(in, 2);
+  EXPECT_TRUE(labels.is_declared("front#ENDback"));
+  EXPECT_TRUE(labels.has(1, "front#ENDback"));
+}
+
+TEST(LabValidation, DeclarationKeywordMustBeItsOwnToken) {
+  // "%#DECLARATION" or "x#DECLARATION" as the first token is not a header.
+  std::istringstream in("x#DECLARATION\n#END\n");
+  EXPECT_THROW(read_lab(in, 2), ModelFileError);
+}
+
+TEST(LabValidation, StillRejectsMissingEnd) {
+  std::istringstream in("#DECLARATION\nup down\n1 up\n");
+  EXPECT_THROW(read_lab(in, 2), ModelFileError);
+}
+
+TEST(RewrValidation, RejectsNegativeReward) {
+  std::istringstream in("1 -2.5\n");
+  try {
+    read_rewr(in, 2);
+    FAIL() << "expected ModelFileError";
+  } catch (const ModelFileError& error) {
+    EXPECT_EQ(error.line(), 1u);
+  }
+}
+
+TEST(RewrValidation, RejectsTrailingGarbage) {
+  std::istringstream in("1 2.5 oops\n");
+  EXPECT_THROW(read_rewr(in, 2), ModelFileError);
+}
+
+TEST(RewrValidation, AllowsZeroRewardAndTrailingComment) {
+  std::istringstream in("1 0.0\n2 1.5 % gain\n");
+  const auto rewards = read_rewr(in, 2);
+  EXPECT_DOUBLE_EQ(rewards[0], 0.0);
+  EXPECT_DOUBLE_EQ(rewards[1], 1.5);
+}
+
+TEST(RewiValidation, RejectsNegativeImpulse) {
+  std::istringstream in("TRANSITIONS 1\n1 2 -1.0\n");
+  try {
+    read_rewi(in, 2);
+    FAIL() << "expected ModelFileError";
+  } catch (const ModelFileError& error) {
+    EXPECT_EQ(error.line(), 2u);
+  }
+}
+
+TEST(RewiValidation, RejectsTrailingGarbage) {
+  std::istringstream in("TRANSITIONS 1\n1 2 1.0 oops\n");
+  EXPECT_THROW(read_rewi(in, 2), ModelFileError);
+}
+
+TEST(RewiValidation, RejectsHeaderGarbage) {
+  std::istringstream in("TRANSITIONS 1 junk\n1 2 1.0\n");
+  EXPECT_THROW(read_rewi(in, 2), ModelFileError);
+}
+
+}  // namespace
+}  // namespace csrlmrm::io

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "checker/until.hpp"
+#include "checker/verdict.hpp"
 #include "core/transform.hpp"
 #include "models/random_mrm.hpp"
 #include "numeric/discretization.hpp"
@@ -70,6 +71,15 @@ TEST_P(EnginesAgree, UniformizationMatchesDiscretization) {
         << "start=" << start;
     EXPECT_GE(uni.probability, -1e-12);
     EXPECT_LE(uni.probability, 1.0 + 1e-12);
+    // Both engines' rigorous intervals contain the truth, so they must
+    // always overlap — a disjoint pair would prove one error bound wrong.
+    const auto uni_bound =
+        checker::ProbabilityBound::from_point_error(uni.probability, 0.0, uni.error_bound);
+    const auto disc_bound = checker::ProbabilityBound::from_point_error(
+        disc.probability, disc.error_bound, disc.error_bound);
+    EXPECT_TRUE(uni_bound.overlaps(disc_bound))
+        << "start=" << start << ": " << uni_bound.to_string() << " vs "
+        << disc_bound.to_string();
   }
 }
 
@@ -165,6 +175,11 @@ TEST_P(ImpulseHeavyEnginesAgree, AllThreeEnginesAgreeAndReportStats) {
     const auto disc =
         numeric::until_probability_discretization(transformed, psi, start, t, r, dopts);
     EXPECT_NEAR(uni.probability, disc.probability, 0.03 + uni.error_bound)
+        << "start=" << start;
+    EXPECT_TRUE(
+        checker::ProbabilityBound::from_point_error(uni.probability, 0.0, uni.error_bound)
+            .overlaps(checker::ProbabilityBound::from_point_error(
+                disc.probability, disc.error_bound, disc.error_bound)))
         << "start=" << start;
     const auto sim_estimate = sim::estimate_until(model, start, phi, psi, logic::up_to(t),
                                                   logic::up_to(r), sopts);
