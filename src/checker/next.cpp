@@ -6,6 +6,7 @@
 
 #include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::checker {
 
@@ -50,7 +51,7 @@ std::vector<double> next_probabilities(const core::Mrm& model, const std::vector
   parallel::parallel_for(n, effective, [&](std::size_t begin, std::size_t end) {
     for (core::StateIndex s = begin; s < end; ++s) {
       const double exit = model.rates().exit_rate(s);
-      if (exit == 0.0) continue;  // absorbing: no next state ever
+      if (core::exactly_zero(exit)) continue;  // absorbing: no next state ever
       double probability = 0.0;
       for (const auto& e : model.rates().transitions(s)) {
         if (!sat_phi[e.col]) continue;

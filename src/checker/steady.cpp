@@ -7,6 +7,7 @@
 #include "linalg/dense_solve.hpp"
 #include "linalg/gauss_seidel.hpp"
 #include "obs/stats.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::checker {
 
@@ -91,7 +92,7 @@ std::vector<double> steady_state_probability_of_set(const core::Mrm& model,
     for (std::size_t i = 0; i < analysis.bsccs[b].size(); ++i) {
       if (target[analysis.bsccs[b][i]]) mass_in_target += analysis.steady_within[b][i];
     }
-    if (mass_in_target == 0.0) continue;
+    if (core::exactly_zero(mass_in_target)) continue;
     for (core::StateIndex s = 0; s < n; ++s) {
       result[s] += analysis.reach_probability[b][s] * mass_in_target;
     }
@@ -108,7 +109,7 @@ std::vector<double> steady_state_distribution(const core::Mrm& model, core::Stat
   std::vector<double> result(model.num_states(), 0.0);
   for (std::size_t b = 0; b < analysis.bsccs.size(); ++b) {
     const double reach = analysis.reach_probability[b][start];
-    if (reach == 0.0) continue;
+    if (core::exactly_zero(reach)) continue;
     for (std::size_t i = 0; i < analysis.bsccs[b].size(); ++i) {
       result[analysis.bsccs[b][i]] += reach * analysis.steady_within[b][i];
     }

@@ -12,6 +12,7 @@
 #include "numeric/transient.hpp"
 #include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::checker {
 
@@ -217,7 +218,7 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
   // Reward bounds must be of the form [0,r] (or trivial); the point-interval
   // time variant is handled below.
   if (!reward_trivial &&
-      (reward_bound.lower() != 0.0 || reward_bound.is_upper_unbounded())) {
+      (!core::exactly_zero(reward_bound.lower()) || reward_bound.is_upper_unbounded())) {
     throw UnsupportedFormulaError(
         "until: reward bounds must have the form [0,r] (thesis section 4.6: general reward "
         "intervals are future work)");
@@ -273,7 +274,7 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
       double lower = 0.0;
       double upper = options.transient.epsilon;
       for (core::StateIndex mid = 0; mid < n; ++mid) {
-        if (!sat_phi[mid] || at_t1[mid] == 0.0) continue;
+        if (!sat_phi[mid] || core::exactly_zero(at_t1[mid])) continue;
         probability += at_t1[mid] * residual[mid].probability;
         error += at_t1[mid] * residual[mid].error_bound;
         lower += at_t1[mid] * residual[mid].bound.lower;
@@ -286,7 +287,7 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
   }
 
   // Remaining cases need a bounded time interval of the form [0,t] or [t,t].
-  const bool time_zero_based = time_bound.lower() == 0.0 && !time_bound.is_upper_unbounded();
+  const bool time_zero_based = core::exactly_zero(time_bound.lower()) && !time_bound.is_upper_unbounded();
   const bool time_point = time_bound.is_point() && !time_bound.is_upper_unbounded();
   if (!time_zero_based && !time_point) {
     throw UnsupportedFormulaError(

@@ -1,0 +1,42 @@
+// Approved floating-point comparison helpers.
+//
+// csrlmrm-lint's float-equality rule bans raw ==/!= on floating-point values
+// everywhere outside this file: a naked comparison does not say whether the
+// author wanted a tolerance (use approx_eq/approx_zero) or a deliberate
+// bit-exact test (use exactly_zero/exactly_equal). The exact variants compile
+// to the same instruction as ==; their value is making "this is exact ON
+// PURPOSE" machine-checkable. Typical exact uses in this codebase: sparsity
+// skips (a stored 0.0 stays 0.0), absorbing-state tests (exit rate is only
+// 0.0 when never assigned), and sentinel bounds (intervals use literal 0.0 /
+// infinity as "unset").
+//
+// The lint rule recognizes these helpers by name prefix (approx_*, exactly_*)
+// — new comparison helpers belong here under the same prefixes.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace csrlmrm::core {
+
+/// Tolerance comparison: |a - b| <= abs_tol, or relatively within rel_tol of
+/// the larger magnitude. Both bounds are checked so the helper behaves for
+/// values near zero (absolute) and for large magnitudes (relative) alike.
+inline bool approx_eq(double a, double b, double abs_tol = 1e-12, double rel_tol = 1e-9) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+/// Tolerance test against zero.
+inline bool approx_zero(double x, double tol = 1e-12) { return std::fabs(x) <= tol; }
+
+/// Deliberate exact test against literal zero. Correct only when the value is
+/// either never touched (default-initialized rate/reward) or assigned exactly
+/// 0.0 — not when it is the result of arithmetic.
+inline bool exactly_zero(double x) { return x == 0.0; }
+
+/// Deliberate bit-exact equality (sentinel values, copied-through data).
+inline bool exactly_equal(double a, double b) { return a == b; }
+
+}  // namespace csrlmrm::core

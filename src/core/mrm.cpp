@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "core/approx.hpp"
 
 namespace csrlmrm::core {
 
@@ -51,7 +52,7 @@ void Mrm::validate() const {
         throw std::invalid_argument("Mrm: negative impulse reward on (" + std::to_string(s) +
                                     "," + std::to_string(e.col) + ")");
       }
-      if (e.value > 0.0 && rates().rate(s, e.col) == 0.0) {
+      if (e.value > 0.0 && exactly_zero(rates().rate(s, e.col))) {
         throw std::invalid_argument("Mrm: impulse reward on non-existent transition (" +
                                     std::to_string(s) + "," + std::to_string(e.col) + ")");
       }

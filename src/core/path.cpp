@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "core/approx.hpp"
 
 namespace csrlmrm::core {
 
@@ -47,7 +48,7 @@ double TimedPath::accumulated_reward(const Mrm& model, double t) const {
   double reward = 0.0;
   for (std::size_t i = 0; i < steps_.size(); ++i) {
     const PathStep& step = steps_[i];
-    if (i + 1 < steps_.size() && model.rates().rate(step.state, steps_[i + 1].state) == 0.0) {
+    if (i + 1 < steps_.size() && exactly_zero(model.rates().rate(step.state, steps_[i + 1].state))) {
       throw std::invalid_argument("TimedPath::accumulated_reward: step " + std::to_string(i) +
                                   " is not a transition of the model");
     }

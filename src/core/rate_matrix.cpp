@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "core/approx.hpp"
 
 namespace csrlmrm::core {
 
@@ -38,7 +39,7 @@ RateMatrix::RateMatrix(linalg::CsrMatrix rates) : rates_(std::move(rates)) {
 
 double RateMatrix::jump_probability(StateIndex from, StateIndex to) const {
   const double e = exit_rate(from);
-  if (e == 0.0) return 0.0;
+  if (exactly_zero(e)) return 0.0;
   return rate(from, to) / e;
 }
 
@@ -55,7 +56,7 @@ linalg::CsrMatrix RateMatrix::embedded_dtmc() const {
   linalg::CsrBuilder builder(num_states(), num_states());
   for (StateIndex s = 0; s < num_states(); ++s) {
     const double e = exit_rates_[s];
-    if (e == 0.0) continue;
+    if (exactly_zero(e)) continue;
     for (const auto& entry : rates_.row(s)) builder.add(s, entry.col, entry.value / e);
   }
   return builder.build();

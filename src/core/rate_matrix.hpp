@@ -14,6 +14,7 @@
 
 #include "core/labels.hpp"
 #include "linalg/csr_matrix.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::core {
 
@@ -55,7 +56,7 @@ class RateMatrix {
   double max_exit_rate() const { return max_exit_rate_; }
 
   /// True iff E(s) = 0, i.e. the state is absorbing (Definition 3.2).
-  bool is_absorbing(StateIndex s) const { return exit_rates_.at(s) == 0.0; }
+  bool is_absorbing(StateIndex s) const { return exactly_zero(exit_rates_.at(s)); }
 
   /// Outgoing transitions of s as (target, rate) entries, ascending target.
   std::span<const linalg::Entry> transitions(StateIndex s) const { return rates_.row(s); }

@@ -6,6 +6,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include "core/approx.hpp"
 
 namespace csrlmrm::io {
 
@@ -292,7 +293,7 @@ void write_lab(std::ostream& out, const core::Labeling& labels) {
 void write_rewr(std::ostream& out, const std::vector<double>& rewards) {
   out << std::setprecision(17);
   for (std::size_t s = 0; s < rewards.size(); ++s) {
-    if (rewards[s] != 0.0) out << (s + 1) << ' ' << rewards[s] << '\n';
+    if (!core::exactly_zero(rewards[s])) out << (s + 1) << ' ' << rewards[s] << '\n';
   }
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "lang/parser.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::lang {
 
@@ -145,7 +146,7 @@ BuiltModel build_model(const ModelSpec& spec, const BuildOptions& options) {
       if (!evaluate_bool(command.guard, env)) continue;
       const double rate = evaluate_number(command.rate, env);
       if (rate < 0.0) throw SpecError("negative rate in a command");
-      if (rate == 0.0) continue;
+      if (core::exactly_zero(rate)) continue;
 
       std::vector<long> next = current;
       std::vector<bool> assigned(next.size(), false);

@@ -1,6 +1,7 @@
 #include "lang/spec.hpp"
 
 #include <cmath>
+#include "core/approx.hpp"
 
 namespace csrlmrm::lang {
 
@@ -90,7 +91,7 @@ Value evaluate(const ExprPtr& expr, const Environment& env) {
                                     as_number(rhs, "operand of *"));
         case Op::kDiv: {
           const double denominator = as_number(rhs, "operand of /");
-          if (denominator == 0.0) throw SpecError("division by zero");
+          if (core::exactly_zero(denominator)) throw SpecError("division by zero");
           return Value::make_number(as_number(lhs, "operand of /") / denominator);
         }
         default:

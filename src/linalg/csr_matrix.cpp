@@ -7,6 +7,7 @@
 
 #include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::linalg {
 
@@ -21,7 +22,7 @@ void CsrBuilder::add(std::size_t row, std::size_t col, double value) {
   if (!std::isfinite(value)) {
     throw std::invalid_argument("CsrBuilder::add: non-finite value");
   }
-  if (value == 0.0) return;
+  if (core::exactly_zero(value)) return;
   triplets_.push_back({row, col, value});
 }
 
@@ -44,7 +45,7 @@ CsrMatrix CsrBuilder::build() const {
         v += sorted[i].value;
         ++i;
       }
-      if (v != 0.0) entries.push_back({c, v});
+      if (!core::exactly_zero(v)) entries.push_back({c, v});
     }
     row_ptr[r + 1] = entries.size();
   }
@@ -99,7 +100,7 @@ std::vector<double> CsrMatrix::left_multiply(const std::vector<double>& x) const
   std::vector<double> y(cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
-    if (xr == 0.0) continue;
+    if (core::exactly_zero(xr)) continue;
     for (const Entry& e : row(r)) y[e.col] += xr * e.value;
   }
   return y;
@@ -133,7 +134,7 @@ void CsrMatrix::left_multiply_into(const std::vector<double>& x, std::vector<dou
   std::fill(y.begin(), y.end(), 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
-    if (xr == 0.0) continue;
+    if (core::exactly_zero(xr)) continue;
     for (const Entry& e : row(r)) y[e.col] += xr * e.value;
   }
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/stats.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::linalg {
 
@@ -30,7 +31,7 @@ std::vector<double> dense_solve(std::vector<std::vector<double>> A, std::vector<
 
     for (std::size_t i = k + 1; i < n; ++i) {
       const double factor = A[i][k] / A[k][k];
-      if (factor == 0.0) continue;
+      if (core::exactly_zero(factor)) continue;
       for (std::size_t j = k; j < n; ++j) A[i][j] -= factor * A[k][j];
       b[i] -= factor * b[k];
     }

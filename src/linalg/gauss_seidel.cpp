@@ -6,6 +6,7 @@
 
 #include "linalg/vector_ops.hpp"
 #include "obs/stats.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::linalg {
 
@@ -32,7 +33,7 @@ IterativeResult gauss_seidel_solve(const CsrMatrix& A, const std::vector<double>
           off += e.value * x[e.col];
         }
       }
-      if (diag == 0.0) {
+      if (core::exactly_zero(diag)) {
         throw std::invalid_argument("gauss_seidel_solve: zero diagonal at row " +
                                     std::to_string(i));
       }

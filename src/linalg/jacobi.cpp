@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/stats.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::linalg {
 
@@ -31,7 +32,7 @@ IterativeResult jacobi_solve(const CsrMatrix& A, const std::vector<double>& b,
           off += e.value * x[e.col];
         }
       }
-      if (diag == 0.0) {
+      if (core::exactly_zero(diag)) {
         throw std::invalid_argument("jacobi_solve: zero diagonal at row " + std::to_string(i));
       }
       next[i] = (b[i] - off) / diag;

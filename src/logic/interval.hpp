@@ -5,6 +5,7 @@
 
 #include <limits>
 #include <string>
+#include "core/approx.hpp"
 
 namespace csrlmrm::logic {
 
@@ -28,7 +29,7 @@ class Interval {
   bool is_upper_unbounded() const { return upper_ == std::numeric_limits<double>::infinity(); }
 
   /// True iff the interval is [0, infinity), i.e. imposes no constraint.
-  bool is_trivial() const { return lower_ == 0.0 && is_upper_unbounded(); }
+  bool is_trivial() const { return core::exactly_zero(lower_) && is_upper_unbounded(); }
 
   /// True iff the interval is the point [v, v].
   bool is_point() const { return lower_ == upper_; }

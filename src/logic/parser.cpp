@@ -1,6 +1,7 @@
 #include "logic/parser.hpp"
 
 #include <limits>
+#include "core/approx.hpp"
 
 namespace csrlmrm::logic {
 
@@ -169,7 +170,7 @@ class Parser {
       advance();
       Interval horizon = full_interval();
       if (peek().kind == TokenKind::kLBracket) horizon = parse_interval();
-      if (horizon.lower() != 0.0 || horizon.is_upper_unbounded()) {
+      if (!core::exactly_zero(horizon.lower()) || horizon.is_upper_unbounded()) {
         throw ParseError("cumulative reward horizons must have the form [0,t]",
                          peek().column);
       }

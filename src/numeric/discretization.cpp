@@ -7,6 +7,7 @@
 
 #include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::numeric {
 
@@ -62,7 +63,7 @@ UntilDiscretizationResult until_probability_discretization(
   }
 
   UntilDiscretizationResult result;
-  if (t == 0.0) {
+  if (core::exactly_zero(t)) {
     result.probability = psi[start] ? 1.0 : 0.0;
     return result;
   }

@@ -6,6 +6,7 @@
 
 #include "numeric/poisson.hpp"
 #include "obs/stats.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::numeric {
 
@@ -19,7 +20,7 @@ FoxGlynnWeights fox_glynn(double mean, double epsilon) {
   }
 
   FoxGlynnWeights result;
-  if (mean == 0.0) {
+  if (core::exactly_zero(mean)) {
     result.left = 0;
     result.right = 0;
     result.weights = {1.0};

@@ -9,6 +9,7 @@
 #include "numeric/conditional.hpp"
 #include "numeric/poisson.hpp"
 #include "obs/stats.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::numeric {
 
@@ -102,7 +103,7 @@ UntilUniformizationResult UniformizationUntilEngine::compute(
 
   UntilUniformizationResult result;
   if (dead_[start]) return result;
-  if (t == 0.0) {
+  if (core::exactly_zero(t)) {
     // inf(I) = inf(J) = 0: the formula holds immediately iff start |= Psi.
     result.probability = psi_[start] ? 1.0 : 0.0;
     return result;
@@ -186,7 +187,18 @@ UntilUniformizationResult UniformizationUntilEngine::compute(
 
   if (options.aggregate_signatures) {
     result.signature_classes = classes.size();
-    for (const auto& [sig, p] : classes) {
+    // Drain the hash map into lexicographic signature order before folding:
+    // accumulating in unordered_map iteration order made the rounding of
+    // result.probability depend on the hash seed / load factor, so two runs
+    // (or two stdlib versions) could disagree in the last ulps — enough to
+    // flip a threshold verdict inside the error band.
+    // lint:allow(unordered-iteration) — this drain is order-insensitive: the
+    // fold below runs over `ordered` only after the sort.
+    std::vector<std::pair<std::vector<std::uint32_t>, double>> ordered(classes.begin(),
+                                                                       classes.end());  // lint:allow(unordered-iteration)
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [sig, p] : ordered) {
       const SpacingCounts k(sig.begin(), sig.begin() + num_k);
       const SpacingCounts j(sig.begin() + num_k, sig.end());
       result.probability += p * context.conditional_probability(k, j, t, r);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "core/approx.hpp"
 
 namespace csrlmrm::numeric {
 
@@ -20,14 +21,16 @@ double log_gamma(double x) {
   int sign = 0;
   return ::lgamma_r(x, &sign);
 #else
-  return std::lgamma(x);
+  // Non-glibc/Apple fallback only: no lgamma_r on this platform, and the
+  // serial call sites tolerate the signgam write.
+  return std::lgamma(x);  // lint:allow(unsafe-libm)
 #endif
 }
 }  // namespace
 
 double poisson_pmf(std::size_t n, double mean) {
   require_valid_mean(mean);
-  if (mean == 0.0) return n == 0 ? 1.0 : 0.0;
+  if (core::exactly_zero(mean)) return n == 0 ? 1.0 : 0.0;
   const double dn = static_cast<double>(n);
   return std::exp(dn * std::log(mean) - mean - log_gamma(dn + 1.0));
 }

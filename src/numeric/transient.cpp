@@ -8,6 +8,7 @@
 #include "numeric/poisson.hpp"
 #include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::numeric {
 
@@ -96,8 +97,8 @@ std::vector<double> transient_distribution(const core::RateMatrix& rates,
   obs::counter_add("transient.calls");
   require_distribution(rates, initial);
   require_time(t);
-  if (t == 0.0) return initial;
-  if (rates.max_exit_rate() == 0.0) return initial;  // every state absorbing
+  if (core::exactly_zero(t)) return initial;
+  if (core::exactly_zero(rates.max_exit_rate())) return initial;  // every state absorbing
 
   double lambda = 0.0;
   const linalg::CsrMatrix P = uniformized_transition_matrix(rates, lambda);
@@ -141,7 +142,7 @@ std::vector<std::vector<double>> transient_distributions_from_states(
   std::vector<std::vector<double>> results(starts.size());
   if (starts.empty()) return results;
 
-  if (t == 0.0 || rates.max_exit_rate() == 0.0) {
+  if (core::exactly_zero(t) || core::exactly_zero(rates.max_exit_rate())) {
     for (std::size_t i = 0; i < starts.size(); ++i) {
       results[i].assign(n, 0.0);
       results[i][starts[i]] = 1.0;
@@ -175,8 +176,8 @@ std::vector<double> expected_occupation_times(const core::RateMatrix& rates,
   require_distribution(rates, initial);
   require_time(t);
   const std::size_t n = rates.num_states();
-  if (t == 0.0) return std::vector<double>(n, 0.0);
-  if (rates.max_exit_rate() == 0.0) {
+  if (core::exactly_zero(t)) return std::vector<double>(n, 0.0);
+  if (core::exactly_zero(rates.max_exit_rate())) {
     // Nothing moves: all time is spent where the chain starts.
     std::vector<double> result(n, 0.0);
     for (std::size_t s = 0; s < n; ++s) result[s] = initial[s] * t;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/stats.hpp"
+#include "core/approx.hpp"
 
 namespace csrlmrm::sim {
 
@@ -40,7 +41,7 @@ MrmSimulator::MrmSimulator(const core::Mrm& model, std::uint64_t seed)
 bool MrmSimulator::sample_transition(core::StateIndex state, double& holding_time,
                                      core::StateIndex& successor) {
   const double exit = model_->rates().exit_rate(state);
-  if (exit == 0.0) return false;
+  if (core::exactly_zero(exit)) return false;
   holding_time = std::exponential_distribution<double>(exit)(rng_);
   // Sample the winner of the transition race proportional to its rate.
   double pick = std::uniform_real_distribution<double>(0.0, exit)(rng_);

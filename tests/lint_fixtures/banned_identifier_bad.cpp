@@ -1,0 +1,17 @@
+// Fixture: banned-identifier fires on the curated replacement list and on
+// unqualified abs (the int overload truncates doubles).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+double bad_parse(const char* s) { return atof(s); }      // EXPECT-LINT
+int bad_parse_int(const char* s) { return atoi(s); }     // EXPECT-LINT
+void bad_format(char* buf) { sprintf(buf, "x"); }        // EXPECT-LINT
+double bad_abs(double x) { return abs(x); }              // EXPECT-LINT
+
+double ok_qualified_abs(double x) { return std::abs(x); }
+double ok_fabs(double x) { return std::fabs(x); }
+double ok_strtod(const char* s) { return strtod(s, nullptr); }
+void ok_bounded_format(char* buf, unsigned long n) { snprintf(buf, n, "x"); }
+double ok_suppressed(const char* s) { return atof(s); }  // lint:allow(banned-identifier)
+int ok_member_named_abs(int abs) { return abs; }

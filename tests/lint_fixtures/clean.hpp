@@ -1,0 +1,11 @@
+// Fixture: a conforming header — #pragma once present, double arithmetic,
+// no banned constructs. Must produce zero diagnostics.
+#pragma once
+
+#include <cmath>
+
+namespace lint_fixture {
+
+inline double scaled_magnitude(double x, double scale) { return std::fabs(x) * scale; }
+
+}  // namespace lint_fixture

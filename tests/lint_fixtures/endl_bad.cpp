@@ -1,0 +1,9 @@
+// Fixture: endl fires on std::endl; '\n' and explicit flushes stay clean.
+#include <iostream>
+
+void bad_flush() { std::cout << "done" << std::endl; }  // EXPECT-LINT
+
+void ok_newline() { std::cout << "done\n"; }
+void ok_explicit_flush() { std::cout << "done\n" << std::flush; }
+void ok_suppressed() { std::cout << "done" << std::endl; }  // lint:allow(endl)
+void ok_string_mention() { std::cout << "std::endl is banned\n"; }

@@ -1,0 +1,25 @@
+// Fixture: float-equality fires on raw ==/!= adjacent to floating-point
+// literals, honors allowance comments in both positions, and exempts
+// approx_*/exactly_* helper definitions. Each marked line must produce
+// exactly this rule's diagnostic; no other line may.
+bool bad_eq(double x) { return x == 0.0; }       // EXPECT-LINT
+bool bad_ne(double x) { return x != 1.5; }       // EXPECT-LINT
+bool bad_reversed(double x) { return 2.0e-3 == x; }  // EXPECT-LINT
+bool bad_negated(double x) { return x == -1.0; }     // EXPECT-LINT
+bool bad_suffix(double x) { return x != 3.f; }       // EXPECT-LINT
+
+bool ok_trailing_allow(double x) { return x == 0.0; }  // lint:allow(float-equality)
+
+// lint:allow(float-equality)
+bool ok_standalone_allow(double x) { return x == 0.0; }
+
+// lint:allow(float-equality) — justification may run across
+// several comment-only lines before the code it targets.
+bool ok_multiline_allow(double x) { return x == 0.0; }
+
+// Approved helpers may compare exactly: the rule recognizes the prefixes.
+bool approx_zero_local(double x) { return x == 0.0; }
+bool exactly_one_local(double x) { return x == 1.0; }
+
+bool ok_integer(int x) { return x == 0; }
+bool ok_relational(double x) { return x >= 0.0 && x < 1.0; }

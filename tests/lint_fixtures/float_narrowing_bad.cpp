@@ -1,0 +1,17 @@
+// Fixture: float-narrowing fires on every use of the `float` type; the
+// project numeric convention is double end-to-end.
+float bad_return_type() {  // EXPECT-LINT
+  return 0;
+}
+
+double bad_cast(double x) {
+  return static_cast<float>(x);  // EXPECT-LINT
+}
+
+double ok_suppressed(double x) {
+  const float narrowed = static_cast<float>(x);  // lint:allow(float-narrowing)
+  return narrowed;
+}
+
+double ok_double(double x) { return x; }
+int ok_unrelated_name(int floaty) { return floaty; }

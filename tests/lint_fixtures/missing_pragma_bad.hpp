@@ -1,0 +1,4 @@
+// Fixture: pragma-once fires (at line 1) when a header has no #pragma once.
+#include <cstddef>
+
+inline std::size_t fixture_header_fn() { return 0; }

@@ -1,0 +1,24 @@
+// Fixture: naked-new fires on raw new/delete expressions; deleted special
+// members and operator new/delete declarations stay clean.
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+int* bad_alloc() { return new int(3); }       // EXPECT-LINT
+void bad_free(int* p) { delete p; }           // EXPECT-LINT
+void bad_array_free(int* p) { delete[] p; }   // EXPECT-LINT
+
+struct NoCopy {
+  NoCopy() = default;
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+struct Pooled {
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p);
+};
+
+std::unique_ptr<int> ok_smart() { return std::make_unique<int>(3); }
+std::vector<int> ok_container() { return std::vector<int>(8, 0); }
+int* ok_suppressed() { return new int(4); }  // lint:allow(naked-new)

@@ -1,0 +1,5 @@
+// Fixture: a file-wide allowance silences pragma-once for this header.
+// lint:allow-file(pragma-once)
+#include <cstddef>
+
+inline std::size_t fixture_suppressed_header_fn() { return 0; }

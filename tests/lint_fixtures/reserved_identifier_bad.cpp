@@ -1,0 +1,14 @@
+// Fixture: reserved-identifier fires on _Uppercase and double-underscore
+// names ([lex.name]/3); a single leading underscore before a lowercase letter
+// is legal at function/block scope and stays clean.
+int _Bad_capital = 1;       // EXPECT-LINT
+int bad__middle = 2;        // EXPECT-LINT
+int trailing_bad__ = 3;     // EXPECT-LINT
+
+int ok_suppressed__name = 4;  // lint:allow(reserved-identifier)
+
+void ok_scope() {
+  int _lower = 5;
+  int single_underscore = _lower;
+  (void)single_underscore;
+}

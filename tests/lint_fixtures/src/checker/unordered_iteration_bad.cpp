@@ -1,0 +1,47 @@
+// Fixture: unordered-iteration fires on range-fors and begin()/end() walks
+// over unordered containers inside deterministic subsystems (the virtual
+// path places this file in src/checker/). Lookup-only use stays clean.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+double bad_range_for(const std::unordered_map<int, double>& weights) {
+  double acc = 0.0;
+  for (const auto& [key, value] : weights) {  // EXPECT-LINT
+    acc += value + static_cast<double>(key);
+  }
+  return acc;
+}
+
+int bad_iterator_walk() {
+  std::unordered_set<int> seen = {1, 2, 3};
+  int total = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // EXPECT-LINT, EXPECT-LINT
+    total += *it;
+  }
+  return total;
+}
+
+double ok_suppressed(const std::unordered_map<int, double>& weights) {
+  double acc = 0.0;
+  for (const auto& [key, value] : weights) {  // lint:allow(unordered-iteration)
+    acc += value + static_cast<double>(key);
+  }
+  return acc;
+}
+
+double ok_lookup_only(const std::unordered_map<int, double>& weights, int key) {
+  const auto it = weights.find(key);
+  return it == weights.end() ? 0.0 : it->second;  // lint:allow(unordered-iteration)
+}
+
+// Distinct name on purpose: the rule tracks declared identifiers per file, so
+// reusing `weights` here would (correctly, per the heuristic's contract)
+// still flag this ordered map.
+double ok_ordered_map(const std::map<int, double>& ordered_weights) {
+  double acc = 0.0;
+  for (const auto& [key, value] : ordered_weights) {
+    acc += value + static_cast<double>(key);
+  }
+  return acc;
+}

@@ -1,0 +1,37 @@
+// Fixture: solver-stats fires on a looping *solve* function without obs::
+// instrumentation (the virtual path places this file in src/linalg/).
+// Instrumented and suppressed solvers stay clean, as do non-solver loops.
+namespace obs {
+struct ScopedTimer {
+  explicit ScopedTimer(const char*) {}
+};
+void counter_add(const char*) {}
+}  // namespace obs
+
+int iterative_solve_bad(int n) {  // EXPECT-LINT
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += i;
+  return acc;
+}
+
+int iterative_solve_ok(int n) {
+  obs::ScopedTimer timer("solver.fixture");
+  obs::counter_add("solver.fixture.calls");
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += i;
+  return acc;
+}
+
+int quiet_solve(int n) {  // lint:allow(solver-stats)
+  int acc = 0;
+  while (n > 0) acc += n--;
+  return acc;
+}
+
+int ok_plain_accumulate(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) acc += i;
+  return acc;
+}
+
+int ok_loopless_solve(int n) { return n + 1; }

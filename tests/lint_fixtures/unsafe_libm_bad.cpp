@@ -1,0 +1,20 @@
+// Fixture: unsafe-libm fires on calls to libc/libm entry points with hidden
+// global state; reentrant variants and non-call mentions stay clean.
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+double bad_lgamma(double x) { return std::lgamma(x); }  // EXPECT-LINT
+int bad_rand() { return rand(); }                       // EXPECT-LINT
+int bad_srand() { srand(7); return 0; }                 // EXPECT-LINT
+char* bad_strtok(char* s) { return strtok(s, " "); }    // EXPECT-LINT
+
+double ok_reentrant(double x) {
+  int sign = 0;
+  return lgamma_r(x, &sign);
+}
+char* ok_reentrant_tok(char* s, char** save) { return strtok_r(s, " ", save); }
+int ok_suppressed() { return rand(); }  // lint:allow(unsafe-libm)
+
+// A mention without a call (function pointer naming is rare but legal).
+using LgammaPtr = double (*)(double);

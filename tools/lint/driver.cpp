@@ -1,0 +1,149 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "context.hpp"
+#include "lexer.hpp"
+
+namespace csrlmrm::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" || ext == ".cxx";
+}
+
+// Directories never descended into: generated trees, VCS metadata, and the
+// fixture corpus of intentional violations.
+bool skipped_directory(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == ".git" || name == "Testing" || name == "lint_fixtures" ||
+         name.rfind("build", 0) == 0;
+}
+
+void lint_one(const std::string& path, std::string source,
+              const std::vector<std::unique_ptr<Rule>>& rules,
+              const LintOptions& options, LintReport& report) {
+  FileContext ctx(lex(path, std::move(source)));
+  ++report.files_scanned;
+  std::vector<Diagnostic> raw;
+  for (const auto& rule : rules) {
+    if (!options.rule_filter.empty() &&
+        std::find(options.rule_filter.begin(), options.rule_filter.end(), rule->name()) ==
+            options.rule_filter.end()) {
+      continue;
+    }
+    rule->check(ctx, raw);
+  }
+  for (Diagnostic& d : raw) {
+    if (ctx.suppressed(d.rule, d.line)) {
+      ++report.suppressed;
+    } else {
+      report.diagnostics.push_back(std::move(d));
+    }
+  }
+}
+
+}  // namespace
+
+LintReport lint_source(std::string virtual_path, std::string source,
+                       const LintOptions& options) {
+  LintReport report;
+  const auto rules = make_default_rules();
+  lint_one(virtual_path, std::move(source), rules, options, report);
+  return report;
+}
+
+LintReport lint_paths(const std::vector<std::string>& paths, const LintOptions& options) {
+  LintReport report;
+  const auto rules = make_default_rules();
+
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      fs::recursive_directory_iterator it(p, fs::directory_options::skip_permission_denied, ec);
+      if (ec) {
+        report.errors.push_back(p + ": " + ec.message());
+        continue;
+      }
+      for (auto end = fs::end(it); it != end; it.increment(ec)) {
+        if (ec) break;
+        if (it->is_directory() && skipped_directory(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && lintable_extension(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else if (fs::exists(p, ec)) {
+      files.push_back(p);
+    } else {
+      report.errors.push_back(p + ": no such file or directory");
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      report.errors.push_back(path + ": unreadable");
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    lint_one(path, std::move(buf).str(), rules, options, report);
+  }
+
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return report;
+}
+
+obs::JsonValue report_to_json(const LintReport& report) {
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("tool", obs::JsonValue(std::string("csrlmrm-lint")));
+  root.set("version", obs::JsonValue(1.0));
+  root.set("files_scanned", obs::JsonValue(static_cast<double>(report.files_scanned)));
+  root.set("suppressed", obs::JsonValue(static_cast<double>(report.suppressed)));
+  root.set("clean", obs::JsonValue(report.clean()));
+  obs::JsonValue diags = obs::JsonValue::array();
+  for (const Diagnostic& d : report.diagnostics) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("rule", obs::JsonValue(d.rule));
+    entry.set("file", obs::JsonValue(d.file));
+    entry.set("line", obs::JsonValue(static_cast<double>(d.line)));
+    entry.set("column", obs::JsonValue(static_cast<double>(d.column)));
+    entry.set("message", obs::JsonValue(d.message));
+    diags.push_back(std::move(entry));
+  }
+  root.set("diagnostics", std::move(diags));
+  obs::JsonValue errors = obs::JsonValue::array();
+  for (const std::string& e : report.errors) errors.push_back(obs::JsonValue(e));
+  root.set("errors", std::move(errors));
+  return root;
+}
+
+std::string format_text(const LintReport& report) {
+  std::ostringstream out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out << d.file << ':' << d.line << ':' << d.column << ": [" << d.rule << "] "
+        << d.message << '\n';
+  }
+  for (const std::string& e : report.errors) out << "error: " << e << '\n';
+  out << report.files_scanned << " file(s) scanned, " << report.diagnostics.size()
+      << " diagnostic(s), " << report.suppressed << " suppressed\n";
+  return std::move(out).str();
+}
+
+}  // namespace csrlmrm::lint

@@ -1,0 +1,47 @@
+// Lint driver: collects files, runs the rule set, applies suppression
+// comments, and renders reports (human text via format_text, machine JSON via
+// report_to_json — the same src/obs/json model the stats layer emits, so
+// downstream tooling parses one dialect).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "rules.hpp"
+
+namespace csrlmrm::lint {
+
+struct LintOptions {
+  /// When non-empty, only rules whose name appears here run.
+  std::vector<std::string> rule_filter;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;  // unsuppressed, in file/line order
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;  // matches silenced by lint:allow comments
+  std::vector<std::string> errors;  // unreadable paths etc.
+
+  bool clean() const { return diagnostics.empty() && errors.empty(); }
+};
+
+/// Lints one in-memory buffer under a virtual path (unit tests, stdin).
+LintReport lint_source(std::string virtual_path, std::string source,
+                       const LintOptions& options = {});
+
+/// Lints files and directory trees. Directories are walked recursively for
+/// .cpp/.hpp/.h, skipping build trees, VCS dirs, and `lint_fixtures` corpora
+/// (which contain intentional violations).
+LintReport lint_paths(const std::vector<std::string>& paths,
+                      const LintOptions& options = {});
+
+/// JSON schema: {tool, version, files_scanned, suppressed, clean,
+/// diagnostics: [{rule, file, line, column, message}], errors: [...]}.
+obs::JsonValue report_to_json(const LintReport& report);
+
+/// One "file:line:col: [rule] message" line per diagnostic plus a summary.
+std::string format_text(const LintReport& report);
+
+}  // namespace csrlmrm::lint

@@ -1,0 +1,304 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace csrlmrm::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuation, longest first within each leading character so
+// a greedy prefix match implements maximal munch.
+constexpr std::string_view kMultiPunct[] = {
+    "<<=", ">>=", "...", "->*", "<=>",                            // 3 chars
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",   // 2 chars
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    ".*",
+};
+
+class Lexer {
+ public:
+  Lexer(std::string path, std::string source) {
+    out_.path = std::move(path);
+    out_.source = std::move(source);
+  }
+
+  LexedFile run() {
+    const std::string& s = out_.source;
+    while (pos_ < s.size()) {
+      const char c = s[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_start_ = ++pos_;
+        line_has_code_ = false;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < s.size() && s[pos_ + 1] == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < s.size() && s[pos_ + 1] == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && !line_has_code_) {
+        preprocessor_line();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        identifier_or_literal();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && pos_ + 1 < s.size() && is_digit(s[pos_ + 1]))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  std::size_t column(std::size_t offset) const { return offset - line_start_ + 1; }
+
+  void emit(TokenKind kind, std::size_t start, std::size_t start_line,
+            std::size_t start_col, bool is_float = false) {
+    out_.tokens.push_back(Token{kind, start, pos_ - start, start_line, start_col, is_float});
+    line_has_code_ = true;
+  }
+
+  void line_comment() {
+    const std::size_t start = pos_;
+    const std::string& s = out_.source;
+    while (pos_ < s.size() && s[pos_] != '\n') ++pos_;
+    out_.comments.push_back(
+        Comment{start, pos_ - start, line_, line_, false, !line_has_code_});
+  }
+
+  void block_comment() {
+    const std::size_t start = pos_;
+    const std::size_t start_line = line_;
+    const bool owns = !line_has_code_;
+    const std::string& s = out_.source;
+    pos_ += 2;
+    while (pos_ < s.size()) {
+      if (s[pos_] == '\n') {
+        ++line_;
+        line_start_ = pos_ + 1;
+      } else if (s[pos_] == '*' && pos_ + 1 < s.size() && s[pos_ + 1] == '/') {
+        pos_ += 2;
+        out_.comments.push_back(
+            Comment{start, pos_ - start, start_line, line_, true, owns});
+        return;
+      }
+      ++pos_;
+    }
+    out_.comments.push_back(Comment{start, pos_ - start, start_line, line_, true, owns});
+  }
+
+  // One directive, folding backslash-continuations into a single token. Block
+  // comments inside the directive are skipped so a `/* \n */` cannot desync
+  // the line count.
+  void preprocessor_line() {
+    const std::size_t start = pos_;
+    const std::size_t start_line = line_;
+    const std::size_t start_col = column(pos_);
+    const std::string& s = out_.source;
+    while (pos_ < s.size()) {
+      if (s[pos_] == '\\' && pos_ + 1 < s.size() && s[pos_ + 1] == '\n') {
+        pos_ += 2;
+        ++line_;
+        line_start_ = pos_;
+        continue;
+      }
+      if (s[pos_] == '/' && pos_ + 1 < s.size() && s[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ < s.size() && !(s[pos_] == '*' && pos_ + 1 < s.size() && s[pos_ + 1] == '/')) {
+          if (s[pos_] == '\n') {
+            ++line_;
+            line_start_ = pos_ + 1;
+          }
+          ++pos_;
+        }
+        if (pos_ < s.size()) pos_ += 2;
+        continue;
+      }
+      if (s[pos_] == '/' && pos_ + 1 < s.size() && s[pos_ + 1] == '/') break;
+      if (s[pos_] == '\n') break;
+      ++pos_;
+    }
+    emit(TokenKind::kPreprocessor, start, start_line, start_col);
+    // The directive owned its line; a trailing // comment still follows.
+  }
+
+  void identifier_or_literal() {
+    const std::size_t start = pos_;
+    const std::size_t start_col = column(pos_);
+    const std::string& s = out_.source;
+    while (pos_ < s.size() && is_ident_char(s[pos_])) ++pos_;
+    const std::string_view word = std::string_view(s).substr(start, pos_ - start);
+    // String/char literal prefixes: R"(..)", u8"..", L'..', uR"(..)" etc.
+    if (pos_ < s.size() && (s[pos_] == '"' || s[pos_] == '\'') &&
+        (word == "R" || word == "L" || word == "u" || word == "U" || word == "u8" ||
+         word == "LR" || word == "uR" || word == "UR" || word == "u8R")) {
+      const bool raw = word.back() == 'R';
+      if (s[pos_] == '"') {
+        pos_ = start;  // rewind; string_literal() re-consumes the prefix
+        string_literal_at(start, start_col, raw);
+      } else {
+        pos_ = start;
+        char_literal_at(start, start_col);
+      }
+      return;
+    }
+    emit(TokenKind::kIdentifier, start, line_, start_col);
+  }
+
+  void number() {
+    const std::size_t start = pos_;
+    const std::size_t start_col = column(pos_);
+    const std::string& s = out_.source;
+    bool is_float = false;
+    bool hex = false;
+    if (s[pos_] == '0' && pos_ + 1 < s.size() && (s[pos_ + 1] == 'x' || s[pos_ + 1] == 'X')) {
+      hex = true;
+      pos_ += 2;
+    }
+    while (pos_ < s.size()) {
+      const char c = s[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.') {
+        if (c == '.') is_float = true;
+        if (!hex && (c == 'e' || c == 'E') && pos_ + 1 < s.size() &&
+            (s[pos_ + 1] == '+' || s[pos_ + 1] == '-')) {
+          is_float = true;
+          ++pos_;  // consume the sign with the exponent
+        } else if (!hex && (c == 'e' || c == 'E')) {
+          is_float = true;
+        } else if (hex && (c == 'p' || c == 'P')) {
+          is_float = true;  // hex float exponent
+          if (pos_ + 1 < s.size() && (s[pos_ + 1] == '+' || s[pos_ + 1] == '-')) ++pos_;
+        } else if (!hex && (c == 'f' || c == 'F')) {
+          is_float = true;  // float suffix (2.f, 1f is invalid C++ anyway)
+        }
+        ++pos_;
+        continue;
+      }
+      if (c == '\'' && pos_ + 1 < s.size() && std::isalnum(static_cast<unsigned char>(s[pos_ + 1]))) {
+        ++pos_;  // digit separator
+        continue;
+      }
+      break;
+    }
+    emit(TokenKind::kNumber, start, line_, start_col, is_float);
+  }
+
+  void string_literal() { string_literal_at(pos_, column(pos_), false); }
+  void char_literal() { char_literal_at(pos_, column(pos_)); }
+
+  void string_literal_at(std::size_t start, std::size_t start_col, bool raw_prefix) {
+    const std::string& s = out_.source;
+    const std::size_t start_line = line_;
+    pos_ = start;
+    while (pos_ < s.size() && s[pos_] != '"') ++pos_;  // skip prefix
+    bool raw = raw_prefix || (pos_ > start && s[pos_ - 1] == 'R');
+    if (pos_ >= s.size()) {
+      emit(TokenKind::kString, start, start_line, start_col);
+      return;
+    }
+    ++pos_;  // opening quote
+    if (raw) {
+      // R"delim( ... )delim"
+      std::string delim;
+      while (pos_ < s.size() && s[pos_] != '(') delim += s[pos_++];
+      if (pos_ < s.size()) ++pos_;  // '('
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = s.find(closer, pos_);
+      if (end == std::string::npos) {
+        while (pos_ < s.size()) {
+          if (s[pos_] == '\n') {
+            ++line_;
+            line_start_ = pos_ + 1;
+          }
+          ++pos_;
+        }
+      } else {
+        for (std::size_t i = pos_; i < end; ++i) {
+          if (s[i] == '\n') {
+            ++line_;
+            line_start_ = i + 1;
+          }
+        }
+        pos_ = end + closer.size();
+      }
+      emit(TokenKind::kString, start, start_line, start_col);
+      return;
+    }
+    while (pos_ < s.size() && s[pos_] != '"' && s[pos_] != '\n') {
+      if (s[pos_] == '\\' && pos_ + 1 < s.size()) ++pos_;
+      ++pos_;
+    }
+    if (pos_ < s.size() && s[pos_] == '"') ++pos_;
+    emit(TokenKind::kString, start, start_line, start_col);
+  }
+
+  void char_literal_at(std::size_t start, std::size_t start_col) {
+    const std::string& s = out_.source;
+    pos_ = start;
+    while (pos_ < s.size() && s[pos_] != '\'') ++pos_;  // skip prefix
+    if (pos_ < s.size()) ++pos_;
+    while (pos_ < s.size() && s[pos_] != '\'' && s[pos_] != '\n') {
+      if (s[pos_] == '\\' && pos_ + 1 < s.size()) ++pos_;
+      ++pos_;
+    }
+    if (pos_ < s.size() && s[pos_] == '\'') ++pos_;
+    emit(TokenKind::kChar, start, line_, start_col);
+  }
+
+  void punct() {
+    const std::size_t start = pos_;
+    const std::size_t start_col = column(pos_);
+    const std::string_view rest = std::string_view(out_.source).substr(pos_);
+    for (std::string_view p : kMultiPunct) {
+      if (rest.substr(0, p.size()) == p) {
+        pos_ += p.size();
+        emit(TokenKind::kPunct, start, line_, start_col);
+        return;
+      }
+    }
+    ++pos_;
+    emit(TokenKind::kPunct, start, line_, start_col);
+  }
+
+  LexedFile out_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
+  bool line_has_code_ = false;
+};
+
+}  // namespace
+
+LexedFile lex(std::string path, std::string source) {
+  return Lexer(std::move(path), std::move(source)).run();
+}
+
+}  // namespace csrlmrm::lint

@@ -1,0 +1,67 @@
+// Minimal C++ lexer for csrlmrm-lint.
+//
+// This is not a conforming C++ tokenizer — it is a single-pass scanner that
+// splits a translation unit into the token classes the lint rules care about:
+// identifiers, numeric literals (with a float/integer distinction), string and
+// character literals (including raw strings), punctuation (maximal munch over
+// the multi-character operators), and whole preprocessor lines. Comments are
+// not emitted as tokens; they are collected separately so the suppression
+// scanner (`// lint:allow(<rule>)`) can see them while rules iterate over pure
+// code tokens and can never trip on commented-out code.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csrlmrm::lint {
+
+enum class TokenKind {
+  kIdentifier,    // identifiers and keywords alike; rules match by text
+  kNumber,        // numeric literal; see Token::is_float_literal
+  kString,        // "..." or R"(...)" including encoding prefixes
+  kChar,          // '...'
+  kPunct,         // operators/punctuation, maximal munch ("==", "::", "->")
+  kPreprocessor,  // one whole directive line (continuations folded in)
+};
+
+struct Token {
+  TokenKind kind;
+  std::size_t offset;  // byte offset into LexedFile::source
+  std::size_t length;
+  std::size_t line;    // 1-based line of the first byte
+  std::size_t column;  // 1-based column of the first byte
+  bool is_float_literal = false;  // kNumber only: has '.', exponent, or f/F suffix
+};
+
+struct Comment {
+  std::size_t offset;
+  std::size_t length;
+  std::size_t line;        // line the comment starts on
+  std::size_t end_line;    // line the comment ends on (== line for //)
+  bool block;              // true for /* */, false for //
+  bool owns_line;          // no code token earlier on `line`
+};
+
+/// A lexed translation unit. Tokens and comments hold offsets into `source`,
+/// which the LexedFile owns; `text(tok)` views into it.
+struct LexedFile {
+  std::string path;
+  std::string source;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+
+  std::string_view text(const Token& t) const {
+    return std::string_view(source).substr(t.offset, t.length);
+  }
+  std::string_view text(const Comment& c) const {
+    return std::string_view(source).substr(c.offset, c.length);
+  }
+};
+
+/// Lexes `source` (never throws: unrecognized bytes become 1-char kPunct
+/// tokens, unterminated literals run to end of file).
+LexedFile lex(std::string path, std::string source);
+
+}  // namespace csrlmrm::lint

@@ -1,0 +1,411 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+
+namespace csrlmrm::lint {
+
+namespace {
+
+void report(std::vector<Diagnostic>& out, std::string_view rule, const FileContext& ctx,
+            const Token& tok, std::string message) {
+  out.push_back(Diagnostic{std::string(rule), ctx.path(), tok.line, tok.column,
+                           std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// float-equality: no raw ==/!= against floating-point literals. Exact
+// comparisons are only legitimate inside the approved approx_*/exactly_*
+// helpers (src/core/approx.hpp), which make the intent machine-visible; a
+// tolerance comparison belongs in approx_eq. Heuristic scope: fires when
+// either operand adjacent to the comparison is a floating literal (the
+// lexer cannot type arbitrary expressions).
+class FloatEqualityRule : public Rule {
+ public:
+  std::string_view name() const override { return "float-equality"; }
+  std::string_view description() const override {
+    return "no raw ==/!= on floating-point values; use approx_eq/exactly_zero "
+           "from core/approx.hpp so intent (tolerance vs exact-by-design) is explicit";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    const auto& toks = ctx.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kPunct) continue;
+      const std::string_view op = ctx.text(toks[i]);
+      if (op != "==" && op != "!=") continue;
+      bool floaty = false;
+      if (i > 0 && toks[i - 1].kind == TokenKind::kNumber && toks[i - 1].is_float_literal) {
+        floaty = true;
+      }
+      std::size_t rhs = i + 1;
+      if (rhs < toks.size() && toks[rhs].kind == TokenKind::kPunct) {
+        const std::string_view sign = ctx.text(toks[rhs]);
+        if (sign == "-" || sign == "+") ++rhs;  // unary sign
+      }
+      if (rhs < toks.size() && toks[rhs].kind == TokenKind::kNumber &&
+          toks[rhs].is_float_literal) {
+        floaty = true;
+      }
+      if (!floaty || ctx.in_approved_helper(i)) continue;
+      report(out, name(), ctx, toks[i],
+             "floating-point " + std::string(op) +
+                 " comparison; use approx_eq(...) for tolerance or exactly_zero/"
+                 "exactly_equal (core/approx.hpp) for intentional exact compares");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// unordered-iteration: iterating an unordered associative container in a
+// deterministic subsystem makes accumulation order (and therefore floating-
+// point results) depend on hash seeds and load factors. PR 3's error-band
+// work requires bitwise-identical verdicts across runs; collect into a
+// vector and sort, or use std::map, before folding.
+class UnorderedIterationRule : public Rule {
+ public:
+  std::string_view name() const override { return "unordered-iteration"; }
+  std::string_view description() const override {
+    return "no iteration over unordered_map/unordered_set in deterministic "
+           "subsystems (checker/numeric/linalg/core/graph/parallel/sim): "
+           "iteration order is hash-dependent, breaking reproducibility";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    if (!ctx.in_hot_path()) return;
+    const auto& names = ctx.unordered_names();
+    if (names.empty()) return;
+    const auto& toks = ctx.tokens();
+
+    auto is_unordered_ident = [&](std::size_t k) {
+      return toks[k].kind == TokenKind::kIdentifier &&
+             names.count(std::string(ctx.text(toks[k]))) > 0;
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const std::string_view t = ctx.text(toks[i]);
+      // Range-for whose range expression names an unordered container.
+      if (toks[i].kind == TokenKind::kIdentifier && t == "for" && i + 1 < toks.size() &&
+          ctx.text(toks[i + 1]) == "(") {
+        int depth = 0;
+        std::size_t colon = 0;
+        std::size_t close = 0;
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+          if (toks[j].kind != TokenKind::kPunct) continue;
+          const std::string_view w = ctx.text(toks[j]);
+          if (w == "(") ++depth;
+          if (w == ")") {
+            if (--depth == 0) {
+              close = j;
+              break;
+            }
+          }
+          if (w == ":" && depth == 1 && colon == 0) colon = j;
+          if (w == ";" && depth == 1) break;  // classic for, not range-for
+        }
+        if (colon != 0 && close != 0) {
+          for (std::size_t k = colon + 1; k < close; ++k) {
+            if (is_unordered_ident(k)) {
+              report(out, name(), ctx, toks[i],
+                     "range-for over unordered container '" +
+                         std::string(ctx.text(toks[k])) +
+                         "'; iteration order is non-deterministic — sort into a "
+                         "vector (or use std::map) before accumulating");
+              break;
+            }
+          }
+        }
+        continue;
+      }
+      // Explicit iterator walk: container.begin()/end()/cbegin()/... .
+      if (is_unordered_ident(i) && i + 2 < toks.size() && ctx.text(toks[i + 1]) == "." &&
+          toks[i + 2].kind == TokenKind::kIdentifier) {
+        static constexpr std::array<std::string_view, 6> kIter = {
+            "begin", "end", "cbegin", "cend", "rbegin", "rend"};
+        const std::string_view m = ctx.text(toks[i + 2]);
+        if (std::find(kIter.begin(), kIter.end(), m) != kIter.end()) {
+          report(out, name(), ctx, toks[i],
+                 "iterator over unordered container '" + std::string(t) +
+                     "' (." + std::string(m) +
+                     "()); iteration order is non-deterministic in a "
+                     "deterministic subsystem");
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// unsafe-libm: libc/libm entry points that mutate hidden global state. The
+// thread pool evaluates Poisson masses concurrently; std::lgamma writes
+// `signgam` (the PR 1 data race), strtok keeps a static cursor, rand() a
+// hidden seed. Reentrant or C++ replacements exist for each.
+class UnsafeLibmRule : public Rule {
+ public:
+  std::string_view name() const override { return "unsafe-libm"; }
+  std::string_view description() const override {
+    return "no thread-unsafe libc/libm calls (lgamma, strtok, rand, ...): they "
+           "mutate hidden global state raced by the thread pool; use lgamma_r, "
+           "strtok_r, <random>";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    static const std::map<std::string_view, std::string_view> kBanned = {
+        {"lgamma", "writes the global signgam; use lgamma_r (see numeric/poisson.cpp)"},
+        {"lgammaf", "writes the global signgam; use lgamma_r"},
+        {"lgammal", "writes the global signgam; use lgamma_r"},
+        {"strtok", "keeps a static cursor; use strtok_r or std::string_view parsing"},
+        {"rand", "hidden global seed, not thread-safe; use <random> engines"},
+        {"srand", "hidden global seed, not thread-safe; use <random> engines"},
+        {"drand48", "hidden global state; use <random> engines"},
+        {"lrand48", "hidden global state; use <random> engines"},
+        {"mrand48", "hidden global state; use <random> engines"},
+        {"gmtime", "returns a pointer to static storage; use gmtime_r"},
+        {"localtime", "returns a pointer to static storage; use localtime_r"},
+        {"asctime", "returns a pointer to static storage; use strftime"},
+        {"ctime", "returns a pointer to static storage; use strftime"},
+    };
+    const auto& toks = ctx.tokens();
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier) continue;
+      const auto hit = kBanned.find(ctx.text(toks[i]));
+      if (hit == kBanned.end()) continue;
+      if (ctx.text(toks[i + 1]) != "(") continue;  // only calls, not mentions
+      report(out, name(), ctx, toks[i],
+             "call to thread-unsafe '" + std::string(hit->first) + "': " +
+                 std::string(hit->second));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// float-narrowing: every probability, rate, and reward in this codebase is a
+// double; introducing `float` anywhere narrows silently at an interface
+// boundary sooner or later (and the error-band layer's interval arithmetic
+// assumes double precision throughout).
+class FloatNarrowingRule : public Rule {
+ public:
+  std::string_view name() const override { return "float-narrowing"; }
+  std::string_view description() const override {
+    return "no `float` in reward/probability code: the project convention is "
+           "double end-to-end; float narrows silently and breaks the error-band "
+           "guarantees";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    const auto& toks = ctx.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier || ctx.text(toks[i]) != "float") continue;
+      report(out, name(), ctx, toks[i],
+             "`float` type used; the project numeric convention is double "
+             "end-to-end (use double, or suppress with justification)");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// naked-new: manual new/delete invites leaks on the exception paths the
+// checker throws through (NodeBudgetError, SpecError). Use containers,
+// make_unique/make_shared, or an arena.
+class NakedNewRule : public Rule {
+ public:
+  std::string_view name() const override { return "naked-new"; }
+  std::string_view description() const override {
+    return "no naked new/delete: the checker unwinds through exceptions "
+           "(NodeBudgetError et al.); use containers or std::make_unique";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    const auto& toks = ctx.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier) continue;
+      const std::string_view t = ctx.text(toks[i]);
+      if (t != "new" && t != "delete") continue;
+      // `= delete;` / `= delete(` declarations are not deallocations.
+      if (t == "delete" && i > 0 && ctx.text(toks[i - 1]) == "=") {
+        if (i + 1 >= toks.size() || ctx.text(toks[i + 1]) == ";" ||
+            ctx.text(toks[i + 1]) == "(") {
+          continue;
+        }
+      }
+      // operator new/delete declarations.
+      if (i > 0 && ctx.text(toks[i - 1]) == "operator") continue;
+      report(out, name(), ctx, toks[i],
+             "naked `" + std::string(t) +
+                 "`; use std::vector/std::make_unique so exception unwinding "
+                 "cannot leak");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// solver-stats: every iterative solver entry point must be observable. A
+// solver function (name contains "solve") with a loop but no obs::
+// instrumentation silently drops out of --stats output and the
+// BENCH_*_stats.json regression baselines.
+class SolverStatsRule : public Rule {
+ public:
+  std::string_view name() const override { return "solver-stats"; }
+  std::string_view description() const override {
+    return "iterative solver entry points (functions named *solve*) must carry "
+           "obs:: instrumentation (ScopedTimer/counter_add) so --stats and the "
+           "bench baselines see them";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    if (ctx.tree() != Tree::kSrc) return;
+    const auto& toks = ctx.tokens();
+    for (const FunctionSpan& f : ctx.functions()) {
+      std::string lowered = f.name;
+      std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (lowered.find("solve") == std::string::npos) continue;
+      bool has_loop = false;
+      bool has_obs = false;
+      for (std::size_t i = f.open_brace; i <= f.close_brace && i < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::kIdentifier) continue;
+        const std::string_view t = ctx.text(toks[i]);
+        if (t == "for" || t == "while") has_loop = true;
+        if (t == "obs" || t == "counter_add" || t == "ScopedTimer") has_obs = true;
+      }
+      if (has_loop && !has_obs) {
+        report(out, name(), ctx, toks[f.open_brace],
+               "solver '" + f.name +
+                   "' loops without obs:: instrumentation; add "
+                   "obs::ScopedTimer/obs::counter_add (see linalg/gauss_seidel.cpp)");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// endl: std::endl flushes; in solver/bench loops that turns buffered output
+// into one syscall per line. '\n' expresses the newline without the flush.
+class EndlRule : public Rule {
+ public:
+  std::string_view name() const override { return "endl"; }
+  std::string_view description() const override {
+    return "no std::endl: it flushes on every use; write '\\n' and flush "
+           "explicitly where needed";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    for (std::size_t i = 0; i < ctx.tokens().size(); ++i) {
+      const Token& t = ctx.tokens()[i];
+      if (t.kind == TokenKind::kIdentifier && ctx.text(t) == "endl") {
+        report(out, name(), ctx, t, "std::endl flushes the stream; use '\\n'");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// banned-identifier: a curated list of calls with superior project-approved
+// replacements. Each entry says why and what to use instead.
+class BannedIdentifierRule : public Rule {
+ public:
+  std::string_view name() const override { return "banned-identifier"; }
+  std::string_view description() const override {
+    return "banned identifiers with mandated replacements (sprintf->snprintf, "
+           "atof->strtod, unqualified abs->std::abs, ...)";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    static const std::map<std::string_view, std::string_view> kBanned = {
+        {"sprintf", "unbounded write; use snprintf or std::string"},
+        {"strcpy", "unbounded write; use std::string"},
+        {"strcat", "unbounded write; use std::string"},
+        {"gets", "unbounded read; use std::getline"},
+        {"atof", "silent failure on garbage; use strtod or the io/ helpers"},
+        {"atoi", "silent failure on garbage; use strtol or the io/ helpers"},
+        {"atol", "silent failure on garbage; use strtol or the io/ helpers"},
+        {"tmpnam", "filename race; use mkstemp"},
+        {"random_shuffle", "removed in C++17; use std::shuffle"},
+        {"setjmp", "skips destructors; use exceptions"},
+        {"longjmp", "skips destructors; use exceptions"},
+    };
+    const auto& toks = ctx.tokens();
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier) continue;
+      const std::string_view t = ctx.text(toks[i]);
+      if (ctx.text(toks[i + 1]) != "(") continue;
+      const auto hit = kBanned.find(t);
+      if (hit != kBanned.end()) {
+        report(out, name(), ctx, toks[i],
+               "banned call '" + std::string(t) + "': " + std::string(hit->second));
+        continue;
+      }
+      // Unqualified abs( truncates doubles to int (the <cstdlib> overload);
+      // std::abs resolves the floating overloads from <cmath>.
+      if (t == "abs" && (i == 0 || ctx.text(toks[i - 1]) != "::")) {
+        report(out, name(), ctx, toks[i],
+               "unqualified 'abs' call binds the int overload and truncates "
+               "doubles; use std::abs or std::fabs");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// pragma-once: every header must start its preprocessor life with #pragma
+// once; a missing guard turns an innocent double-include into ODR soup.
+class PragmaOnceRule : public Rule {
+ public:
+  std::string_view name() const override { return "pragma-once"; }
+  std::string_view description() const override {
+    return "headers must contain #pragma once";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    if (!ctx.is_header()) return;
+    for (const Token& t : ctx.tokens()) {
+      if (t.kind != TokenKind::kPreprocessor) continue;
+      const std::string_view text = ctx.text(t);
+      if (text.find("pragma") != std::string_view::npos &&
+          text.find("once") != std::string_view::npos) {
+        return;
+      }
+    }
+    out.push_back(Diagnostic{std::string(name()), ctx.path(), 1, 1,
+                             "header is missing #pragma once"});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// reserved-identifier: names starting with _[A-Z] or containing __ are
+// reserved for the implementation ([lex.name]); colliding with a libc macro
+// is undefined behavior that UBSan cannot see.
+class ReservedIdentifierRule : public Rule {
+ public:
+  std::string_view name() const override { return "reserved-identifier"; }
+  std::string_view description() const override {
+    return "no identifiers reserved for the implementation (leading _Upper or "
+           "any __)";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    for (const Token& t : ctx.tokens()) {
+      if (t.kind != TokenKind::kIdentifier) continue;
+      const std::string_view text = ctx.text(t);
+      const bool double_underscore = text.find("__") != std::string_view::npos;
+      const bool underscore_upper =
+          text.size() >= 2 && text[0] == '_' && std::isupper(static_cast<unsigned char>(text[1]));
+      if (double_underscore || underscore_upper) {
+        report(out, name(), ctx, t,
+               "identifier '" + std::string(text) +
+                   "' is reserved for the implementation ([lex.name]/3)");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_default_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<FloatEqualityRule>());
+  rules.push_back(std::make_unique<UnorderedIterationRule>());
+  rules.push_back(std::make_unique<UnsafeLibmRule>());
+  rules.push_back(std::make_unique<FloatNarrowingRule>());
+  rules.push_back(std::make_unique<NakedNewRule>());
+  rules.push_back(std::make_unique<SolverStatsRule>());
+  rules.push_back(std::make_unique<EndlRule>());
+  rules.push_back(std::make_unique<BannedIdentifierRule>());
+  rules.push_back(std::make_unique<PragmaOnceRule>());
+  rules.push_back(std::make_unique<ReservedIdentifierRule>());
+  return rules;
+}
+
+}  // namespace csrlmrm::lint
