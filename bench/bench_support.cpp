@@ -36,7 +36,8 @@ UntilExperiment::UntilExperiment(Prepared prepared)
     : transformed_(std::move(prepared.transformed)),
       psi_(std::move(prepared.psi)),
       dead_(std::move(prepared.dead)),
-      engine_(transformed_, psi_, dead_) {}
+      engine_(transformed_, psi_, dead_),
+      class_engine_(transformed_, psi_, dead_) {}
 
 UntilExperiment::UntilExperiment(const core::Mrm& model, const std::string& phi,
                                  const std::string& psi)
@@ -58,6 +59,27 @@ UntilExperiment::Result UntilExperiment::uniformization(core::StateIndex start, 
   result.signature_classes = computed.signature_classes;
   result.nodes_expanded = computed.nodes_expanded;
   return result;
+}
+
+std::vector<UntilExperiment::Result> UntilExperiment::classdp_batch(
+    const std::vector<core::StateIndex>& starts, double t, double r, double w,
+    unsigned threads) const {
+  numeric::PathExplorerOptions options;
+  options.truncation_probability = w;
+  options.threads = threads;
+  const auto begin = std::chrono::steady_clock::now();
+  const auto batch = class_engine_.compute_batch(starts, t, r, options);
+  const double seconds = elapsed_seconds(begin);
+  std::vector<Result> results(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    results[i].probability = batch[i].probability;
+    results[i].error_bound = batch[i].error_bound;
+    results[i].seconds = seconds;
+    results[i].paths_stored = batch[i].paths_stored;
+    results[i].signature_classes = batch[i].signature_classes;
+    results[i].nodes_expanded = batch[i].nodes_expanded;
+  }
+  return results;
 }
 
 UntilExperiment::Result UntilExperiment::discretization(core::StateIndex start, double t,

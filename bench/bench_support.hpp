@@ -8,6 +8,7 @@
 
 #include "core/mrm.hpp"
 #include "core/transform.hpp"
+#include "numeric/class_explorer.hpp"
 #include "numeric/path_explorer.hpp"
 
 namespace csrlmrm::benchsupport {
@@ -34,7 +35,15 @@ class UntilExperiment {
   /// Discretization with step d (section 4.5).
   Result discretization(core::StateIndex start, double t, double r, double d) const;
 
+  /// Signature-class DP over a batch of start states (one frontier sweep for
+  /// the whole batch, see class_explorer.hpp). Every returned Result carries
+  /// the batch's total wall-clock seconds and the shared diagnostic counts.
+  std::vector<Result> classdp_batch(const std::vector<core::StateIndex>& starts, double t,
+                                    double r, double w, unsigned threads = 0) const;
+
   const core::Mrm& transformed_model() const { return transformed_; }
+  const std::vector<bool>& psi_mask() const { return psi_; }
+  const std::vector<bool>& dead_mask() const { return dead_; }
 
  private:
   struct Prepared {
@@ -50,6 +59,7 @@ class UntilExperiment {
   std::vector<bool> psi_;
   std::vector<bool> dead_;
   numeric::UniformizationUntilEngine engine_;
+  numeric::SignatureClassUntilEngine class_engine_;
 };
 
 /// Prints the standard bench header: title plus the model/formula recap.

@@ -1,0 +1,247 @@
+// DFPG-vs-classdp engine comparison on the chapter-5 until workloads,
+// written to BENCH_until_engines.json (CWD, or the path given as argv[1]).
+//
+// For each workload the checker-style fan-out (every live non-Psi state of
+// the transformed MRM is a start state) is evaluated twice at equal
+// truncation probability w:
+//
+//   dfpg     one depth-first path generation per start state (the thesis
+//            appendix's Algorithm 4.7, path_explorer.hpp);
+//   classdp  ONE signature-class DP frontier sweep answering every start
+//            (class_explorer.hpp, multi-start batching).
+//
+// Recorded per workload: wall-clock of both engines (best of kRepeats),
+// omega.evaluations of both engines (the conditional-probability calls of
+// eq. 4.9 — the quantity the signature-class merge and the (k, r') grouping
+// are designed to shrink), the classdp frontier/merge counters, the maximum
+// cross-engine disagreement in excess of the combined error bounds
+// (expected 0: the engines bracket the same exact value), and the maximum
+// deviation of classdp results across 1/2/8 worker threads (expected 0:
+// the per-level expansion is bitwise deterministic by construction).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "models/tmr.hpp"
+#include "obs/stats.hpp"
+
+namespace {
+
+using namespace csrlmrm;
+
+constexpr int kRepeats = 3;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename Fn>
+double best_of(Fn&& fn) {
+  double best = 1e300;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    const double start = now_ms();
+    fn();
+    best = std::min(best, now_ms() - start);
+  }
+  return best;
+}
+
+/// Runs `fn` with statistics collection on and returns the named counter.
+template <typename Fn>
+double counter_of(Fn&& fn, const char* counter) {
+  obs::set_stats_enabled(true);
+  obs::StatsRegistry::global().reset();
+  fn();
+  const double value = static_cast<double>(obs::StatsRegistry::global().counter(counter));
+  obs::StatsRegistry::global().reset();
+  obs::set_stats_enabled(false);
+  return value;
+}
+
+struct Workload {
+  std::string name;
+  std::string description;
+  core::Mrm model;
+  std::string phi;
+  std::string psi;
+  double t = 0.0;
+  double r = 0.0;
+  double w = 1e-8;
+};
+
+struct Record {
+  std::string name;
+  std::string description;
+  std::size_t num_starts = 0;
+  double dfpg_ms = 0.0;
+  double classdp_ms = 0.0;
+  double omega_dfpg = 0.0;
+  double omega_classdp = 0.0;
+  double trivial_classdp = 0.0;
+  double nodes_dfpg = 0.0;
+  double nodes_classdp = 0.0;
+  double agreement_excess = 0.0;  // max(|p_d - p_c| - (e_d + e_c), 0) over starts
+  double thread_determinism_diff = 0.0;
+};
+
+Record run_workload(const Workload& workload) {
+  benchsupport::UntilExperiment experiment(workload.model, workload.phi, workload.psi);
+
+  // The P2 fan-out's non-trivial start states: neither absorbed-Psi (exact 1)
+  // nor dead (exact 0).
+  std::vector<core::StateIndex> starts;
+  for (core::StateIndex s = 0; s < workload.model.num_states(); ++s) {
+    if (!experiment.psi_mask()[s] && !experiment.dead_mask()[s]) starts.push_back(s);
+  }
+
+  Record record;
+  record.name = workload.name;
+  record.description = workload.description;
+  record.num_starts = starts.size();
+
+  const auto run_dfpg = [&] {
+    for (const core::StateIndex s : starts) {
+      experiment.uniformization(s, workload.t, workload.r, workload.w);
+    }
+  };
+  const auto run_classdp = [&] {
+    experiment.classdp_batch(starts, workload.t, workload.r, workload.w);
+  };
+
+  record.dfpg_ms = best_of(run_dfpg);
+  record.classdp_ms = best_of(run_classdp);
+  record.omega_dfpg = counter_of(run_dfpg, "omega.evaluations");
+  record.omega_classdp = counter_of(run_classdp, "omega.evaluations");
+  record.trivial_classdp = counter_of(run_classdp, "classdp.trivial_folds");
+  record.nodes_dfpg = counter_of(run_dfpg, "uniformization.nodes_expanded");
+  record.nodes_classdp = counter_of(run_classdp, "classdp.nodes_expanded");
+
+  // Cross-engine agreement: both engines report p with p <= p_exact <=
+  // p + error_bound, so the probabilities must agree within the summed
+  // bounds.
+  std::vector<benchsupport::UntilExperiment::Result> dfpg;
+  dfpg.reserve(starts.size());
+  for (const core::StateIndex s : starts) {
+    dfpg.push_back(experiment.uniformization(s, workload.t, workload.r, workload.w));
+  }
+  const auto classdp =
+      experiment.classdp_batch(starts, workload.t, workload.r, workload.w);
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    const double gap = std::abs(dfpg[i].probability - classdp[i].probability) -
+                       (dfpg[i].error_bound + classdp[i].error_bound);
+    record.agreement_excess = std::max(record.agreement_excess, gap);
+  }
+
+  // Thread determinism: identical bits at every worker count.
+  for (const unsigned threads : {2u, 8u}) {
+    const auto other =
+        experiment.classdp_batch(starts, workload.t, workload.r, workload.w, threads);
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      record.thread_determinism_diff =
+          std::max(record.thread_determinism_diff,
+                   std::abs(other[i].probability - classdp[i].probability));
+      record.thread_determinism_diff =
+          std::max(record.thread_determinism_diff,
+                   std::abs(other[i].error_bound - classdp[i].error_bound));
+    }
+  }
+  return record;
+}
+
+void print_record(std::FILE* out, const Record& record, bool last) {
+  std::fprintf(out, "    {\n      \"name\": \"%s\",\n", record.name.c_str());
+  std::fprintf(out, "      \"workload\": \"%s\",\n", record.description.c_str());
+  std::fprintf(out, "      \"num_starts\": %zu,\n", record.num_starts);
+  std::fprintf(out, "      \"dfpg_ms\": %.3f,\n", record.dfpg_ms);
+  std::fprintf(out, "      \"classdp_ms\": %.3f,\n", record.classdp_ms);
+  std::fprintf(out, "      \"wall_clock_speedup\": %.2f,\n",
+               record.dfpg_ms / record.classdp_ms);
+  std::fprintf(out, "      \"omega_evaluations_dfpg\": %.0f,\n", record.omega_dfpg);
+  std::fprintf(out, "      \"omega_evaluations_classdp\": %.0f,\n", record.omega_classdp);
+  // classdp can fold EVERY class through the trivial Omega base cases (zero
+  // evaluator calls); JSON has no infinity, so emit null for the ratio then.
+  if (record.omega_classdp > 0.0) {
+    std::fprintf(out, "      \"omega_evaluation_ratio\": %.2f,\n",
+                 record.omega_dfpg / record.omega_classdp);
+  } else {
+    std::fprintf(out, "      \"omega_evaluation_ratio\": null,\n");
+  }
+  std::fprintf(out, "      \"classdp_trivial_omega_folds\": %.0f,\n", record.trivial_classdp);
+  std::fprintf(out, "      \"dfs_nodes_expanded\": %.0f,\n", record.nodes_dfpg);
+  std::fprintf(out, "      \"classdp_frontier_classes\": %.0f,\n", record.nodes_classdp);
+  std::fprintf(out, "      \"agreement_excess_over_error_bounds\": %.3e,\n",
+               record.agreement_excess);
+  std::fprintf(out, "      \"classdp_max_diff_across_1_2_8_threads\": %.3e\n    }%s\n",
+               record.thread_determinism_diff, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_until_engines.json";
+
+  std::vector<Workload> workloads;
+  workloads.push_back({"table_5_5_nmr",
+                       "11-module NMR (Table 5.5 calibration), "
+                       "P[tt U[0,100][0,2000] allUp], w=1e-8, all live starts",
+                       models::make_tmr(models::chapter5_nmr_config(false)), "TT", "allUp",
+                       100.0, 2000.0, 1e-8});
+  workloads.push_back({"table_5_7_nmr_variable",
+                       "11-module NMR, variable failure rates (Table 5.7), "
+                       "P[tt U[0,100][0,2000] allUp], w=1e-8, all live starts",
+                       models::make_tmr(models::chapter5_nmr_config(true)), "TT", "allUp",
+                       100.0, 2000.0, 1e-8});
+  workloads.push_back({"table_5_3_tmr",
+                       "3-module TMR (Table 5.3, t=250 row), "
+                       "P[Sup U[0,250][0,3000] failed], w=1e-11, all live starts",
+                       models::make_tmr(models::TmrConfig{}), "Sup", "failed", 250.0, 3000.0,
+                       1e-11});
+  workloads.push_back({"table_5_4_tmr_deep",
+                       "3-module TMR (Table 5.4, t=500 row at its tightened w), "
+                       "P[Sup U[0,500][0,3000] failed], w=1e-13, all live starts",
+                       models::make_tmr(models::TmrConfig{}), "Sup", "failed", 500.0, 3000.0,
+                       1e-13});
+
+  std::vector<Record> records;
+  for (const Workload& workload : workloads) {
+    records.push_back(run_workload(workload));
+    const Record& record = records.back();
+    std::printf(
+        "%s: dfpg %.1f ms / classdp %.1f ms (speedup %.2fx), omega evals %.0f -> %.0f "
+        "(%.2fx fewer), agreement excess %.1e, thread diff %.1e\n",
+        record.name.c_str(), record.dfpg_ms, record.classdp_ms,
+        record.dfpg_ms / record.classdp_ms, record.omega_dfpg, record.omega_classdp,
+        record.omega_dfpg / record.omega_classdp, record.agreement_excess,
+        record.thread_determinism_diff);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_until_engines: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out,
+               "  \"note\": \"timings are best-of-%d wall clock; dfpg runs one DFS per "
+               "start state, classdp answers all starts in one batched frontier sweep at "
+               "the same truncation probability w; omega_evaluation_ratio null means "
+               "classdp folded every class through the trivial Omega base cases and "
+               "needed zero evaluator calls\",\n",
+               kRepeats);
+  std::fprintf(out, "  \"workloads\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    print_record(out, records[i], i + 1 == records.size());
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -49,8 +49,13 @@ void usage() {
                "            exhausts its node budget: 'discretize' (default: redo\n"
                "            that state with the discretization engine), 'widen-w'\n"
                "            (retry with coarser truncation), or 'throw' (fail)\n"
-               "  --max-nodes=N  node budget for the uniformization path DFS\n"
-               "            (default 500000000)\n"
+               "  --until-engine=<e>  uniformization engine variant: 'classdp'\n"
+               "            (default: signature-class dynamic programming, all start\n"
+               "            states batched through one frontier sweep) or 'dfpg'\n"
+               "            (depth-first path generation, one DFS per start state —\n"
+               "            the thesis appendix's algorithm)\n"
+               "  --max-nodes=N  node budget for the uniformization engines (DFS\n"
+               "            node expansions / DP frontier classes, default 500000000)\n"
                "  NP        do not print per-state probabilities\n"
                "\n"
                "formula syntax (appendix of the thesis, plus the R extension):\n"
@@ -196,6 +201,18 @@ int main(int argc, char** argv) {
                        "mrmcheck: --fallback= expects 'throw', 'discretize' or 'widen-w', "
                        "got '%s'\n",
                        policy.c_str());
+          return 2;
+        }
+      } else if (token.rfind("--until-engine=", 0) == 0) {
+        const std::string engine = token.substr(15);
+        if (engine == "classdp") {
+          options.until_engine = checker::UntilEngine::kClassDp;
+        } else if (engine == "dfpg") {
+          options.until_engine = checker::UntilEngine::kDfpg;
+        } else {
+          std::fprintf(stderr,
+                       "mrmcheck: --until-engine= expects 'classdp' or 'dfpg', got '%s'\n",
+                       engine.c_str());
           return 2;
         }
       } else if (token.rfind("--max-nodes=", 0) == 0) {

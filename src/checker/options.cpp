@@ -4,6 +4,7 @@ namespace csrlmrm::checker {
 
 CheckerOptions with_inherited_threads(CheckerOptions options) {
   if (options.threads > 0) {
+    if (options.uniformization.threads == 0) options.uniformization.threads = options.threads;
     if (options.discretization.threads == 0) options.discretization.threads = options.threads;
     if (options.transient.threads == 0) options.transient.threads = options.threads;
   }

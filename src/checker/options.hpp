@@ -21,6 +21,21 @@ enum class UntilMethod {
   kDiscretization,
 };
 
+/// Which uniformization engine evaluates a P2-class until formula (only
+/// consulted when until_method == kUniformization).
+enum class UntilEngine {
+  /// Signature-class dynamic programming with multi-start batching
+  /// (class_explorer.hpp): one frontier sweep answers every queried start
+  /// state and each conditional probability is evaluated once per signature
+  /// class — the default. Falls back to kDfpg per BudgetPolicy when its
+  /// class budget is exhausted.
+  kClassDp,
+  /// Depth-first path generation (Algorithm 4.7, path_explorer.hpp), one
+  /// exploration per start state — the engine described in the thesis
+  /// appendix; kept as the reference implementation and ablation baseline.
+  kDfpg,
+};
+
 /// What the checker does when the DFPG explorer exhausts its node budget
 /// (PathExplorerOptions::max_nodes): uniformization is only practical for
 /// small Lambda*t, and a production checker must degrade gracefully instead
@@ -44,6 +59,8 @@ enum class BudgetPolicy {
 /// (uniformization with truncation probability w = 1e-8).
 struct CheckerOptions {
   UntilMethod until_method = UntilMethod::kUniformization;
+  /// Uniformization engine variant (see UntilEngine).
+  UntilEngine until_engine = UntilEngine::kClassDp;
   /// Degradation policy on node-budget exhaustion (see BudgetPolicy).
   BudgetPolicy on_budget_exhausted = BudgetPolicy::kFallbackToDiscretization;
   /// Options for the uniformization path explorer (w lives here).

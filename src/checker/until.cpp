@@ -7,6 +7,7 @@
 #include "core/transform.hpp"
 #include "graph/reachability.hpp"
 #include "linalg/gauss_seidel.hpp"
+#include "numeric/class_explorer.hpp"
 #include "numeric/discretization.hpp"
 #include "numeric/path_explorer.hpp"
 #include "numeric/transient.hpp"
@@ -169,6 +170,40 @@ std::vector<UntilValue> bounded_time_reward(const core::Mrm& transformed,
   // engine-level regions stay inline; when it runs serial (threads == 1),
   // the engines are free to use their own thread options.
   const unsigned threads = parallel::resolve_thread_count(options.threads);
+  if (options.until_method == UntilMethod::kUniformization &&
+      options.until_engine == UntilEngine::kClassDp) {
+    // Signature-class DP: every non-trivial start state rides one batched
+    // frontier sweep (one engine run, one conditional-probability evaluation
+    // per signature class for the whole fan-out). Trivial starts are scored
+    // directly: absorbed Psi-states exactly 1 (case 1 of eq. 3.6), dead
+    // states exactly 0 — matching what the DFPG per-state loop produces.
+    std::vector<core::StateIndex> starts;
+    for (core::StateIndex s = 0; s < n; ++s) {
+      if (psi_absorbed && sat_psi[s]) {
+        values[s] = exact_until_value(1.0);
+      } else if (dead[s]) {
+        values[s] = truncated_until_value(0.0, 0.0);
+      } else {
+        starts.push_back(s);
+      }
+    }
+    if (starts.empty()) return values;
+    const numeric::SignatureClassUntilEngine engine(transformed, sat_psi, dead);
+    try {
+      const auto batch = engine.compute_batch(starts, t, r, options.uniformization);
+      for (std::size_t i = 0; i < starts.size(); ++i) {
+        values[starts[i]] =
+            truncated_until_value(batch[i].probability, batch[i].error_bound);
+      }
+      return values;
+    } catch (const numeric::NodeBudgetError&) {
+      if (options.on_budget_exhausted == BudgetPolicy::kThrow) throw;
+      // The whole-batch class budget is exhausted: degrade to the per-state
+      // DFPG fan-out below, whose own degradation chain (widening /
+      // discretization, see BudgetPolicy) handles each start individually.
+      obs::counter_add("classdp.fallbacks");
+    }
+  }
   if (options.until_method == UntilMethod::kUniformization) {
     const numeric::UniformizationUntilEngine engine(transformed, sat_psi, dead);
     parallel::parallel_for(n, threads, [&](std::size_t begin, std::size_t end) {

@@ -1,0 +1,422 @@
+#include "numeric/class_explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "core/approx.hpp"
+#include "numeric/conditional.hpp"
+#include "obs/stats.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace csrlmrm::numeric {
+
+namespace {
+
+/// Prefix counts saturate here instead of overflowing to infinity at extreme
+/// depths (an infinite count would truncate everything; saturating merely
+/// keeps the truncation rule conservative).
+constexpr double kMaxPrefixCount = 1e300;
+
+/// Struct-of-arrays frontier storage. Row i is the class of every path
+/// prefix that ends in states[i] with reward signature
+/// sigs[i*sig_len .. (i+1)*sig_len) (k ++ j); its per-batch-slot summed
+/// prefix probabilities (1-step products, Poisson factor applied lazily)
+/// and merged prefix counts live in weights/counts[i*slots .. +slots).
+/// Flat arrays instead of one heap-allocated entry per class: a level's
+/// expansion writes a few hundred thousand children, and per-child vector
+/// allocations dominated the engine's profile before this layout.
+struct Frontier {
+  std::vector<core::StateIndex> states;
+  std::vector<std::uint32_t> sigs;
+  std::vector<double> weights;
+  std::vector<double> counts;
+
+  std::size_t size() const { return states.size(); }
+  bool empty() const { return states.empty(); }
+
+  void resize(std::size_t n, std::size_t sig_len, std::size_t slots) {
+    states.resize(n);
+    sigs.resize(n * sig_len);
+    weights.resize(n * slots);
+    counts.resize(n * slots);
+  }
+
+  void clear() {
+    states.clear();
+    sigs.clear();
+    weights.clear();
+    counts.clear();
+  }
+
+  void swap(Frontier& other) {
+    states.swap(other.states);
+    sigs.swap(other.sigs);
+    weights.swap(other.weights);
+    counts.swap(other.counts);
+  }
+
+  /// Copies row `from` onto row `to` (prune compaction).
+  void move_row(std::size_t to, std::size_t from, std::size_t sig_len, std::size_t slots) {
+    states[to] = states[from];
+    std::copy_n(sigs.begin() + static_cast<std::ptrdiff_t>(from * sig_len), sig_len,
+                sigs.begin() + static_cast<std::ptrdiff_t>(to * sig_len));
+    std::copy_n(weights.begin() + static_cast<std::ptrdiff_t>(from * slots), slots,
+                weights.begin() + static_cast<std::ptrdiff_t>(to * slots));
+    std::copy_n(counts.begin() + static_cast<std::ptrdiff_t>(from * slots), slots,
+                counts.begin() + static_cast<std::ptrdiff_t>(to * slots));
+  }
+};
+
+/// Sorts `raw` rows by (state, signature) and folds equal keys by slot-wise
+/// weight/count addition into `merged`, in sorted order — deterministic
+/// regardless of how `raw` was produced (the expansion's chunk layout in
+/// particular). Returns the number of rows merged away.
+std::size_t sort_and_fold(const Frontier& raw, Frontier& merged, std::size_t sig_len,
+                          std::size_t slots, std::vector<std::uint32_t>& order) {
+  const std::size_t n = raw.size();
+  order.resize(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const auto sig_row = [&](std::uint32_t row) {
+    return raw.sigs.begin() + static_cast<std::ptrdiff_t>(row * sig_len);
+  };
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (raw.states[a] != raw.states[b]) return raw.states[a] < raw.states[b];
+    return std::lexicographical_compare(sig_row(a), sig_row(a) + sig_len, sig_row(b),
+                                        sig_row(b) + sig_len);
+  });
+  const auto key_equal = [&](std::uint32_t a, std::uint32_t b) {
+    return raw.states[a] == raw.states[b] && std::equal(sig_row(a), sig_row(a) + sig_len, sig_row(b));
+  };
+
+  merged.clear();
+  merged.states.reserve(n);
+  merged.sigs.reserve(n * sig_len);
+  merged.weights.reserve(n * slots);
+  merged.counts.reserve(n * slots);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < n; ++out) {
+    const std::uint32_t lead = order[i];
+    merged.states.push_back(raw.states[lead]);
+    merged.sigs.insert(merged.sigs.end(), sig_row(lead), sig_row(lead) + sig_len);
+    merged.weights.insert(merged.weights.end(),
+                          raw.weights.begin() + static_cast<std::ptrdiff_t>(lead * slots),
+                          raw.weights.begin() + static_cast<std::ptrdiff_t>((lead + 1) * slots));
+    merged.counts.insert(merged.counts.end(),
+                         raw.counts.begin() + static_cast<std::ptrdiff_t>(lead * slots),
+                         raw.counts.begin() + static_cast<std::ptrdiff_t>((lead + 1) * slots));
+    std::size_t j = i + 1;
+    for (; j < n && key_equal(lead, order[j]); ++j) {
+      const std::size_t other = order[j];
+      for (std::size_t slot = 0; slot < slots; ++slot) {
+        merged.weights[out * slots + slot] += raw.weights[other * slots + slot];
+        merged.counts[out * slots + slot] = std::min(
+            merged.counts[out * slots + slot] + raw.counts[other * slots + slot], kMaxPrefixCount);
+      }
+    }
+    i = j;
+  }
+  return n - out;
+}
+
+}  // namespace
+
+SignatureClassUntilEngine::SignatureClassUntilEngine(core::Mrm transformed,
+                                                     std::vector<bool> psi,
+                                                     std::vector<bool> dead)
+    : sig_(std::move(transformed), std::move(psi), std::move(dead)) {
+  const std::size_t n = sig_.model.num_states();
+  live_adjacency_.resize(n);
+  for (core::StateIndex s = 0; s < n; ++s) {
+    live_adjacency_[s].reserve(sig_.adjacency[s].size());
+    for (const SignatureTransition& edge : sig_.adjacency[s]) {
+      if (!sig_.dead[edge.target]) live_adjacency_[s].push_back(edge);
+    }
+  }
+}
+
+UntilUniformizationResult SignatureClassUntilEngine::compute(
+    core::StateIndex start, double t, double r, const PathExplorerOptions& options) const {
+  return compute_batch({start}, t, r, options).front();
+}
+
+std::vector<UntilUniformizationResult> SignatureClassUntilEngine::compute_batch(
+    const std::vector<core::StateIndex>& starts, double t, double r,
+    const PathExplorerOptions& options) const {
+  obs::ScopedTimer timer("classdp.until");
+  obs::counter_add("classdp.calls");
+  obs::counter_add("classdp.starts", starts.size());
+  const std::size_t n = sig_.model.num_states();
+  for (core::StateIndex start : starts) {
+    if (start >= n) {
+      throw std::invalid_argument("SignatureClassUntilEngine::compute: start out of range");
+    }
+  }
+  if (!(t >= 0.0) || !std::isfinite(t)) {
+    throw std::invalid_argument("SignatureClassUntilEngine::compute: t must be finite, >= 0");
+  }
+  if (!(r >= 0.0) || !std::isfinite(r)) {
+    throw std::invalid_argument("SignatureClassUntilEngine::compute: r must be finite, >= 0");
+  }
+  if (!(options.truncation_probability > 0.0) || !(options.truncation_probability < 1.0)) {
+    throw std::invalid_argument(
+        "SignatureClassUntilEngine::compute: truncation probability must be in (0,1)");
+  }
+
+  const std::size_t slots = starts.size();
+  std::vector<UntilUniformizationResult> results(slots);
+  if (slots == 0) return results;
+
+  if (core::exactly_zero(t)) {
+    // inf(I) = inf(J) = 0: the formula holds immediately iff start |= Psi.
+    for (std::size_t i = 0; i < slots; ++i) {
+      if (!sig_.dead[starts[i]] && sig_.psi[starts[i]]) results[i].probability = 1.0;
+    }
+    return results;
+  }
+
+  const double mean = sig_.uniformized.lambda() * t;
+  const double w = options.truncation_probability;
+  const auto poisson_tail =
+      poisson_tails_.table(mean, poisson_truncation_point(mean, w) + 2);
+
+  const std::size_t num_k = sig_.distinct_state_rewards.size();
+  const std::size_t num_j = sig_.distinct_impulse_rewards.size();
+  const std::size_t sig_len = num_k + num_j;
+  RewardStructureContext context(sig_.distinct_state_rewards, sig_.distinct_impulse_rewards);
+
+  // Level-0 frontier: one class per live start (k = 1_[rho(start)], j = 0,
+  // weight 1 in the owning slot). Duplicate starts merge in the fold.
+  Frontier frontier;
+  Frontier scratch_raw;
+  Frontier scratch_merged;
+  std::vector<std::uint32_t> order;
+  {
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < slots; ++i) {
+      if (!sig_.dead[starts[i]]) ++live;
+    }
+    scratch_raw.resize(live, sig_len, slots);
+    std::fill(scratch_raw.sigs.begin(), scratch_raw.sigs.end(), 0u);
+    std::fill(scratch_raw.weights.begin(), scratch_raw.weights.end(), 0.0);
+    std::fill(scratch_raw.counts.begin(), scratch_raw.counts.end(), 0.0);
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < slots; ++i) {
+      if (sig_.dead[starts[i]]) continue;
+      scratch_raw.states[row] = starts[i];
+      ++scratch_raw.sigs[row * sig_len + sig_.reward_class[starts[i]]];
+      scratch_raw.weights[row * slots + i] = 1.0;
+      scratch_raw.counts[row * slots + i] = 1.0;
+      ++row;
+    }
+  }
+  std::size_t classes_merged = sort_and_fold(scratch_raw, frontier, sig_len, slots, order);
+
+  // Harvested Psi-mass: flat (signature row, per-slot level mass) pairs,
+  // appended per level and folded once after the sweep. Appending beats a
+  // per-level map insert by a wide margin on deep runs; the final fold sorts
+  // stably by signature, so contributions for one signature are still summed
+  // in ascending level order — bitwise the same sums as accumulating into a
+  // map during the sweep.
+  std::vector<std::uint32_t> harvest_sigs;
+  std::vector<double> harvest_mass;
+
+  std::size_t nodes = 0;
+  std::size_t stored = 0;
+  std::size_t truncated = 0;
+  std::size_t levels = 0;
+  std::size_t frontier_peak = 0;
+  std::size_t max_depth = 0;
+
+  std::vector<std::size_t> offsets;
+
+  for (std::size_t level = 0; !frontier.empty(); ++level) {
+    ++levels;
+    frontier_peak = std::max(frontier_peak, frontier.size());
+
+    // Prune per class and slot: a class aggregating c prefixes is cut for a
+    // slot when pmf * mass < w * c, i.e. when the *average* prefix weight
+    // falls below w — the faithful aggregate of the per-path rule (4.4), so
+    // the exploration volume matches the DFS engine's at equal w instead of
+    // keeping a class alive as long as its total merged mass clears w. Cut
+    // mass — and every slot once the depth bound N is exceeded (eq. 4.3) —
+    // moves into the error bound, weighted by the Poisson tail
+    // Pr{ N >= level } (eq. 4.6), exactly as in the per-path rule.
+    const double pmf = poisson_pmf(level, mean);
+    const double tail = poisson_tail->tail(level);
+    const bool too_deep = options.depth_truncation != 0 && level > options.depth_truncation;
+    std::size_t write = 0;
+    for (std::size_t idx = 0; idx < frontier.size(); ++idx) {
+      bool live = false;
+      for (std::size_t i = 0; i < slots; ++i) {
+        double& weight = frontier.weights[idx * slots + i];
+        if (core::exactly_zero(weight)) continue;
+        if (too_deep || pmf * weight < w * frontier.counts[idx * slots + i]) {
+          ++truncated;
+          results[i].error_bound += weight * tail;
+          weight = 0.0;
+          frontier.counts[idx * slots + i] = 0.0;
+          continue;
+        }
+        live = true;
+      }
+      if (live) {
+        if (write != idx) frontier.move_row(write, idx, sig_len, slots);
+        ++write;
+      }
+    }
+    frontier.resize(write, sig_len, slots);
+    if (frontier.empty()) break;
+
+    nodes += frontier.size();
+    if (nodes > options.max_nodes) {
+      throw NodeBudgetError(
+          "SignatureClassUntilEngine: class budget exhausted; raise truncation probability w "
+          "or use the discretization engine (Lambda*t too large for signature-class DP)");
+    }
+    max_depth = level;
+
+    // Harvest: classes currently in a Psi-state contribute their level mass
+    // PoissonPmf(level) * weight to their signature's accumulator.
+    for (std::size_t idx = 0; idx < frontier.size(); ++idx) {
+      if (!sig_.psi[frontier.states[idx]]) continue;
+      ++stored;
+      harvest_sigs.insert(harvest_sigs.end(),
+                          frontier.sigs.begin() + static_cast<std::ptrdiff_t>(idx * sig_len),
+                          frontier.sigs.begin() + static_cast<std::ptrdiff_t>((idx + 1) * sig_len));
+      for (std::size_t i = 0; i < slots; ++i) {
+        harvest_mass.push_back(pmf * frontier.weights[idx * slots + i]);
+      }
+    }
+
+    // Expand one uniformization step. Every class writes its successors into
+    // a precomputed disjoint slice of the raw successor arrays, so the
+    // parallel loop's output is independent of the chunk layout; the
+    // deterministic sort-and-fold then merges colliding (state, signature)
+    // keys.
+    offsets.assign(frontier.size() + 1, 0);
+    for (std::size_t idx = 0; idx < frontier.size(); ++idx) {
+      offsets[idx + 1] = offsets[idx] + live_adjacency_[frontier.states[idx]].size();
+    }
+    const std::size_t total = offsets.back();
+    scratch_raw.resize(total, sig_len, slots);
+    const unsigned threads =
+        parallel::choose_thread_count(options.threads, total * (sig_len + slots));
+    parallel::parallel_for(frontier.size(), threads, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        std::size_t out = offsets[idx];
+        for (const SignatureTransition& edge : live_adjacency_[frontier.states[idx]]) {
+          scratch_raw.states[out] = edge.target;
+          std::copy_n(frontier.sigs.begin() + static_cast<std::ptrdiff_t>(idx * sig_len),
+                      sig_len,
+                      scratch_raw.sigs.begin() + static_cast<std::ptrdiff_t>(out * sig_len));
+          ++scratch_raw.sigs[out * sig_len + sig_.reward_class[edge.target]];
+          ++scratch_raw.sigs[out * sig_len + num_k + edge.impulse_class];
+          for (std::size_t i = 0; i < slots; ++i) {
+            scratch_raw.weights[out * slots + i] =
+                frontier.weights[idx * slots + i] * edge.probability;
+          }
+          std::copy_n(frontier.counts.begin() + static_cast<std::ptrdiff_t>(idx * slots), slots,
+                      scratch_raw.counts.begin() + static_cast<std::ptrdiff_t>(out * slots));
+          ++out;
+        }
+      }
+    });
+    classes_merged += sort_and_fold(scratch_raw, scratch_merged, sig_len, slots, order);
+    frontier.swap(scratch_merged);
+  }
+
+  // Fold the harvested classes: stable-sort the (signature, level mass) rows
+  // by signature and sum equal signatures in place, which leaves one row per
+  // distinct harvested (k, j) with contributions added in ascending level
+  // order. The conditional probability of eq. (4.9) then depends on j only
+  // through the threshold r', so classes are further grouped by
+  // (k, canonical r') — impulse signatures with equal totals (e.g. one voter
+  // repair vs two module repairs when the impulses are 2 and 1) share a
+  // single Omega evaluation for the whole batch. Sort order and std::map
+  // iteration are both lexicographic, hence deterministic.
+  const std::size_t harvest_rows = harvest_sigs.size() / (sig_len == 0 ? 1 : sig_len);
+  order.resize(harvest_rows);
+  std::iota(order.begin(), order.end(), 0u);
+  const auto harvest_row = [&](std::uint32_t row) {
+    return harvest_sigs.begin() + static_cast<std::ptrdiff_t>(row * sig_len);
+  };
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return std::lexicographical_compare(harvest_row(a), harvest_row(a) + sig_len,
+                                        harvest_row(b), harvest_row(b) + sig_len);
+  });
+  std::size_t signature_classes = 0;
+  std::map<std::pair<std::vector<std::uint32_t>, double>, std::vector<double>> groups;
+  SpacingCounts j_counts(num_j);
+  for (std::size_t i = 0; i < harvest_rows; ++signature_classes) {
+    const std::uint32_t lead = order[i];
+    double* mass = harvest_mass.data() + static_cast<std::ptrdiff_t>(lead * slots);
+    std::size_t next_row = i + 1;
+    for (; next_row < harvest_rows &&
+           std::equal(harvest_row(lead), harvest_row(lead) + sig_len, harvest_row(order[next_row]));
+         ++next_row) {
+      const double* other = harvest_mass.data() + static_cast<std::ptrdiff_t>(order[next_row] * slots);
+      for (std::size_t slot = 0; slot < slots; ++slot) mass[slot] += other[slot];
+    }
+    i = next_row;
+    SpacingCounts k(harvest_row(lead), harvest_row(lead) + num_k);
+    j_counts.assign(harvest_row(lead) + num_k, harvest_row(lead) + sig_len);
+    const double r_prime = canonical_threshold(context.threshold(j_counts, t, r));
+    auto [it, inserted] = groups.try_emplace({std::move(k), r_prime});
+    if (inserted) it->second.assign(slots, 0.0);
+    for (std::size_t slot = 0; slot < slots; ++slot) it->second[slot] += mass[slot];
+  }
+  // Trivial groups reproduce the Omega recursion's base cases bitwise
+  // (omega.cpp: result 1 when no present class has d_i > r', 0 when none has
+  // d_i <= r') without building or querying an evaluator; only non-trivial
+  // groups pay for an Omega evaluation.
+  const std::vector<double>& spans = context.coefficients();
+  std::size_t conditional_evals = 0;
+  std::size_t trivial = 0;
+  for (const auto& [key, mass] : groups) {
+    const SpacingCounts& k = key.first;
+    const double r_prime = key.second;
+    bool any_greater = false;
+    bool any_lesser = false;
+    for (std::size_t l = 0; l < num_k; ++l) {
+      if (k[l] == 0) continue;
+      (spans[l] > r_prime ? any_greater : any_lesser) = true;
+    }
+    double cond = 0.0;
+    if (!any_greater) {
+      cond = 1.0;
+      ++trivial;
+    } else if (!any_lesser) {
+      ++trivial;
+      continue;  // cond == 0: the group contributes nothing
+    } else {
+      cond = context.conditional_probability_for_threshold(k, r_prime);
+      ++conditional_evals;
+    }
+    for (std::size_t i = 0; i < slots; ++i) {
+      results[i].probability += mass[i] * cond;
+    }
+  }
+
+  for (UntilUniformizationResult& result : results) {
+    result.paths_stored = stored;
+    result.paths_truncated = truncated;
+    result.signature_classes = signature_classes;
+    result.nodes_expanded = nodes;
+    result.max_depth = max_depth;
+  }
+
+  obs::counter_add("classdp.levels", levels);
+  obs::counter_add("classdp.nodes_expanded", nodes);
+  obs::counter_add("classdp.classes_merged", classes_merged);
+  obs::counter_add("classdp.conditional_evals", conditional_evals);
+  obs::counter_add("classdp.trivial_folds", trivial);
+  obs::gauge_max("classdp.frontier_peak", static_cast<double>(frontier_peak));
+  return results;
+}
+
+}  // namespace csrlmrm::numeric

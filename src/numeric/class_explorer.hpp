@@ -1,0 +1,117 @@
+// Signature-class dynamic-programming engine for uniformization-based until
+// checking — the layered alternative to the depth-first path generator of
+// path_explorer.hpp.
+//
+// The DFS engine enumerates uniformized paths one by one and only merges
+// their probabilities after harvesting, so its cost grows with the number of
+// path prefixes. This engine advances a *frontier* of equivalence classes
+//
+//   (current state, reward signature (k, j))  ->  probability mass
+//
+// one uniformization step (= one Poisson epoch) per level. Two path prefixes
+// that end in the same state with the same signature are indistinguishable
+// for everything that follows — same continuations, same conditional
+// probability Pr{ Y(t) <= r | n, k, j } — so their masses are summed the
+// moment they collide instead of being explored twice. On models with heavy
+// signature collisions (few distinct rewards, many interleavings) the
+// frontier stays polynomial where the DFS tree is exponential.
+//
+// Error accounting matches the DFS engine's eq. (4.4)/(4.6) discipline,
+// lifted to merged classes: alongside its mass every class tracks how many
+// path prefixes it aggregates, and a class is cut at level n when
+// PoissonPmf(n) * mass < w * count — i.e. when the *average* prefix weight
+// falls below the truncation probability, the faithful aggregate of the
+// per-path rule (4.4). (Pruning on the total mass alone would keep a class
+// alive as long as thousands of individually-sub-w prefixes sum past w,
+// exploring far more than the DFS does at equal w.) Cut mass contributes
+// mass * Pr{ N >= n } to the error bound exactly as in eq. (4.6), so the
+// returned probability p brackets the exact value as p <= p_exact <=
+// p + error_bound and the two engines agree within the sum of their
+// reported bounds.
+//
+// Multi-start batching: the checker's until fan-out queries the same formula
+// from every Phi-state. Instead of one engine run per start, compute_batch
+// carries one weight slot per queried start through a single frontier sweep;
+// classes reached from several starts are stored once and each conditional
+// probability is evaluated once for the whole batch. Slots are fully
+// independent (pruning, error, harvest are per-slot), so a batch run is
+// bitwise identical to the corresponding single-start runs.
+//
+// Parallelism: per-level frontier expansion is data-parallel (each class
+// writes its successors into a precomputed disjoint slice), and merging
+// sorts the successor array before folding adjacent equal keys, so results
+// are bitwise identical at every thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mrm.hpp"
+#include "numeric/path_explorer.hpp"
+#include "numeric/poisson.hpp"
+#include "numeric/signature_model.hpp"
+
+namespace csrlmrm::numeric {
+
+/// Layered signature-class DP engine for P2-class until formulas on one
+/// transformed MRM. Construct once per formula; query per starting state
+/// (or batch of starting states) and bound.
+///
+/// Result-field semantics differ slightly from the DFS engine because the
+/// unit of work is a frontier class, not a path:
+///   - probability / error_bound   per queried start (exact analogue);
+///   - paths_stored                harvested (class, level) pairs;
+///   - paths_truncated             per-slot pruning events;
+///   - signature_classes           distinct harvested (k, j) signatures;
+///   - nodes_expanded              frontier classes processed across levels;
+///   - max_depth                   deepest level (epoch count) reached.
+/// In a batch, the diagnostic counts are shared across all slots (every
+/// returned element carries the same values); probability and error_bound
+/// are per-slot.
+class SignatureClassUntilEngine {
+ public:
+  /// Same contract as UniformizationUntilEngine: `transformed` is
+  /// M[!Phi v Psi], `psi` marks Sat(Psi), `dead` the states satisfying
+  /// neither Phi nor Psi. Masks must match the state count.
+  SignatureClassUntilEngine(core::Mrm transformed, std::vector<bool> psi,
+                            std::vector<bool> dead);
+
+  SignatureClassUntilEngine(const SignatureClassUntilEngine&) = delete;
+  SignatureClassUntilEngine& operator=(const SignatureClassUntilEngine&) = delete;
+
+  /// Evaluates Pr{ Y(t) <= r, X(t) |= Psi } from `start`; equivalent to a
+  /// one-element compute_batch. PathExplorerOptions::aggregate_signatures is
+  /// ignored — the DP merges by signature inherently.
+  UntilUniformizationResult compute(core::StateIndex start, double t, double r,
+                                    const PathExplorerOptions& options = {}) const;
+
+  /// Evaluates the formula from every element of `starts` in one frontier
+  /// sweep. Duplicate starts are allowed (their slots share classes).
+  /// Returns one result per element of `starts`, in order. max_nodes is a
+  /// budget for the whole batch (frontier classes processed), so a batch may
+  /// exhaust it where isolated runs would not.
+  std::vector<UntilUniformizationResult> compute_batch(
+      const std::vector<core::StateIndex>& starts, double t, double r,
+      const PathExplorerOptions& options = {}) const;
+
+  /// The distinct state rewards r_1 > ... > r_{K+1} of the transformed model.
+  const std::vector<double>& distinct_state_rewards() const {
+    return sig_.distinct_state_rewards;
+  }
+  /// The distinct impulse rewards i_1 > ... > i_J (always containing 0).
+  const std::vector<double>& distinct_impulse_rewards() const {
+    return sig_.distinct_impulse_rewards;
+  }
+  /// The uniformization rate Lambda.
+  double lambda() const { return sig_.uniformized.lambda(); }
+
+ private:
+  SignatureModel sig_;
+  /// sig_.adjacency with transitions into dead states dropped: the DFS cuts
+  /// at dead states exactly (no error contribution), the DP never generates
+  /// the class in the first place.
+  std::vector<std::vector<SignatureTransition>> live_adjacency_;
+  mutable PoissonTailCache poisson_tails_;
+};
+
+}  // namespace csrlmrm::numeric

@@ -4,11 +4,27 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/approx.hpp"
 #include "obs/stats.hpp"
 
 namespace csrlmrm::numeric {
 
+// Snapping the mantissa to 40 bits merges thresholds that differ only in the
+// last few ulps — the typical outcome of computing r/t - r_{K+1} - (1/t) *
+// sum i_i j_i with summands in a different association. The relative
+// perturbation is at most 2^-41 (~4.5e-13), far below the Omega recursion's
+// own conditioning, and every query against a given evaluator uses the same
+// canonical value, so results stay deterministic.
+double canonical_threshold(double r_prime) {
+  if (!std::isfinite(r_prime) || core::exactly_zero(r_prime)) return r_prime;
+  int exponent = 0;
+  const double mantissa = std::frexp(r_prime, &exponent);
+  constexpr double kScale = 1099511627776.0;  // 2^40
+  return std::ldexp(std::nearbyint(mantissa * kScale) / kScale, exponent);
+}
+
 namespace {
+
 void require_strictly_decreasing(const std::vector<double>& v, const char* what) {
   for (std::size_t i = 0; i < v.size(); ++i) {
     if (!std::isfinite(v[i]) || v[i] < 0.0) {
@@ -64,12 +80,20 @@ double RewardStructureContext::conditional_probability(const SpacingCounts& k,
     throw std::invalid_argument("RewardStructureContext: a path visits at least one state");
   }
 
+  return conditional_probability_for_threshold(k, threshold(j, t, r));
+}
+
+double RewardStructureContext::conditional_probability_for_threshold(const SpacingCounts& k,
+                                                                     double r_prime) {
+  if (k.size() != state_rewards_.size()) {
+    throw std::invalid_argument("RewardStructureContext: state count vector size mismatch");
+  }
   obs::counter_add("omega.evaluations");
-  const double r_prime = threshold(j, t, r);
-  auto it = evaluators_.find(r_prime);
+  const double canonical = canonical_threshold(r_prime);
+  auto it = evaluators_.find(canonical);
   if (it == evaluators_.end()) {
     obs::counter_add("omega.evaluators_built");
-    it = evaluators_.emplace(r_prime, OmegaEvaluator(coefficients_, r_prime)).first;
+    it = evaluators_.emplace(canonical, OmegaEvaluator(coefficients_, canonical)).first;
   }
   return it->second.evaluate(k);
 }

@@ -22,6 +22,13 @@
 
 namespace csrlmrm::numeric {
 
+/// Canonical representation of a threshold r' for evaluator caching and
+/// class grouping: the mantissa is snapped to 40 bits (relative perturbation
+/// <= 2^-41), so thresholds that agree mathematically but differ by
+/// floating-point rounding — e.g. two impulse signatures whose totals are
+/// equal — map to one representative. Idempotent; preserves 0 and infinities.
+double canonical_threshold(double r_prime);
+
 /// Precomputed reward bookkeeping for conditional-probability queries.
 class RewardStructureContext {
  public:
@@ -41,11 +48,29 @@ class RewardStructureContext {
   /// Pr{ Y(t) <= r | n, k, j }. k must have one count per state-reward class
   /// (sum = n+1 >= 1), j one count per impulse class (sum = n). t must be
   /// positive, r finite and >= 0.
+  ///
+  /// Evaluator caching uses a canonicalized threshold (mantissa snapped to 40
+  /// bits, relative perturbation <= 2^-41): impulse signatures whose
+  /// thresholds agree mathematically but differ by floating-point rounding
+  /// share one evaluator and its memo table instead of rebuilding it.
   double conditional_probability(const SpacingCounts& k, const SpacingCounts& j, double t,
                                  double r);
 
+  /// As conditional_probability, but with the threshold r' of eq. (4.9)
+  /// already computed (and canonicalized internally). The conditional
+  /// probability depends on j only through r', so callers that group their
+  /// signature classes by (k, r') — the signature-class DP engine does —
+  /// evaluate each group once instead of once per distinct j.
+  double conditional_probability_for_threshold(const SpacingCounts& k, double r_prime);
+
   /// The threshold r' = r/t - r_{K+1} - (1/t) sum_i i_i j_i of eq. (4.9).
   double threshold(const SpacingCounts& j, double t, double r) const;
+
+  /// The Omega coefficients d_i = r_i - r_{K+1} (descending, last entry 0).
+  /// Exposed so callers can replicate the recursion's trivial base cases —
+  /// Omega = 1 when no class with k_i > 0 has d_i > r', Omega = 0 when none
+  /// has d_i <= r' — without paying for an evaluator lookup.
+  const std::vector<double>& coefficients() const { return coefficients_; }
 
   /// Number of distinct Omega evaluators created so far (ablation metric).
   std::size_t evaluator_count() const { return evaluators_.size(); }

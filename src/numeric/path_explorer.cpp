@@ -2,12 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "numeric/conditional.hpp"
-#include "numeric/poisson.hpp"
 #include "obs/stats.hpp"
 #include "core/approx.hpp"
 
@@ -27,66 +25,18 @@ struct SignatureHash {
   }
 };
 
-std::vector<double> sorted_distinct_descending(const std::set<double>& values) {
-  std::vector<double> out(values.begin(), values.end());
-  std::reverse(out.begin(), out.end());
-  return out;
-}
-
-std::size_t class_index_descending(const std::vector<double>& descending, double value) {
-  // descending is strictly decreasing and contains value.
-  const auto it = std::lower_bound(descending.begin(), descending.end(), value,
-                                   [](double a, double b) { return a > b; });
-  return static_cast<std::size_t>(it - descending.begin());
-}
-
 }  // namespace
 
 UniformizationUntilEngine::UniformizationUntilEngine(core::Mrm transformed,
                                                      std::vector<bool> psi,
                                                      std::vector<bool> dead)
-    : model_(std::move(transformed)),
-      psi_(std::move(psi)),
-      dead_(std::move(dead)),
-      uniformized_(model_) {
-  const std::size_t n = model_.num_states();
-  if (psi_.size() != n || dead_.size() != n) {
-    throw std::invalid_argument("UniformizationUntilEngine: mask size mismatch");
-  }
-
-  // Distinct state rewards r_1 > ... > r_{K+1} and their per-state classes.
-  std::set<double> reward_values;
-  for (core::StateIndex s = 0; s < n; ++s) reward_values.insert(model_.state_reward(s));
-  distinct_state_rewards_ = sorted_distinct_descending(reward_values);
-  reward_class_.resize(n);
-  for (core::StateIndex s = 0; s < n; ++s) {
-    reward_class_[s] = class_index_descending(distinct_state_rewards_, model_.state_reward(s));
-  }
-
-  // Distinct impulse rewards; 0 is always present because uniformization
-  // introduces self-loops and iota(s,s) = 0 by Definition 3.1.
-  std::set<double> impulse_values{0.0};
-  for (core::StateIndex s = 0; s < n; ++s) {
-    for (const auto& e : model_.impulse_rewards().row(s)) impulse_values.insert(e.value);
-  }
-  distinct_impulse_rewards_ = sorted_distinct_descending(impulse_values);
-
-  // Flatten the uniformized DTMC with per-transition impulse classes.
-  adjacency_.resize(n);
-  for (core::StateIndex s = 0; s < n; ++s) {
-    for (const auto& e : uniformized_.transition_matrix().row(s)) {
-      const double impulse = (e.col == s) ? 0.0 : model_.impulse_reward(s, e.col);
-      adjacency_[s].push_back({e.col, std::log(e.value),
-                               class_index_descending(distinct_impulse_rewards_, impulse)});
-    }
-  }
-}
+    : sig_(std::move(transformed), std::move(psi), std::move(dead)) {}
 
 UntilUniformizationResult UniformizationUntilEngine::compute(
     core::StateIndex start, double t, double r, const PathExplorerOptions& options) const {
   obs::ScopedTimer timer("uniformization.until");
   obs::counter_add("uniformization.calls");
-  const std::size_t n = model_.num_states();
+  const std::size_t n = sig_.model.num_states();
   if (start >= n) {
     throw std::invalid_argument("UniformizationUntilEngine::compute: start out of range");
   }
@@ -102,21 +52,22 @@ UntilUniformizationResult UniformizationUntilEngine::compute(
   }
 
   UntilUniformizationResult result;
-  if (dead_[start]) return result;
+  if (sig_.dead[start]) return result;
   if (core::exactly_zero(t)) {
     // inf(I) = inf(J) = 0: the formula holds immediately iff start |= Psi.
-    result.probability = psi_[start] ? 1.0 : 0.0;
+    result.probability = sig_.psi[start] ? 1.0 : 0.0;
     return result;
   }
 
-  const double mean = uniformized_.lambda() * t;
+  const double mean = sig_.uniformized.lambda() * t;
   const double log_mean = std::log(mean);
   const double log_w = std::log(options.truncation_probability);
-  PoissonCdfTable poisson_tail(mean);
+  const auto poisson_tail =
+      poisson_tails_.table(mean, poisson_truncation_point(mean, options.truncation_probability) + 2);
 
-  const std::size_t num_k = distinct_state_rewards_.size();
-  const std::size_t num_j = distinct_impulse_rewards_.size();
-  RewardStructureContext context(distinct_state_rewards_, distinct_impulse_rewards_);
+  const std::size_t num_k = sig_.distinct_state_rewards.size();
+  const std::size_t num_j = sig_.distinct_impulse_rewards.size();
+  RewardStructureContext context(sig_.distinct_state_rewards, sig_.distinct_impulse_rewards);
 
   // signature = k ++ j, accumulated path probability P(sigma, t).
   std::unordered_map<std::vector<std::uint32_t>, double, SignatureHash> classes;
@@ -138,7 +89,7 @@ UntilUniformizationResult UniformizationUntilEngine::compute(
   // Recursive lambda via explicit Y-combinator style to keep undo logic tight.
   auto explore = [&](auto&& self, const Frame& frame) -> void {
     ++visited;
-    if (dead_[frame.state]) return;  // (!Phi && !Psi): unsatisfiable, exact cut
+    if (sig_.dead[frame.state]) return;  // (!Phi && !Psi): unsatisfiable, exact cut
     const double log_p = frame.log_poisson + frame.log_weight;
     const bool too_deep =
         options.depth_truncation != 0 && frame.depth > options.depth_truncation;
@@ -147,7 +98,7 @@ UntilUniformizationResult UniformizationUntilEngine::compute(
       // account the whole discarded sub-tree per eq. (4.6). The last state
       // satisfies Phi v Psi here (dead states returned above).
       ++result.paths_truncated;
-      result.error_bound += std::exp(frame.log_weight) * poisson_tail.tail(frame.depth);
+      result.error_bound += std::exp(frame.log_weight) * poisson_tail->tail(frame.depth);
       return;
     }
     if (++nodes > options.max_nodes) {
@@ -157,7 +108,7 @@ UntilUniformizationResult UniformizationUntilEngine::compute(
     }
     result.max_depth = std::max(result.max_depth, frame.depth);
 
-    if (psi_[frame.state]) {
+    if (sig_.psi[frame.state]) {
       ++result.paths_stored;
       const double p = std::exp(log_p);
       if (options.aggregate_signatures) {
@@ -171,18 +122,18 @@ UntilUniformizationResult UniformizationUntilEngine::compute(
 
     const double log_next_poisson =
         frame.log_poisson + log_mean - std::log(static_cast<double>(frame.depth + 1));
-    for (const Transition& edge : adjacency_[frame.state]) {
-      ++signature[reward_class_[edge.target]];
+    for (const SignatureTransition& edge : sig_.adjacency[frame.state]) {
+      ++signature[sig_.reward_class[edge.target]];
       ++signature[num_k + edge.impulse_class];
       self(self, Frame{edge.target, frame.depth + 1, log_next_poisson,
                        frame.log_weight + edge.log_probability});
-      --signature[reward_class_[edge.target]];
+      --signature[sig_.reward_class[edge.target]];
       --signature[num_k + edge.impulse_class];
     }
   };
 
   // Initial path: n = 0, k = 1_[rho(start)], j = 0, p = e^{-mean}.
-  ++signature[reward_class_[start]];
+  ++signature[sig_.reward_class[start]];
   explore(explore, Frame{start, 0, -mean, 0.0});
 
   if (options.aggregate_signatures) {

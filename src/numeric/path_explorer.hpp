@@ -23,7 +23,8 @@
 
 #include "core/labels.hpp"
 #include "core/mrm.hpp"
-#include "core/uniformized.hpp"
+#include "numeric/poisson.hpp"
+#include "numeric/signature_model.hpp"
 
 namespace csrlmrm::numeric {
 
@@ -51,9 +52,15 @@ struct PathExplorerOptions {
   /// results are identical, only cost differs (ablation knob).
   bool aggregate_signatures = true;
   /// Safety valve: abort (std::runtime_error) after this many DFS node
-  /// expansions — uniformization is only practical for small Lambda*t
+  /// expansions (or, for the signature-class DP engine, frontier classes
+  /// processed) — uniformization is only practical for small Lambda*t
   /// (thesis, ch. 6) and this keeps runaway instances diagnosable.
   std::size_t max_nodes = 500'000'000;
+  /// Worker threads for the signature-class DP engine's per-level frontier
+  /// expansion (see class_explorer.hpp); the DFS engine is inherently serial
+  /// and ignores this. 0 = the process default (CSRLMRM_THREADS or hardware
+  /// concurrency).
+  unsigned threads = 0;
 };
 
 /// Result of one until evaluation.
@@ -98,30 +105,23 @@ class UniformizationUntilEngine {
                                     const PathExplorerOptions& options = {}) const;
 
   /// The distinct state rewards r_1 > ... > r_{K+1} of the transformed model.
-  const std::vector<double>& distinct_state_rewards() const { return distinct_state_rewards_; }
+  const std::vector<double>& distinct_state_rewards() const {
+    return sig_.distinct_state_rewards;
+  }
   /// The distinct impulse rewards i_1 > ... > i_J (always containing 0, the
   /// impulse of uniformization self-loops).
   const std::vector<double>& distinct_impulse_rewards() const {
-    return distinct_impulse_rewards_;
+    return sig_.distinct_impulse_rewards;
   }
   /// The uniformization rate Lambda.
-  double lambda() const { return uniformized_.lambda(); }
+  double lambda() const { return sig_.uniformized.lambda(); }
 
  private:
-  struct Transition {
-    core::StateIndex target = 0;
-    double log_probability = 0.0;
-    std::size_t impulse_class = 0;
-  };
-
-  core::Mrm model_;
-  std::vector<bool> psi_;
-  std::vector<bool> dead_;
-  core::UniformizedMrm uniformized_;
-  std::vector<double> distinct_state_rewards_;    // descending
-  std::vector<double> distinct_impulse_rewards_;  // descending
-  std::vector<std::size_t> reward_class_;         // state -> index into distinct rewards
-  std::vector<std::vector<Transition>> adjacency_;
+  SignatureModel sig_;
+  // Per-(mean) Poisson tail tables shared across compute() calls: the
+  // checker's per-state fan-out issues one query per start state with the
+  // identical mean Lambda*t, and the table only depends on that mean.
+  mutable PoissonTailCache poisson_tails_;
 };
 
 }  // namespace csrlmrm::numeric

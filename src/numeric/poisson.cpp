@@ -84,4 +84,42 @@ double PoissonCdfTable::tail(std::size_t n) {
   return std::max(0.0, 1.0 - cdf(n - 1));
 }
 
+SharedPoissonTail::SharedPoissonTail(double mean, std::size_t n_max) : mean_(mean) {
+  require_valid_mean(mean);
+  cdf_.reserve(n_max + 1);
+  cdf_.push_back(poisson_pmf(0, mean_));
+  for (std::size_t i = 1; i <= n_max; ++i) {
+    cdf_.push_back(std::min(cdf_.back() + poisson_pmf(i, mean_), 1.0));
+  }
+}
+
+double SharedPoissonTail::cdf(std::size_t n) const {
+  if (n < cdf_.size()) return cdf_[n];
+  // Beyond the precomputed range (possible only when the caller's sizing
+  // hint was too small): sum the remaining masses on the fly. No mutation,
+  // so concurrent readers stay race-free.
+  double acc = cdf_.back();
+  for (std::size_t i = cdf_.size(); i <= n; ++i) acc += poisson_pmf(i, mean_);
+  return std::min(acc, 1.0);
+}
+
+double SharedPoissonTail::tail(std::size_t n) const {
+  if (n == 0) return 1.0;
+  return std::max(0.0, 1.0 - cdf(n - 1));
+}
+
+std::shared_ptr<const SharedPoissonTail> PoissonTailCache::table(double mean,
+                                                                std::size_t n_max) const {
+  require_valid_mean(mean);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : tables_) {
+    if (!core::exactly_equal(entry->mean(), mean)) continue;
+    if (entry->table_size() > n_max) return entry;
+    entry = std::make_shared<const SharedPoissonTail>(mean, n_max);
+    return entry;
+  }
+  tables_.push_back(std::make_shared<const SharedPoissonTail>(mean, n_max));
+  return tables_.back();
+}
+
 }  // namespace csrlmrm::numeric

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 namespace csrlmrm::numeric {
@@ -45,6 +47,47 @@ class PoissonCdfTable {
  private:
   double mean_;
   std::vector<double> cdf_;  // cdf_[i] = Pr{N <= i}
+};
+
+/// Immutable Poisson CDF/tail table for one fixed mean, safe to share across
+/// threads without synchronization. Entries 0..n_max are precomputed with
+/// exactly the accumulation PoissonCdfTable uses (so the two forms agree
+/// bitwise on the covered range); queries beyond the table fall back to
+/// direct summation without mutating any state.
+class SharedPoissonTail {
+ public:
+  SharedPoissonTail(double mean, std::size_t n_max);
+
+  double mean() const { return mean_; }
+  std::size_t table_size() const { return cdf_.size(); }
+
+  /// Pr{N <= n}.
+  double cdf(std::size_t n) const;
+  /// Pr{N >= n} = 1 - Pr{N <= n-1}; tail(0) = 1.
+  double tail(std::size_t n) const;
+
+ private:
+  double mean_;
+  std::vector<double> cdf_;  // cdf_[i] = Pr{N <= i}
+};
+
+/// Thread-safe per-mean cache of SharedPoissonTail tables. The checker's
+/// per-state Until fan-out issues one engine query per start state with the
+/// identical mean Lambda*t; before this cache each query rebuilt the same
+/// CDF table from scratch. The first query for a mean builds the table under
+/// an internal mutex, every later one shares the immutable snapshot. A
+/// request with a larger n_max than the cached table replaces it with an
+/// extended build (already-handed-out snapshots stay valid).
+class PoissonTailCache {
+ public:
+  /// The table for `mean` covering at least [0, n_max].
+  std::shared_ptr<const SharedPoissonTail> table(double mean, std::size_t n_max) const;
+
+ private:
+  // Linear scan over exact means: one engine sees one or two distinct means
+  // over its lifetime, so a map is not worth its allocations.
+  mutable std::mutex mutex_;
+  mutable std::vector<std::shared_ptr<const SharedPoissonTail>> tables_;
 };
 
 }  // namespace csrlmrm::numeric

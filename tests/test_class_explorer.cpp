@@ -1,0 +1,274 @@
+// Property-based validation of the signature-class DP until engine
+// (class_explorer.hpp) against the DFS path generator it replaces
+// (path_explorer.hpp, Algorithm 4.7). Both engines compute a lower
+// approximation p with p <= p_exact <= p + error_bound, so on every model
+// they must agree within the sum of their reported bounds — checked here
+// over 50 seeded random impulse-reward MRMs rather than hand-picked
+// examples. The DP additionally promises bitwise determinism across worker
+// thread counts and batch-vs-single-start equivalence; both are asserted
+// exactly (==), not within a tolerance.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "checker/options.hpp"
+#include "checker/until.hpp"
+#include "core/transform.hpp"
+#include "models/random_mrm.hpp"
+#include "numeric/class_explorer.hpp"
+#include "numeric/path_explorer.hpp"
+
+namespace csrlmrm {
+namespace {
+
+struct UntilSetup {
+  core::Mrm transformed;
+  std::vector<bool> psi;
+  std::vector<bool> dead;
+};
+
+/// The checker's until preprocessing (phi from label "a" padded with the even
+/// states, psi from label "b" with a seeded fallback) applied to one random
+/// model — the same recipe as test_property_cross_validation.cpp, so the two
+/// property suites exercise comparable formula shapes.
+UntilSetup make_setup(const core::Mrm& model, std::uint32_t seed) {
+  std::vector<bool> phi = model.labels().states_with("a");
+  std::vector<bool> psi = model.labels().states_with("b");
+  bool any_psi = false;
+  for (const auto value : psi) any_psi = any_psi || value;
+  if (!any_psi) psi[seed % model.num_states()] = true;
+  for (std::size_t s = 0; s < phi.size(); ++s) phi[s] = phi[s] || (s % 2 == 0);
+
+  std::vector<bool> absorb(model.num_states());
+  std::vector<bool> dead(model.num_states());
+  for (std::size_t s = 0; s < model.num_states(); ++s) {
+    absorb[s] = !phi[s] || psi[s];
+    dead[s] = !phi[s] && !psi[s];
+  }
+  return {core::make_absorbing(model, absorb), std::move(psi), std::move(dead)};
+}
+
+core::Mrm make_model(std::uint32_t seed) {
+  models::RandomMrmConfig config;
+  config.num_states = 6;
+  config.max_rate = 1.0;  // keeps Lambda*t small enough for path enumeration
+  return models::make_random_mrm(seed, config);
+}
+
+/// Per-seed query parameters, derived deterministically so the suite needs no
+/// runtime randomness.
+double time_bound_of(std::uint32_t seed) { return 0.5 + 0.25 * (seed % 7); }
+double reward_bound_of(std::uint32_t seed) { return 1.0 + (seed % 9); }
+
+std::vector<core::StateIndex> all_states(const core::Mrm& model) {
+  std::vector<core::StateIndex> starts(model.num_states());
+  for (core::StateIndex s = 0; s < model.num_states(); ++s) starts[s] = s;
+  return starts;
+}
+
+class ClassExplorerCrossEngine : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ClassExplorerCrossEngine, AgreesWithDfsWithinCombinedErrorBounds) {
+  const std::uint32_t seed = GetParam();
+  const core::Mrm model = make_model(seed);
+  const UntilSetup setup = make_setup(model, seed);
+  const double t = time_bound_of(seed);
+  const double r = reward_bound_of(seed);
+
+  numeric::UniformizationUntilEngine dfs(setup.transformed, setup.psi, setup.dead);
+  numeric::SignatureClassUntilEngine classdp(setup.transformed, setup.psi, setup.dead);
+  numeric::PathExplorerOptions options;
+  options.truncation_probability = 1e-10;
+
+  const auto batch = classdp.compute_batch(all_states(model), t, r, options);
+  for (core::StateIndex start = 0; start < model.num_states(); ++start) {
+    const auto reference = dfs.compute(start, t, r, options);
+    const auto& candidate = batch[start];
+    EXPECT_GE(candidate.probability, -1e-12) << "start=" << start;
+    EXPECT_LE(candidate.probability, 1.0 + 1e-12) << "start=" << start;
+    EXPECT_GE(candidate.error_bound, 0.0) << "start=" << start;
+    // Both engines bracket the same exact value from below, so the point
+    // estimates can differ by at most the combined truncation error.
+    EXPECT_NEAR(candidate.probability, reference.probability,
+                candidate.error_bound + reference.error_bound + 1e-12)
+        << "start=" << start << " t=" << t << " r=" << r;
+  }
+}
+
+// 50 random impulse-reward MRMs (the generator attaches impulses to ~40% of
+// transitions, so nearly every seed exercises non-empty j signatures).
+INSTANTIATE_TEST_SUITE_P(RandomModels, ClassExplorerCrossEngine,
+                         ::testing::Range(1u, 51u));
+
+class ClassExplorerBatch : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ClassExplorerBatch, BatchIsBitwiseEqualToSingleStartRuns) {
+  const std::uint32_t seed = GetParam();
+  const core::Mrm model = make_model(seed);
+  const UntilSetup setup = make_setup(model, seed);
+  const double t = time_bound_of(seed);
+  const double r = reward_bound_of(seed);
+
+  numeric::SignatureClassUntilEngine engine(setup.transformed, setup.psi, setup.dead);
+  numeric::PathExplorerOptions options;
+  options.truncation_probability = 1e-10;
+
+  const auto batch = engine.compute_batch(all_states(model), t, r, options);
+  for (core::StateIndex start = 0; start < model.num_states(); ++start) {
+    const auto single = engine.compute(start, t, r, options);
+    EXPECT_EQ(batch[start].probability, single.probability) << "start=" << start;  // bitwise
+    EXPECT_EQ(batch[start].error_bound, single.error_bound) << "start=" << start;
+  }
+}
+
+TEST_P(ClassExplorerBatch, DuplicateStartsGetIdenticalSlots) {
+  const std::uint32_t seed = GetParam();
+  const core::Mrm model = make_model(seed);
+  const UntilSetup setup = make_setup(model, seed);
+
+  numeric::SignatureClassUntilEngine engine(setup.transformed, setup.psi, setup.dead);
+  const std::vector<core::StateIndex> starts{0, 1, 0};
+  const auto batch = engine.compute_batch(starts, time_bound_of(seed), reward_bound_of(seed));
+  EXPECT_EQ(batch[0].probability, batch[2].probability);
+  EXPECT_EQ(batch[0].error_bound, batch[2].error_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, ClassExplorerBatch,
+                         ::testing::Values(1u, 8u, 15u, 22u, 29u, 36u, 43u, 50u));
+
+class ClassExplorerDeterminism : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ClassExplorerDeterminism, BitwiseIdenticalAcrossThreadCounts) {
+  const std::uint32_t seed = GetParam();
+  const core::Mrm model = make_model(seed);
+  const UntilSetup setup = make_setup(model, seed);
+  const double t = time_bound_of(seed);
+  const double r = reward_bound_of(seed);
+
+  numeric::SignatureClassUntilEngine engine(setup.transformed, setup.psi, setup.dead);
+  numeric::PathExplorerOptions options;
+  options.truncation_probability = 1e-10;
+  options.threads = 1;
+  const auto reference = engine.compute_batch(all_states(model), t, r, options);
+  for (const unsigned threads : {2u, 8u}) {
+    options.threads = threads;
+    const auto other = engine.compute_batch(all_states(model), t, r, options);
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(other[i].probability, reference[i].probability)
+          << "threads=" << threads << " start=" << i;  // bitwise, sorted merge
+      EXPECT_EQ(other[i].error_bound, reference[i].error_bound)
+          << "threads=" << threads << " start=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, ClassExplorerDeterminism,
+                         ::testing::Values(2u, 9u, 16u, 23u, 30u, 37u, 44u));
+
+TEST(ClassExplorerEdgeCases, ZeroTimeBoundIsThePsiIndicator) {
+  const core::Mrm model = make_model(3);
+  const UntilSetup setup = make_setup(model, 3);
+  numeric::SignatureClassUntilEngine engine(setup.transformed, setup.psi, setup.dead);
+  const auto batch = engine.compute_batch(all_states(model), 0.0, 5.0);
+  for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+    const double expected = (!setup.dead[s] && setup.psi[s]) ? 1.0 : 0.0;
+    EXPECT_EQ(batch[s].probability, expected) << "start=" << s;
+    EXPECT_EQ(batch[s].error_bound, 0.0) << "start=" << s;
+  }
+}
+
+TEST(ClassExplorerEdgeCases, DeadStartsAreExactlyZero) {
+  const core::Mrm model = make_model(4);
+  const UntilSetup setup = make_setup(model, 4);
+  numeric::SignatureClassUntilEngine engine(setup.transformed, setup.psi, setup.dead);
+  const auto batch = engine.compute_batch(all_states(model), 1.5, 4.0);
+  for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+    if (!setup.dead[s]) continue;
+    EXPECT_EQ(batch[s].probability, 0.0) << "start=" << s;
+    EXPECT_EQ(batch[s].error_bound, 0.0) << "start=" << s;
+  }
+}
+
+TEST(ClassExplorerEdgeCases, ExhaustedClassBudgetThrowsNodeBudgetError) {
+  const core::Mrm model = make_model(5);
+  const UntilSetup setup = make_setup(model, 5);
+  numeric::SignatureClassUntilEngine engine(setup.transformed, setup.psi, setup.dead);
+  numeric::PathExplorerOptions options;
+  options.truncation_probability = 1e-10;
+  options.max_nodes = 3;
+  EXPECT_THROW(engine.compute_batch(all_states(model), 2.0, 6.0, options),
+               numeric::NodeBudgetError);
+}
+
+TEST(ClassExplorerEdgeCases, RejectsInvalidArguments) {
+  const core::Mrm model = make_model(6);
+  const UntilSetup setup = make_setup(model, 6);
+  numeric::SignatureClassUntilEngine engine(setup.transformed, setup.psi, setup.dead);
+  EXPECT_THROW(engine.compute(model.num_states(), 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(engine.compute(0, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(engine.compute(0, 1.0, -1.0), std::invalid_argument);
+  numeric::PathExplorerOptions options;
+  options.truncation_probability = 0.0;
+  EXPECT_THROW(engine.compute(0, 1.0, 1.0, options), std::invalid_argument);
+}
+
+class ClassDpCheckerAgreement : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ClassDpCheckerAgreement, CheckerLevelResultsMatchDfpgEngine) {
+  const std::uint32_t seed = GetParam();
+  const core::Mrm model = make_model(seed);
+  std::vector<bool> phi = model.labels().states_with("a");
+  std::vector<bool> psi = model.labels().states_with("b");
+  bool any_psi = false;
+  for (const auto value : psi) any_psi = any_psi || value;
+  if (!any_psi) psi[seed % model.num_states()] = true;
+  for (std::size_t s = 0; s < phi.size(); ++s) phi[s] = phi[s] || (s % 2 == 0);
+
+  const double t = time_bound_of(seed);
+  const double r = reward_bound_of(seed);
+  checker::CheckerOptions classdp;
+  classdp.until_engine = checker::UntilEngine::kClassDp;
+  checker::CheckerOptions dfpg;
+  dfpg.until_engine = checker::UntilEngine::kDfpg;
+
+  const auto lhs = checker::until_probabilities(model, phi, psi, logic::up_to(t),
+                                                logic::up_to(r), classdp);
+  const auto rhs = checker::until_probabilities(model, phi, psi, logic::up_to(t),
+                                                logic::up_to(r), dfpg);
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t s = 0; s < lhs.size(); ++s) {
+    EXPECT_NEAR(lhs[s].probability, rhs[s].probability,
+                lhs[s].error_bound + rhs[s].error_bound + 1e-12)
+        << "seed=" << seed << " state=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, ClassDpCheckerAgreement,
+                         ::testing::Values(3u, 11u, 19u, 27u, 35u, 47u));
+
+TEST(ClassDpCheckerFallback, TinyNodeBudgetDegradesGracefully) {
+  // With the DP's class budget forced to a handful of frontier rows the
+  // checker must fall back (per BudgetPolicy) instead of propagating
+  // NodeBudgetError, and still return a sane probability vector.
+  const core::Mrm model = make_model(7);
+  std::vector<bool> phi(model.num_states(), true);
+  std::vector<bool> psi = model.labels().states_with("b");
+  bool any_psi = false;
+  for (const auto value : psi) any_psi = any_psi || value;
+  if (!any_psi) psi[0] = true;
+
+  checker::CheckerOptions options;
+  options.until_engine = checker::UntilEngine::kClassDp;
+  options.uniformization.max_nodes = 3;
+  std::vector<checker::UntilValue> values;
+  ASSERT_NO_THROW(values = checker::until_probabilities(model, phi, psi, logic::up_to(1.5),
+                                                        logic::up_to(6.0), options));
+  for (std::size_t s = 0; s < values.size(); ++s) {
+    EXPECT_GE(values[s].probability, -1e-12) << "state=" << s;
+    EXPECT_LE(values[s].probability, 1.0 + 1e-12) << "state=" << s;
+  }
+}
+
+}  // namespace
+}  // namespace csrlmrm

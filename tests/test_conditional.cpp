@@ -79,6 +79,61 @@ TEST(Conditional, RejectsMalformedInput) {
   EXPECT_THROW(context.conditional_probability({1, 1}, {}, 1.0, -1.0), std::invalid_argument);
 }
 
+TEST(Conditional, CanonicalThresholdSnapsRoundingNoise) {
+  // Thresholds that agree mathematically but differ by floating-point
+  // rounding must canonicalize to one representative...
+  const double r_prime = 1.0 / 3.0;
+  const double jittered = std::nextafter(r_prime, 1.0);
+  EXPECT_EQ(canonical_threshold(r_prime), canonical_threshold(jittered));
+  // ...idempotently...
+  EXPECT_EQ(canonical_threshold(canonical_threshold(r_prime)), canonical_threshold(r_prime));
+  // ...while zero and non-finite values pass through untouched and genuinely
+  // distinct thresholds stay distinct (the snap keeps 40 mantissa bits).
+  EXPECT_EQ(canonical_threshold(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(canonical_threshold(HUGE_VAL)));
+  EXPECT_NE(canonical_threshold(1.0), canonical_threshold(1.0 + 1e-6));
+}
+
+TEST(Conditional, EvaluatorCacheIsRobustToThresholdRoundingNoise) {
+  // Regression for the quantized evaluators_ key: querying with a threshold
+  // perturbed by one ulp — as arises when two impulse signatures with equal
+  // totals compute r' along different floating-point paths — must hit the
+  // same cached evaluator (count stays 1) and return bitwise the same
+  // probability.
+  RewardStructureContext context({2.0, 1.0, 0.0}, {1.0, 0.0});
+  const SpacingCounts k{1, 2, 1};
+  const double r_prime = context.threshold({2, 1}, 3.0, 4.0);
+  const double exact = context.conditional_probability_for_threshold(k, r_prime);
+  EXPECT_EQ(context.evaluator_count(), 1u);
+  const double jittered =
+      context.conditional_probability_for_threshold(k, std::nextafter(r_prime, 1e9));
+  EXPECT_EQ(context.evaluator_count(), 1u);
+  EXPECT_EQ(jittered, exact);  // same evaluator, same memo table -> same bits
+  // A genuinely different threshold still builds its own evaluator.
+  context.conditional_probability_for_threshold(k, r_prime + 0.25);
+  EXPECT_EQ(context.evaluator_count(), 2u);
+}
+
+TEST(Conditional, ThresholdFormGroupsEquivalentImpulseSignatures) {
+  // conditional_probability(k, j, t, r) and the (k, r')-grouped entry point
+  // used by the signature-class DP engine must agree bitwise: the j
+  // dependence is entirely inside r' (eq. 4.9).
+  RewardStructureContext context({3.0, 1.0, 0.0}, {2.0, 1.0, 0.0});
+  const SpacingCounts k{2, 1, 1};
+  const double t = 2.5;
+  const double r = 6.0;
+  // <1,0> and <0,2> carry the same impulse total 2 -> same r' -> one shared
+  // evaluation for both signatures.
+  const SpacingCounts j_voter{1, 0, 2};
+  const SpacingCounts j_modules{0, 2, 1};
+  const double via_j = context.conditional_probability(k, j_voter, t, r);
+  EXPECT_EQ(context.conditional_probability(k, j_modules, t, r), via_j);
+  EXPECT_EQ(context.conditional_probability_for_threshold(
+                k, context.threshold(j_voter, t, r)),
+            via_j);
+  EXPECT_EQ(context.evaluator_count(), 1u);
+}
+
 TEST(Conditional, MonotoneInRewardBound) {
   RewardStructureContext context({4.0, 1.0, 0.0}, {2.0, 0.0});
   double prev = 0.0;

@@ -11,6 +11,7 @@
 
 #ifndef _WIN32
 #include <sys/wait.h>
+#include <unistd.h>
 #endif
 
 #include "models/wavelan.hpp"
@@ -122,7 +123,10 @@ TEST(IoRewi, RejectsCountMismatch) {
 class IoRoundTrip : public ::testing::Test {
  protected:
   void SetUp() override {
-    directory_ = std::filesystem::temp_directory_path() / "csrlmrm_io_test";
+    // Unique per process and test case — see MrmcheckCli::SetUp below.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    directory_ = std::filesystem::temp_directory_path() /
+                 (std::string("csrlmrm_io_") + std::to_string(::getpid()) + "_" + info->name());
     std::filesystem::create_directories(directory_);
     prefix_ = (directory_ / "model").string();
   }
@@ -169,7 +173,12 @@ TEST_F(IoRoundTrip, MissingFileThrows) {
 class MrmcheckCli : public ::testing::Test {
  protected:
   void SetUp() override {
-    directory_ = std::filesystem::temp_directory_path() / "csrlmrm_cli_test";
+    // Unique per process AND per test case: ctest runs each case as its own
+    // process in parallel, and a shared directory would let one case's
+    // remove_all race another case's writes.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    directory_ = std::filesystem::temp_directory_path() /
+                 (std::string("csrlmrm_cli_") + std::to_string(::getpid()) + "_" + info->name());
     std::filesystem::create_directories(directory_);
     const std::string models = CSRLMRM_EXAMPLE_MODELS_DIR;
     model_args_ = "'" + models + "/tmr.tra' '" + models + "/tmr.lab' '" + models +
@@ -304,7 +313,8 @@ TEST_F(MrmcheckCli, StatsFileIsSchemaValidJson) {
   EXPECT_EQ(schema->as_string(), "csrlmrm-stats-v1");
   const obs::JsonValue* counters = stats.find("counters");
   ASSERT_NE(counters, nullptr);
-  EXPECT_NE(counters->find("uniformization.calls"), nullptr);
+  // The default until engine is the signature-class DP (classdp).
+  EXPECT_NE(counters->find("classdp.calls"), nullptr);
   const obs::JsonValue* trace = stats.find("trace");
   ASSERT_NE(trace, nullptr);
   EXPECT_NE(trace->find("children"), nullptr);
