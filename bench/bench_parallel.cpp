@@ -17,6 +17,7 @@
 // identical across thread counts, so the expectation is 0.0). Timings are
 // the best of `kRepeats` wall-clock runs. hardware_threads is recorded so
 // single-core CI boxes are not mistaken for scaling regressions.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -35,7 +36,9 @@ namespace {
 
 using namespace csrlmrm;
 
-constexpr int kRepeats = 3;
+// Best-of repetition count; `--smoke` (the bench-smoke ctest lane) drops it
+// to 1 and shrinks every model so the binary finishes in well under a second.
+int g_repeats = 3;
 const unsigned kThreadCounts[] = {1, 2, 4, 8};
 
 double now_ms() {
@@ -47,7 +50,7 @@ double now_ms() {
 template <typename Fn>
 double best_of(Fn&& fn) {
   double best = 1e300;
-  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+  for (int repeat = 0; repeat < g_repeats; ++repeat) {
     const double start = now_ms();
     fn();
     best = std::min(best, now_ms() - start);
@@ -181,22 +184,32 @@ void print_case(std::FILE* out, const CaseRecord& record, bool last) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  std::string out_path = "BENCH_parallel.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      g_repeats = 1;
+    } else {
+      out_path = argv[i];
+    }
+  }
   std::vector<CaseRecord> records;
 
   // Case 1: one discretization level sweep, MM1K capacity 64 (65 states).
   {
     models::Mm1kConfig config;
-    config.capacity = 64;
+    config.capacity = smoke ? 16 : 64;
     const core::Mrm model = models::make_mm1k(config);
     const auto full = model.labels().states_with("full");
-    const double t = 50.0;
-    const double r = 200.0;
+    const double t = smoke ? 10.0 : 50.0;
+    const double r = smoke ? 40.0 : 200.0;
     const double d = 0.25;
 
     CaseRecord record;
     record.name = "discretization_sweep";
-    record.model = "mm1k(capacity=64), t=50, r=200, d=0.25";
+    record.model = smoke ? "mm1k(capacity=16), t=10, r=40, d=0.25"
+                         : "mm1k(capacity=64), t=50, r=200, d=0.25";
     record.seed_baseline_ms =
         best_of([&] { seed_discretization(model, full, 0, t, r, d); });
     const double seed_probability = seed_discretization(model, full, 0, t, r, d);
@@ -231,29 +244,30 @@ int main(int argc, char** argv) {
   // Case 2: the uniformization series on a large queue.
   {
     models::Mm1kConfig config;
-    config.capacity = 4096;
+    config.capacity = smoke ? 256 : 4096;
     const core::Mrm model = models::make_mm1k(config);
+    const double t = smoke ? 20.0 : 100.0;
     CaseRecord record;
     record.name = "transient_distribution";
-    record.model = "mm1k(capacity=4096), t=100";
+    record.model = smoke ? "mm1k(capacity=256), t=20" : "mm1k(capacity=4096), t=100";
 
     std::vector<double> serial;
     for (const unsigned threads : kThreadCounts) {
       numeric::TransientOptions options;
       options.threads = threads;
-      const auto result = numeric::transient_distribution_from(model.rates(), 0, 100.0, options);
+      const auto result = numeric::transient_distribution_from(model.rates(), 0, t, options);
       if (threads == 1) serial = result;
       for (std::size_t s = 0; s < result.size(); ++s) {
         record.max_abs_diff_vs_serial =
             std::max(record.max_abs_diff_vs_serial, std::abs(result[s] - serial[s]));
       }
       record.timings_ms.push_back(best_of(
-          [&] { numeric::transient_distribution_from(model.rates(), 0, 100.0, options); }));
+          [&] { numeric::transient_distribution_from(model.rates(), 0, t, options); }));
     }
     record.stats_json = capture_stats([&] {
       numeric::TransientOptions options;
       options.threads = 4;
-      numeric::transient_distribution_from(model.rates(), 0, 100.0, options);
+      numeric::transient_distribution_from(model.rates(), 0, t, options);
     });
     records.push_back(std::move(record));
     std::printf("transient_distribution: serial %.2f ms, 4 threads %.2f ms\n",
@@ -263,7 +277,7 @@ int main(int argc, char** argv) {
   // Case 3: full per-state Until fan-out through the checker.
   {
     models::Mm1kConfig config;
-    config.capacity = 16;
+    config.capacity = smoke ? 8 : 16;
     const core::Mrm model = models::make_mm1k(config);
     const auto busy = model.labels().states_with("busy");
     const auto full = model.labels().states_with("full");
@@ -271,7 +285,8 @@ int main(int argc, char** argv) {
     const logic::Interval reward_bound(0.0, 60.0);
     CaseRecord record;
     record.name = "checker_until_fanout";
-    record.model = "mm1k(capacity=16), P[busy U[0,20][0,60] full], discretization d=0.25";
+    record.model = smoke ? "mm1k(capacity=8), P[busy U[0,20][0,60] full], discretization d=0.25"
+                         : "mm1k(capacity=16), P[busy U[0,20][0,60] full], discretization d=0.25";
 
     std::vector<checker::UntilValue> serial;
     for (const unsigned threads : kThreadCounts) {
@@ -308,13 +323,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_parallel: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(out, "{\n  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
+  const unsigned hardware = std::thread::hardware_concurrency();
+  unsigned widest = 0;
+  for (const unsigned threads : kThreadCounts) widest = std::max(widest, threads);
+  std::fprintf(out, "{\n  \"hardware_threads\": %u,\n", hardware);
+  // Machine-readable version of the prose caveat: consumers must not read
+  // the per-thread timings as a scaling curve when the host could not
+  // actually run the widest configuration on its own cores.
+  std::fprintf(out, "  \"scaling_measured\": %s,\n",
+               hardware >= widest ? "true" : "false");
   std::fprintf(out,
                "  \"note\": \"timings are best-of-%d wall clock; speedups above 1 require "
-               "as many free cores as worker threads — on a 1-core host the parallel "
+               "as many free cores as worker threads — when scaling_measured is false the "
+               "host had fewer cores than the widest worker count and the parallel "
                "timings measure dispatch overhead, not scaling\",\n",
-               kRepeats);
+               g_repeats);
   std::fprintf(out, "  \"cases\": [\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
     print_case(out, records[i], i + 1 == records.size());

@@ -38,8 +38,11 @@ class UntilExperiment {
   /// Signature-class DP over a batch of start states (one frontier sweep for
   /// the whole batch, see class_explorer.hpp). Every returned Result carries
   /// the batch's total wall-clock seconds and the shared diagnostic counts.
+  /// `adaptive_hybrid` arms the coarsen/DFS-hand-off escalation — the classdp
+  /// configuration the checker's --until-engine=auto runs.
   std::vector<Result> classdp_batch(const std::vector<core::StateIndex>& starts, double t,
-                                    double r, double w, unsigned threads = 0) const;
+                                    double r, double w, unsigned threads = 0,
+                                    bool adaptive_hybrid = false) const;
 
   const core::Mrm& transformed_model() const { return transformed_; }
   const std::vector<bool>& psi_mask() const { return psi_; }

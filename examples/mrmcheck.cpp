@@ -49,9 +49,13 @@ void usage() {
                "            exhausts its node budget: 'discretize' (default: redo\n"
                "            that state with the discretization engine), 'widen-w'\n"
                "            (retry with coarser truncation), or 'throw' (fail)\n"
-               "  --until-engine=<e>  uniformization engine variant: 'classdp'\n"
-               "            (default: signature-class dynamic programming, all start\n"
-               "            states batched through one frontier sweep) or 'dfpg'\n"
+               "  --until-engine=<e>  uniformization engine variant: 'auto' (default:\n"
+               "            an up-front cost model picks per query between the class\n"
+               "            DP with its adaptive coarsen/hand-off hybrid, the DFS\n"
+               "            generator, and discretization; recorded in the\n"
+               "            engine.auto_choice.* stats counters), 'classdp'\n"
+               "            (signature-class dynamic programming, all start states\n"
+               "            batched through one frontier sweep) or 'dfpg'\n"
                "            (depth-first path generation, one DFS per start state —\n"
                "            the thesis appendix's algorithm)\n"
                "  --max-nodes=N  node budget for the uniformization engines (DFS\n"
@@ -205,13 +209,16 @@ int main(int argc, char** argv) {
         }
       } else if (token.rfind("--until-engine=", 0) == 0) {
         const std::string engine = token.substr(15);
-        if (engine == "classdp") {
+        if (engine == "auto") {
+          options.until_engine = checker::UntilEngine::kAuto;
+        } else if (engine == "classdp") {
           options.until_engine = checker::UntilEngine::kClassDp;
         } else if (engine == "dfpg") {
           options.until_engine = checker::UntilEngine::kDfpg;
         } else {
           std::fprintf(stderr,
-                       "mrmcheck: --until-engine= expects 'classdp' or 'dfpg', got '%s'\n",
+                       "mrmcheck: --until-engine= expects 'auto', 'classdp' or 'dfpg', "
+                       "got '%s'\n",
                        engine.c_str());
           return 2;
         }

@@ -24,11 +24,19 @@ enum class UntilMethod {
 /// Which uniformization engine evaluates a P2-class until formula (only
 /// consulted when until_method == kUniformization).
 enum class UntilEngine {
+  /// Cost-model choice per query (the default): an up-front structural pass
+  /// over the transformed model picks kClassDp (with the adaptive hybrid
+  /// coarsen/hand-off escalation enabled), kDfpg, or — when uniformization
+  /// is provably over its node budget and the model has no impulse rewards —
+  /// the discretization method. The resolved choice is recorded in the
+  /// `engine.auto_choice.*` stats counters; see checker::choose_until_engine
+  /// for the exact rules.
+  kAuto,
   /// Signature-class dynamic programming with multi-start batching
   /// (class_explorer.hpp): one frontier sweep answers every queried start
   /// state and each conditional probability is evaluated once per signature
-  /// class — the default. Falls back to kDfpg per BudgetPolicy when its
-  /// class budget is exhausted.
+  /// class. Falls back to kDfpg per BudgetPolicy when its class budget is
+  /// exhausted.
   kClassDp,
   /// Depth-first path generation (Algorithm 4.7, path_explorer.hpp), one
   /// exploration per start state — the engine described in the thesis
@@ -60,7 +68,7 @@ enum class BudgetPolicy {
 struct CheckerOptions {
   UntilMethod until_method = UntilMethod::kUniformization;
   /// Uniformization engine variant (see UntilEngine).
-  UntilEngine until_engine = UntilEngine::kClassDp;
+  UntilEngine until_engine = UntilEngine::kAuto;
   /// Degradation policy on node-budget exhaustion (see BudgetPolicy).
   BudgetPolicy on_budget_exhausted = BudgetPolicy::kFallbackToDiscretization;
   /// Options for the uniformization path explorer (w lives here).

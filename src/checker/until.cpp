@@ -10,6 +10,7 @@
 #include "numeric/class_explorer.hpp"
 #include "numeric/discretization.hpp"
 #include "numeric/path_explorer.hpp"
+#include "numeric/poisson.hpp"
 #include "numeric/transient.hpp"
 #include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
@@ -86,6 +87,45 @@ std::vector<double> unbounded_until_probabilities(const core::Mrm& model,
   return result;
 }
 
+AutoEngineChoice choose_until_engine(const core::Mrm& transformed, double t,
+                                     const CheckerOptions& options) {
+  AutoEngineChoice choice;
+  const std::size_t n = transformed.num_states();
+  std::size_t live = 0;
+  for (core::StateIndex s = 0; s < n; ++s) {
+    if (transformed.rates().exit_rate(s) > 0.0) ++live;
+  }
+  const double mean = transformed.rates().max_exit_rate() * t;
+  // Pr{N > levels} <= w: no uniformization engine looks past this epoch, and
+  // even a perfectly merging frontier processes at least one class per live
+  // state per level, so live * levels lower-bounds any engine's node count.
+  const std::size_t levels =
+      mean > 0.0 ? numeric::poisson_truncation_point(
+                       mean, options.uniformization.truncation_probability)
+                 : 0;
+  if (options.on_budget_exhausted != BudgetPolicy::kThrow &&
+      !transformed.has_impulse_rewards() &&
+      static_cast<double>(live) * static_cast<double>(levels) >
+          static_cast<double>(options.uniformization.max_nodes)) {
+    // Uniformization is provably over budget before exploring anything, and
+    // without impulse rewards a valid discretization step always exists —
+    // skip straight to the engine the BudgetPolicy chain would end up in.
+    // (Under kThrow every degradation is disabled, so auto must not switch
+    // methods behind the user's back either: run uniformization and fail
+    // loudly.)
+    choice.method = UntilMethod::kDiscretization;
+    return choice;
+  }
+  if (!options.uniformization.aggregate_signatures) {
+    // The per-path Omega-evaluation ablation only the DFS engine implements.
+    choice.engine = UntilEngine::kDfpg;
+    return choice;
+  }
+  choice.engine = UntilEngine::kClassDp;
+  choice.adaptive_hybrid = true;
+  return choice;
+}
+
 namespace {
 
 /// Discretization options usable as an automatic *fallback* for a query the
@@ -157,7 +197,27 @@ UntilValue uniformization_value_with_degradation(
 std::vector<UntilValue> bounded_time_reward(const core::Mrm& transformed,
                                             const std::vector<bool>& sat_psi,
                                             const std::vector<bool>& dead, double t, double r,
-                                            const CheckerOptions& options, bool psi_absorbed) {
+                                            const CheckerOptions& caller_options,
+                                            bool psi_absorbed) {
+  CheckerOptions options = caller_options;
+  if (options.until_method == UntilMethod::kUniformization &&
+      options.until_engine == UntilEngine::kAuto) {
+    const AutoEngineChoice choice = choose_until_engine(transformed, t, options);
+    options.until_method = choice.method;
+    options.until_engine = choice.engine;
+    if (choice.adaptive_hybrid) options.uniformization.adaptive_hybrid = true;
+    if (choice.method == UntilMethod::kDiscretization) {
+      // The auto path adapts the step like the budget-exhaustion fallback
+      // does; only an *explicit* d=step run keeps the user's step untouched.
+      options.discretization =
+          adapted_discretization_options(transformed, t, options.discretization);
+      obs::counter_add("engine.auto_choice.discretization");
+    } else if (choice.engine == UntilEngine::kClassDp) {
+      obs::counter_add("engine.auto_choice.classdp");
+    } else {
+      obs::counter_add("engine.auto_choice.dfpg");
+    }
+  }
   obs::ScopedTimer timer(options.until_method == UntilMethod::kUniformization
                              ? "checker.until.bounded.uniformization"
                              : "checker.until.bounded.discretization");

@@ -1,14 +1,18 @@
 #include "numeric/class_explorer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstdint>
-#include <map>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
 
 #include "core/approx.hpp"
+#include "core/simd.hpp"
 #include "numeric/conditional.hpp"
 #include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
@@ -21,6 +25,40 @@ namespace {
 /// depths (an infinite count would truncate everything; saturating merely
 /// keeps the truncation rule conservative).
 constexpr double kMaxPrefixCount = 1e300;
+
+/// Adaptive-hybrid trigger (PathExplorerOptions::adaptive_hybrid). A level is
+/// "ineffective" when the fold kept >= 7/10 of the raw successor rows AND the
+/// raw count is at least kAdaptMinRawRows — the absolute floor matters:
+/// workloads with tiny frontiers (e.g. TMR-deep, < 500 rows/level at fold
+/// ratios ~0.98) still win 30x+ from merging because the *early* levels
+/// merged, so a pure ratio test would misfire. kAdaptStreak consecutive
+/// ineffective levels fire the escalation: coarsen once, then hand off.
+/// Constants calibrated on the committed BENCH workloads (the NMR rows peak
+/// at ~1e5 raw rows/level with fold ratios 0.72..1.0 from level 5 on; firing
+/// before the frontier peak is what makes the hybrid beat a per-start DFS,
+/// since the breadth-first sort of the peak levels is the dominant cost).
+constexpr std::size_t kAdaptMinRawRows = 4096;
+constexpr std::size_t kAdaptRatioNum = 7;   // ineffective when folded/raw >= 7/10
+constexpr std::size_t kAdaptRatioDen = 10;
+constexpr std::size_t kAdaptStreak = 2;
+
+/// A double stored bitwise in two signature words (hi word first, so
+/// lexicographic word order is deterministic per value). Used for the
+/// coarsened impulse total and for the harvested threshold r'.
+void store_double_bits(double v, std::uint32_t* out) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  out[0] = static_cast<std::uint32_t>(bits >> 32);
+  out[1] = static_cast<std::uint32_t>(bits);
+}
+
+double load_double_bits(const std::uint32_t* in) {
+  const std::uint64_t bits =
+      (static_cast<std::uint64_t>(in[0]) << 32) | static_cast<std::uint64_t>(in[1]);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
 
 /// Struct-of-arrays frontier storage. Row i is the class of every path
 /// prefix that ends in states[i] with reward signature
@@ -186,7 +224,16 @@ std::vector<UntilUniformizationResult> SignatureClassUntilEngine::compute_batch(
 
   const std::size_t num_k = sig_.distinct_state_rewards.size();
   const std::size_t num_j = sig_.distinct_impulse_rewards.size();
-  const std::size_t sig_len = num_k + num_j;
+  const std::vector<double>& impulse_values = sig_.distinct_impulse_rewards;
+  // The frontier signature starts exact — (k counts ++ j counts) — and may be
+  // coarsened mid-run to (k counts ++ 2 words of snapped impulse total) when
+  // the adaptive trigger fires. Both layouts answer the same question: the
+  // conditional probability of eq. (4.9) depends on j only through the
+  // threshold r', which is a function of the impulse total alone.
+  const std::size_t exact_len = num_k + num_j;
+  const std::size_t coarse_len = num_k + 2;
+  std::size_t sig_len = exact_len;
+  bool coarse = false;
   RewardStructureContext context(sig_.distinct_state_rewards, sig_.distinct_impulse_rewards);
 
   // Level-0 frontier: one class per live start (k = 1_[rho(start)], j = 0,
@@ -216,12 +263,17 @@ std::vector<UntilUniformizationResult> SignatureClassUntilEngine::compute_batch(
   }
   std::size_t classes_merged = sort_and_fold(scratch_raw, frontier, sig_len, slots, order);
 
-  // Harvested Psi-mass: flat (signature row, per-slot level mass) pairs,
-  // appended per level and folded once after the sweep. Appending beats a
-  // per-level map insert by a wide margin on deep runs; the final fold sorts
-  // stably by signature, so contributions for one signature are still summed
-  // in ascending level order — bitwise the same sums as accumulating into a
-  // map during the sweep.
+  // Harvested Psi-mass: flat (row, per-slot level mass) pairs, appended per
+  // level and folded once after the sweep. Appending beats a per-level map
+  // insert by a wide margin on deep runs; the final fold sorts stably, so
+  // contributions for one row key are still summed in ascending append
+  // (= level) order. Every harvest row has the uniform layout
+  //   k counts ++ 2 words of canonical r' bits        (width hwid)
+  // with r' computed at harvest time from whichever frontier encoding is
+  // current — so rows harvested before and after a mid-run coarsening fold
+  // together, and the final fold groups by (k, canonical r') directly, which
+  // is the exact granularity at which Omega evaluations differ.
+  const std::size_t hwid = num_k + 2;
   std::vector<std::uint32_t> harvest_sigs;
   std::vector<double> harvest_mass;
 
@@ -231,8 +283,33 @@ std::vector<UntilUniformizationResult> SignatureClassUntilEngine::compute_batch(
   std::size_t levels = 0;
   std::size_t frontier_peak = 0;
   std::size_t max_depth = 0;
+  std::size_t coarsenings = 0;
+  std::size_t handoffs = 0;
+  std::size_t ineffective_streak = 0;
+  bool handoff = false;
+  std::size_t handoff_level = 0;
+
+  SpacingCounts j_scratch(num_j);
+  const auto append_harvest = [&](const std::uint32_t* sig_row, double pmf,
+                                  const double* weight_row) {
+    ++stored;
+    const std::size_t base = harvest_sigs.size();
+    harvest_sigs.resize(base + hwid);
+    std::uint32_t* out = harvest_sigs.data() + base;
+    std::copy_n(sig_row, num_k, out);
+    double r_prime = 0.0;
+    if (coarse) {
+      r_prime = context.threshold_for_total(load_double_bits(sig_row + num_k), t, r);
+    } else {
+      j_scratch.assign(sig_row + num_k, sig_row + num_k + num_j);
+      r_prime = context.threshold(j_scratch, t, r);
+    }
+    store_double_bits(canonical_threshold(r_prime), out + num_k);
+    for (std::size_t i = 0; i < slots; ++i) harvest_mass.push_back(pmf * weight_row[i]);
+  };
 
   std::vector<std::size_t> offsets;
+  const bool trace = std::getenv("CSRLMRM_CLASSDP_TRACE") != nullptr;
 
   for (std::size_t level = 0; !frontier.empty(); ++level) {
     ++levels;
@@ -281,16 +358,11 @@ std::vector<UntilUniformizationResult> SignatureClassUntilEngine::compute_batch(
     max_depth = level;
 
     // Harvest: classes currently in a Psi-state contribute their level mass
-    // PoissonPmf(level) * weight to their signature's accumulator.
+    // PoissonPmf(level) * weight to their (k, r') accumulator row.
     for (std::size_t idx = 0; idx < frontier.size(); ++idx) {
       if (!sig_.psi[frontier.states[idx]]) continue;
-      ++stored;
-      harvest_sigs.insert(harvest_sigs.end(),
-                          frontier.sigs.begin() + static_cast<std::ptrdiff_t>(idx * sig_len),
-                          frontier.sigs.begin() + static_cast<std::ptrdiff_t>((idx + 1) * sig_len));
-      for (std::size_t i = 0; i < slots; ++i) {
-        harvest_mass.push_back(pmf * frontier.weights[idx * slots + i]);
-      }
+      append_harvest(frontier.sigs.data() + idx * sig_len, pmf,
+                     frontier.weights.data() + idx * slots);
     }
 
     // Expand one uniformization step. Every class writes its successors into
@@ -315,7 +387,18 @@ std::vector<UntilUniformizationResult> SignatureClassUntilEngine::compute_batch(
                       sig_len,
                       scratch_raw.sigs.begin() + static_cast<std::ptrdiff_t>(out * sig_len));
           ++scratch_raw.sigs[out * sig_len + sig_.reward_class[edge.target]];
-          ++scratch_raw.sigs[out * sig_len + num_k + edge.impulse_class];
+          if (!coarse) {
+            ++scratch_raw.sigs[out * sig_len + num_k + edge.impulse_class];
+          } else if (!core::exactly_zero(impulse_values[edge.impulse_class])) {
+            // Coarse mode folds the impulse into a snapped running total;
+            // each addition re-snaps, so equal totals reached along
+            // different orders keep one representative (<= 2^-41 relative
+            // perturbation per transition, see canonical_threshold).
+            std::uint32_t* total_bits = scratch_raw.sigs.data() + out * sig_len + num_k;
+            store_double_bits(canonical_threshold(load_double_bits(total_bits) +
+                                                  impulse_values[edge.impulse_class]),
+                              total_bits);
+          }
           for (std::size_t i = 0; i < slots; ++i) {
             scratch_raw.weights[out * slots + i] =
                 frontier.weights[idx * slots + i] * edge.probability;
@@ -328,62 +411,319 @@ std::vector<UntilUniformizationResult> SignatureClassUntilEngine::compute_batch(
     });
     classes_merged += sort_and_fold(scratch_raw, scratch_merged, sig_len, slots, order);
     frontier.swap(scratch_merged);
+    // Calibration aid (how kAdaptMinRawRows / kAdaptStreak were chosen):
+    // per-level raw row count and fold ratio on stderr.
+    if (trace) {
+      std::fprintf(stderr, "level=%zu raw=%zu folded=%zu ratio=%.3f%s\n", level, total,
+                   frontier.size(), total ? double(frontier.size()) / double(total) : 0.0,
+                   coarse ? " coarse" : "");
+    }
+
+    // Adaptive escalation: ratio and row counts are thread-invariant, so the
+    // trigger fires at the same level for every thread count.
+    if (options.adaptive_hybrid && !frontier.empty()) {
+      const bool ineffective =
+          total >= kAdaptMinRawRows && frontier.size() * kAdaptRatioDen >= total * kAdaptRatioNum;
+      ineffective_streak = ineffective ? ineffective_streak + 1 : 0;
+      if (ineffective_streak >= kAdaptStreak) {
+        if (!coarse && num_j > 1) {
+          // First escalation: re-encode the frontier with snapped impulse
+          // totals and refold — distinct j vectors with equal totals (the
+          // common case late in a run, when most paths have accrued the same
+          // few impulses in different orders) collapse to one class.
+          const std::size_t rows = frontier.size();
+          scratch_raw.resize(rows, coarse_len, slots);
+          for (std::size_t idx = 0; idx < rows; ++idx) {
+            scratch_raw.states[idx] = frontier.states[idx];
+            const std::uint32_t* src = frontier.sigs.data() + idx * sig_len;
+            std::uint32_t* dst = scratch_raw.sigs.data() + idx * coarse_len;
+            std::copy_n(src, num_k, dst);
+            double total_impulse = 0.0;
+            for (std::size_t c = 0; c < num_j; ++c) {
+              total_impulse += impulse_values[c] * static_cast<double>(src[num_k + c]);
+            }
+            store_double_bits(canonical_threshold(total_impulse), dst + num_k);
+          }
+          std::copy(frontier.weights.begin(), frontier.weights.end(),
+                    scratch_raw.weights.begin());
+          std::copy(frontier.counts.begin(), frontier.counts.end(),
+                    scratch_raw.counts.begin());
+          sig_len = coarse_len;
+          coarse = true;
+          ++coarsenings;
+          classes_merged += sort_and_fold(scratch_raw, scratch_merged, sig_len, slots, order);
+          frontier.swap(scratch_merged);
+          if (trace) {
+            std::fprintf(stderr, "level=%zu coarsened folded=%zu\n", level, frontier.size());
+          }
+          // One more ineffective level (not a fresh streak) escalates again.
+          ineffective_streak = kAdaptStreak - 1;
+        } else {
+          // Second escalation: stop merging altogether and hand the frontier
+          // (level `level + 1` rows) to the depth-first continuation below.
+          handoff = true;
+          handoff_level = level + 1;
+          break;
+        }
+      }
+    }
   }
 
-  // Fold the harvested classes: stable-sort the (signature, level mass) rows
-  // by signature and sum equal signatures in place, which leaves one row per
-  // distinct harvested (k, j) with contributions added in ascending level
-  // order. The conditional probability of eq. (4.9) then depends on j only
-  // through the threshold r', so classes are further grouped by
-  // (k, canonical r') — impulse signatures with equal totals (e.g. one voter
-  // repair vs two module repairs when the impulses are 2 and 1) share a
-  // single Omega evaluation for the whole batch. Sort order and std::map
-  // iteration are both lexicographic, hence deterministic.
-  const std::size_t harvest_rows = harvest_sigs.size() / (sig_len == 0 ? 1 : sig_len);
+  // Depth-first continuation (second adaptive escalation): when merging has
+  // stopped paying, expanding the remaining frontier breadth-first only
+  // buys sort-and-fold overhead on rows that will not collide. Finish each
+  // surviving class with a plain DFS — identical prune, budget, error and
+  // harvest semantics as the level sweep (the per-slot rule of eq. 4.4/4.6,
+  // with the class's merged prefix count carried unchanged down the path) —
+  // but with no further merge attempts. The whole continuation runs once for
+  // the batch (class rows carry all slots), which is what lets the hybrid
+  // beat a per-start DFS engine even when merging has gone stale.
+  //
+  // Root subtrees are independent, so the continuation fans out over a FIXED
+  // number of contiguous root chunks (independent of the worker count).
+  // Each chunk collects its own harvest rows, error partials and counters;
+  // afterwards chunks are combined serially in chunk order. Chunk boundaries,
+  // per-chunk work and the combination order are all thread-invariant, so
+  // results stay bitwise identical at every thread count.
+  if (handoff) {
+    ++handoffs;
+    const auto handoff_start = std::chrono::steady_clock::now();
+    const std::size_t roots = frontier.size();
+    // Poisson pmf per level over the tail table's range (bitwise the same
+    // values as the sweep's per-level poisson_pmf calls); the rare deeper
+    // probe falls back to a direct call.
+    const std::vector<double> pmf_by_level =
+        poisson_pmf_sequence(poisson_tail->table_size() - 1, mean);
+
+    struct ChunkState {
+      std::vector<std::uint32_t> harvest_sigs;
+      std::vector<double> harvest_mass;
+      std::vector<double> error;
+      std::size_t nodes = 0;
+      std::size_t stored = 0;
+      std::size_t truncated = 0;
+      std::size_t max_depth = 0;
+      bool overflow = false;
+    };
+    const std::size_t chunk_count = std::min<std::size_t>(64, roots);
+    std::vector<ChunkState> chunks(chunk_count);
+    const std::size_t base_nodes = nodes;
+
+    const auto run_chunk = [&](std::size_t chunk) {
+      ChunkState& cs = chunks[chunk];
+      cs.error.assign(slots, 0.0);
+      const std::size_t row_begin = chunk * roots / chunk_count;
+      const std::size_t row_end = (chunk + 1) * roots / chunk_count;
+
+      // One frame per path prefix under expansion. The signature is kept in
+      // a single shared row, incrementally updated on push and undone on
+      // pop; weights and counts get one stack row per depth (children
+      // inherit the parent's pruned row, so a slot cut at depth d
+      // contributes nothing below d, exactly as a zeroed slot in the
+      // sweep's frontier).
+      struct DfsFrame {
+        core::StateIndex state;
+        std::size_t edge_index;
+        std::uint32_t k_class;
+        std::uint32_t j_class;
+        std::uint32_t saved_total[2];
+      };
+      std::vector<DfsFrame> frames;
+      std::vector<std::uint32_t> sig(sig_len);
+      std::vector<double> w_stack(slots);
+      std::vector<double> c_stack(slots);
+      SpacingCounts j_local(num_j);
+
+      const auto pmf_at = [&](std::size_t level) {
+        return level < pmf_by_level.size() ? pmf_by_level[level] : poisson_pmf(level, mean);
+      };
+      const auto enter_node = [&](std::size_t frame_depth, core::StateIndex state) {
+        const std::size_t level = handoff_level + frame_depth;
+        const double pmf = pmf_at(level);
+        const double tail = poisson_tail->tail(level);
+        const bool too_deep =
+            options.depth_truncation != 0 && level > options.depth_truncation;
+        double* wrow = w_stack.data() + frame_depth * slots;
+        double* crow = c_stack.data() + frame_depth * slots;
+        bool live = false;
+        for (std::size_t i = 0; i < slots; ++i) {
+          if (core::exactly_zero(wrow[i])) continue;
+          if (too_deep || pmf * wrow[i] < w * crow[i]) {
+            ++cs.truncated;
+            cs.error[i] += wrow[i] * tail;
+            wrow[i] = 0.0;
+            crow[i] = 0.0;
+            continue;
+          }
+          live = true;
+        }
+        if (!live) return false;
+        ++cs.nodes;
+        if (base_nodes + cs.nodes > options.max_nodes) {
+          // The budget is shared across the batch; flag and unwind, the
+          // combining pass below throws for the whole run.
+          cs.overflow = true;
+          return false;
+        }
+        cs.max_depth = std::max(cs.max_depth, level);
+        if (sig_.psi[state]) {
+          ++cs.stored;
+          const std::size_t base = cs.harvest_sigs.size();
+          cs.harvest_sigs.resize(base + hwid);
+          std::uint32_t* out = cs.harvest_sigs.data() + base;
+          std::copy_n(sig.data(), num_k, out);
+          double r_prime = 0.0;
+          if (coarse) {
+            r_prime = context.threshold_for_total(load_double_bits(sig.data() + num_k), t, r);
+          } else {
+            j_local.assign(sig.begin() + static_cast<std::ptrdiff_t>(num_k), sig.end());
+            r_prime = context.threshold(j_local, t, r);
+          }
+          store_double_bits(canonical_threshold(r_prime), out + num_k);
+          for (std::size_t i = 0; i < slots; ++i) cs.harvest_mass.push_back(pmf * wrow[i]);
+        }
+        return true;
+      };
+      const auto undo_sig = [&](const DfsFrame& frame) {
+        --sig[frame.k_class];
+        if (!coarse) {
+          --sig[num_k + frame.j_class];
+        } else {
+          sig[num_k] = frame.saved_total[0];
+          sig[num_k + 1] = frame.saved_total[1];
+        }
+      };
+
+      for (std::size_t row = row_begin; row < row_end && !cs.overflow; ++row) {
+        std::copy_n(frontier.sigs.begin() + static_cast<std::ptrdiff_t>(row * sig_len), sig_len,
+                    sig.begin());
+        std::copy_n(frontier.weights.begin() + static_cast<std::ptrdiff_t>(row * slots), slots,
+                    w_stack.begin());
+        std::copy_n(frontier.counts.begin() + static_cast<std::ptrdiff_t>(row * slots), slots,
+                    c_stack.begin());
+        if (!enter_node(0, frontier.states[row])) continue;
+        frames.clear();
+        frames.push_back({frontier.states[row], 0, 0, 0, {0, 0}});
+        while (!frames.empty() && !cs.overflow) {
+          const std::size_t depth = frames.size() - 1;
+          const std::vector<SignatureTransition>& edges = live_adjacency_[frames.back().state];
+          if (frames.back().edge_index >= edges.size()) {
+            if (depth > 0) undo_sig(frames.back());
+            frames.pop_back();
+            continue;
+          }
+          const SignatureTransition& edge = edges[frames.back().edge_index++];
+          const std::size_t child_depth = depth + 1;
+          if (w_stack.size() < (child_depth + 1) * slots) {
+            w_stack.resize((child_depth + 1) * slots);
+            c_stack.resize((child_depth + 1) * slots);
+          }
+          core::simd::scale(w_stack.data() + child_depth * slots,
+                            w_stack.data() + depth * slots, slots, edge.probability);
+          std::copy_n(c_stack.begin() + static_cast<std::ptrdiff_t>(depth * slots), slots,
+                      c_stack.begin() + static_cast<std::ptrdiff_t>(child_depth * slots));
+          DfsFrame child{edge.target, 0,
+                         static_cast<std::uint32_t>(sig_.reward_class[edge.target]), 0, {0, 0}};
+          ++sig[child.k_class];
+          if (!coarse) {
+            child.j_class = static_cast<std::uint32_t>(edge.impulse_class);
+            ++sig[num_k + child.j_class];
+          } else {
+            child.saved_total[0] = sig[num_k];
+            child.saved_total[1] = sig[num_k + 1];
+            if (!core::exactly_zero(impulse_values[edge.impulse_class])) {
+              store_double_bits(canonical_threshold(load_double_bits(sig.data() + num_k) +
+                                                    impulse_values[edge.impulse_class]),
+                                sig.data() + num_k);
+            }
+          }
+          if (enter_node(child_depth, edge.target)) {
+            frames.push_back(child);
+          } else {
+            undo_sig(child);
+          }
+        }
+      }
+    };
+
+    const unsigned dfs_threads =
+        parallel::choose_thread_count(options.threads, roots * slots * 64);
+    parallel::parallel_for(chunk_count, dfs_threads, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t chunk = begin; chunk < end; ++chunk) run_chunk(chunk);
+    });
+
+    bool overflow = false;
+    for (const ChunkState& cs : chunks) {
+      nodes += cs.nodes;
+      stored += cs.stored;
+      truncated += cs.truncated;
+      max_depth = std::max(max_depth, cs.max_depth);
+      overflow = overflow || cs.overflow;
+    }
+    if (overflow || nodes > options.max_nodes) {
+      throw NodeBudgetError(
+          "SignatureClassUntilEngine: class budget exhausted; raise truncation probability w "
+          "or use the discretization engine (Lambda*t too large for signature-class DP)");
+    }
+    for (const ChunkState& cs : chunks) {
+      harvest_sigs.insert(harvest_sigs.end(), cs.harvest_sigs.begin(), cs.harvest_sigs.end());
+      harvest_mass.insert(harvest_mass.end(), cs.harvest_mass.begin(), cs.harvest_mass.end());
+      for (std::size_t i = 0; i < slots; ++i) results[i].error_bound += cs.error[i];
+    }
+    if (trace) {
+      std::fprintf(stderr, "handoff level=%zu roots=%zu nodes=%zu ms=%.1f\n", handoff_level,
+                   roots, nodes - base_nodes,
+                   std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                            handoff_start)
+                       .count());
+    }
+  }
+
+  // Fold the harvested rows: stable-sort by the uniform (k, r'-bits) key and
+  // sum equal keys in place — one row per distinct (k, canonical r'), with
+  // contributions added in ascending append (= level) order. That is exactly
+  // the granularity at which eq. (4.9) differs: the conditional probability
+  // depends on j only through r', so impulse signatures with equal totals
+  // (e.g. one voter repair vs two module repairs when the impulses are 2 and
+  // 1) share a single Omega evaluation for the whole batch. The sort is over
+  // plain word rows, hence deterministic.
+  const std::size_t harvest_rows = slots == 0 ? 0 : harvest_mass.size() / slots;
   order.resize(harvest_rows);
   std::iota(order.begin(), order.end(), 0u);
   const auto harvest_row = [&](std::uint32_t row) {
-    return harvest_sigs.begin() + static_cast<std::ptrdiff_t>(row * sig_len);
+    return harvest_sigs.begin() + static_cast<std::ptrdiff_t>(row * hwid);
   };
   std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    return std::lexicographical_compare(harvest_row(a), harvest_row(a) + sig_len,
-                                        harvest_row(b), harvest_row(b) + sig_len);
+    return std::lexicographical_compare(harvest_row(a), harvest_row(a) + hwid, harvest_row(b),
+                                        harvest_row(b) + hwid);
   });
-  std::size_t signature_classes = 0;
-  std::map<std::pair<std::vector<std::uint32_t>, double>, std::vector<double>> groups;
-  SpacingCounts j_counts(num_j);
-  for (std::size_t i = 0; i < harvest_rows; ++signature_classes) {
-    const std::uint32_t lead = order[i];
-    double* mass = harvest_mass.data() + static_cast<std::ptrdiff_t>(lead * slots);
-    std::size_t next_row = i + 1;
-    for (; next_row < harvest_rows &&
-           std::equal(harvest_row(lead), harvest_row(lead) + sig_len, harvest_row(order[next_row]));
-         ++next_row) {
-      const double* other = harvest_mass.data() + static_cast<std::ptrdiff_t>(order[next_row] * slots);
-      for (std::size_t slot = 0; slot < slots; ++slot) mass[slot] += other[slot];
-    }
-    i = next_row;
-    SpacingCounts k(harvest_row(lead), harvest_row(lead) + num_k);
-    j_counts.assign(harvest_row(lead) + num_k, harvest_row(lead) + sig_len);
-    const double r_prime = canonical_threshold(context.threshold(j_counts, t, r));
-    auto [it, inserted] = groups.try_emplace({std::move(k), r_prime});
-    if (inserted) it->second.assign(slots, 0.0);
-    for (std::size_t slot = 0; slot < slots; ++slot) it->second[slot] += mass[slot];
-  }
   // Trivial groups reproduce the Omega recursion's base cases bitwise
   // (omega.cpp: result 1 when no present class has d_i > r', 0 when none has
   // d_i <= r') without building or querying an evaluator; only non-trivial
   // groups pay for an Omega evaluation.
   const std::vector<double>& spans = context.coefficients();
+  std::size_t signature_classes = 0;
   std::size_t conditional_evals = 0;
   std::size_t trivial = 0;
-  for (const auto& [key, mass] : groups) {
-    const SpacingCounts& k = key.first;
-    const double r_prime = key.second;
+  SpacingCounts k_counts(num_k);
+  for (std::size_t i = 0; i < harvest_rows; ++signature_classes) {
+    const std::uint32_t lead = order[i];
+    double* mass = harvest_mass.data() + static_cast<std::ptrdiff_t>(lead * slots);
+    std::size_t next_row = i + 1;
+    for (; next_row < harvest_rows &&
+           std::equal(harvest_row(lead), harvest_row(lead) + hwid, harvest_row(order[next_row]));
+         ++next_row) {
+      const double* other =
+          harvest_mass.data() + static_cast<std::ptrdiff_t>(order[next_row] * slots);
+      for (std::size_t slot = 0; slot < slots; ++slot) mass[slot] += other[slot];
+    }
+    i = next_row;
+    const std::uint32_t* lead_row = harvest_sigs.data() + static_cast<std::ptrdiff_t>(lead * hwid);
+    const double r_prime = load_double_bits(lead_row + num_k);
     bool any_greater = false;
     bool any_lesser = false;
     for (std::size_t l = 0; l < num_k; ++l) {
-      if (k[l] == 0) continue;
+      if (lead_row[l] == 0) continue;
       (spans[l] > r_prime ? any_greater : any_lesser) = true;
     }
     double cond = 0.0;
@@ -394,11 +734,12 @@ std::vector<UntilUniformizationResult> SignatureClassUntilEngine::compute_batch(
       ++trivial;
       continue;  // cond == 0: the group contributes nothing
     } else {
-      cond = context.conditional_probability_for_threshold(k, r_prime);
+      k_counts.assign(lead_row, lead_row + num_k);
+      cond = context.conditional_probability_for_threshold(k_counts, r_prime);
       ++conditional_evals;
     }
-    for (std::size_t i = 0; i < slots; ++i) {
-      results[i].probability += mass[i] * cond;
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      results[slot].probability += mass[slot] * cond;
     }
   }
 
@@ -415,6 +756,8 @@ std::vector<UntilUniformizationResult> SignatureClassUntilEngine::compute_batch(
   obs::counter_add("classdp.classes_merged", classes_merged);
   obs::counter_add("classdp.conditional_evals", conditional_evals);
   obs::counter_add("classdp.trivial_folds", trivial);
+  obs::counter_add("classdp.coarsenings", coarsenings);
+  obs::counter_add("classdp.hybrid_handoffs", handoffs);
   obs::gauge_max("classdp.frontier_peak", static_cast<double>(frontier_peak));
   return results;
 }

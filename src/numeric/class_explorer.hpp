@@ -41,6 +41,25 @@
 // writes its successors into a precomputed disjoint slice), and merging
 // sorts the successor array before folding adjacent equal keys, so results
 // are bitwise identical at every thread count.
+//
+// Adaptive hybrid mode (PathExplorerOptions::adaptive_hybrid): merging is
+// only worth the per-level sort when classes actually collide. The engine
+// tracks the fold ratio per level and, after two consecutive large levels
+// where folding kept >= 3/4 of the raw rows, escalates in two steps:
+//   1. coarsen — replace the per-class impulse counts j by the 40-bit-snapped
+//      impulse total sum_i i_i j_i (the conditional probability of eq. 4.9
+//      depends on j only through that total via the threshold r'; snapping
+//      is the same canonical_threshold representative used for evaluator
+//      caching, so distinct j vectors with equal totals merge);
+//   2. hand off — finish every remaining class with a depth-first
+//      continuation (identical prune/budget/error/harvest semantics, no
+//      further merge attempts), run once for the whole batch.
+// Both escalations preserve thread-count determinism (the trigger sees
+// thread-invariant row counts; the continuation is serial in deterministic
+// order), but batch runs are no longer bitwise equal to per-start single
+// runs, so the mode defaults to off and is enabled by the checker's
+// --until-engine=auto path. Observability: "classdp.coarsenings",
+// "classdp.hybrid_handoffs".
 #pragma once
 
 #include <cstddef>
@@ -62,7 +81,8 @@ namespace csrlmrm::numeric {
 ///   - probability / error_bound   per queried start (exact analogue);
 ///   - paths_stored                harvested (class, level) pairs;
 ///   - paths_truncated             per-slot pruning events;
-///   - signature_classes           distinct harvested (k, j) signatures;
+///   - signature_classes           distinct harvested (k, canonical r')
+///                                 groups (the Omega-evaluation granularity);
 ///   - nodes_expanded              frontier classes processed across levels;
 ///   - max_depth                   deepest level (epoch count) reached.
 /// In a batch, the diagnostic counts are shared across all slots (every

@@ -23,6 +23,42 @@ double canonical_threshold(double r_prime) {
   return std::ldexp(std::nearbyint(mantissa * kScale) / kScale, exponent);
 }
 
+SharedOmegaCache& SharedOmegaCache::global() {
+  static SharedOmegaCache cache;
+  return cache;
+}
+
+std::shared_ptr<const OmegaEvaluator> SharedOmegaCache::evaluator(
+    const std::vector<double>& coefficients, double canonical_r_prime) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++tick_;
+  const auto it = entries_.find(Key{coefficients, canonical_r_prime});
+  if (it != entries_.end()) {
+    it->second.last_use = tick_;
+    obs::counter_add("omega.shared_cache_hits");
+    return it->second.evaluator;
+  }
+  obs::counter_add("omega.shared_cache_misses");
+  obs::counter_add("omega.evaluators_built");
+  if (entries_.size() >= capacity_) {
+    // O(n) LRU scan; the capacity is small and misses are rare once warm.
+    auto victim = entries_.begin();
+    for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+      if (cand->second.last_use < victim->second.last_use) victim = cand;
+    }
+    entries_.erase(victim);
+    obs::counter_add("omega.shared_cache_evictions");
+  }
+  auto built = std::make_shared<const OmegaEvaluator>(coefficients, canonical_r_prime);
+  entries_.emplace(Key{coefficients, canonical_r_prime}, Entry{built, tick_});
+  return built;
+}
+
+std::size_t SharedOmegaCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
 namespace {
 
 void require_strictly_decreasing(const std::vector<double>& v, const char* what) {
@@ -64,6 +100,15 @@ double RewardStructureContext::threshold(const SpacingCounts& j, double t, doubl
   for (std::size_t i = 0; i < j.size(); ++i) {
     impulse_total += impulse_rewards_[i] * static_cast<double>(j[i]);
   }
+  return threshold_for_total(impulse_total, t, r);
+}
+
+double RewardStructureContext::threshold_for_total(double impulse_total, double t,
+                                                   double r) const {
+  if (!(t > 0.0)) throw std::invalid_argument("RewardStructureContext: t must be positive");
+  if (!std::isfinite(r) || r < 0.0) {
+    throw std::invalid_argument("RewardStructureContext: reward bound must be finite and >= 0");
+  }
   return r / t - state_rewards_.back() - impulse_total / t;
 }
 
@@ -92,10 +137,10 @@ double RewardStructureContext::conditional_probability_for_threshold(const Spaci
   const double canonical = canonical_threshold(r_prime);
   auto it = evaluators_.find(canonical);
   if (it == evaluators_.end()) {
-    obs::counter_add("omega.evaluators_built");
-    it = evaluators_.emplace(canonical, OmegaEvaluator(coefficients_, canonical)).first;
+    it = evaluators_.emplace(canonical, SharedOmegaCache::global().evaluator(coefficients_, canonical))
+             .first;
   }
-  return it->second.evaluate(k);
+  return it->second->evaluate(k);
 }
 
 }  // namespace csrlmrm::numeric

@@ -15,7 +15,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "numeric/omega.hpp"
@@ -28,6 +32,48 @@ namespace csrlmrm::numeric {
 /// floating-point rounding — e.g. two impulse signatures whose totals are
 /// equal — map to one representative. Idempotent; preserves 0 and infinities.
 double canonical_threshold(double r_prime);
+
+/// Process-wide, capacity-bounded, thread-safe cache of Omega evaluators
+/// keyed by (coefficient vector, canonical threshold). The coefficient
+/// vector IS the model's reward fingerprint — two models with identical
+/// distinct-reward spacings share evaluators soundly because an evaluator is
+/// a pure function of (coefficients, threshold). RewardStructureContext
+/// keeps a small per-context map in front of this cache, so the shared map
+/// (and its mutex) is only consulted the first time a context sees a
+/// threshold; across checker fan-outs and multi-start batches the same
+/// evaluator is then reused instead of re-derived per run. Eviction is LRU
+/// by lookup order; handed-out evaluators stay valid after eviction.
+/// Observability: "omega.shared_cache_hits" / "omega.shared_cache_misses" /
+/// "omega.shared_cache_evictions".
+class SharedOmegaCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit SharedOmegaCache(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  /// The process-wide instance every RewardStructureContext consults.
+  static SharedOmegaCache& global();
+
+  /// The evaluator for (coefficients, canonical_r_prime), building and
+  /// caching it on first request. `canonical_r_prime` must already be
+  /// canonicalized (callers go through canonical_threshold).
+  std::shared_ptr<const OmegaEvaluator> evaluator(const std::vector<double>& coefficients,
+                                                  double canonical_r_prime);
+
+  std::size_t size() const;
+
+ private:
+  using Key = std::pair<std::vector<double>, double>;
+  struct Entry {
+    std::shared_ptr<const OmegaEvaluator> evaluator;
+    std::uint64_t last_use = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::map<Key, Entry> entries_;
+};
 
 /// Precomputed reward bookkeeping for conditional-probability queries.
 class RewardStructureContext {
@@ -66,20 +112,29 @@ class RewardStructureContext {
   /// The threshold r' = r/t - r_{K+1} - (1/t) sum_i i_i j_i of eq. (4.9).
   double threshold(const SpacingCounts& j, double t, double r) const;
 
+  /// As threshold(), but with the impulse total sum_i i_i j_i already
+  /// accumulated — the coarsened signature encoding of the class DP engine
+  /// carries that total directly instead of per-class counts. Matches
+  /// threshold() bitwise for equal totals.
+  double threshold_for_total(double impulse_total, double t, double r) const;
+
   /// The Omega coefficients d_i = r_i - r_{K+1} (descending, last entry 0).
   /// Exposed so callers can replicate the recursion's trivial base cases —
   /// Omega = 1 when no class with k_i > 0 has d_i > r', Omega = 0 when none
   /// has d_i <= r' — without paying for an evaluator lookup.
   const std::vector<double>& coefficients() const { return coefficients_; }
 
-  /// Number of distinct Omega evaluators created so far (ablation metric).
+  /// Number of distinct Omega thresholds this context has touched (ablation
+  /// metric; the evaluators themselves live in SharedOmegaCache).
   std::size_t evaluator_count() const { return evaluators_.size(); }
 
  private:
   std::vector<double> state_rewards_;    // r_1 > ... > r_{K+1}
   std::vector<double> impulse_rewards_;  // i_1 > ... > i_J (possibly empty)
   std::vector<double> coefficients_;     // d_i = r_i - r_{K+1}
-  std::map<double, OmegaEvaluator> evaluators_;
+  // Per-context front cache over SharedOmegaCache, keyed by canonical
+  // threshold: lock-free repeat lookups within one engine run.
+  std::map<double, std::shared_ptr<const OmegaEvaluator>> evaluators_;
 };
 
 }  // namespace csrlmrm::numeric

@@ -5,9 +5,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/approx.hpp"
+#include "core/simd.hpp"
 #include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
-#include "core/approx.hpp"
 
 namespace csrlmrm::numeric {
 
@@ -17,10 +18,10 @@ bool is_integral(double v, double scale = 1.0) {
   return std::abs(v - std::round(v)) <= 1e-9 * std::max(1.0, std::abs(scale));
 }
 
-/// dst[k] += a * src[k] over a contiguous range — the level-sweep kernel in
-/// a form the auto-vectorizer handles (no per-iteration index shifting).
+/// dst[k] += a * src[k] over a contiguous range — the level-sweep kernel,
+/// vectorized explicitly (no per-iteration index shifting).
 void shifted_axpy(double* dst, const double* src, std::size_t count, double a) {
-  for (std::size_t k = 0; k < count; ++k) dst[k] += a * src[k];
+  core::simd::axpy(dst, src, count, a);
 }
 
 }  // namespace
@@ -183,8 +184,7 @@ UntilDiscretizationResult until_probability_discretization(
           const double* cur_row = cur.data() + s * levels;
           double* dst = next_row + residence_shift[s];
           const std::size_t count = levels - residence_shift[s];
-          const double a = stay[s];
-          for (std::size_t k = 0; k < count; ++k) dst[k] = a * cur_row[k];
+          core::simd::scale(dst, cur_row, count, stay[s]);
           touched = 1;
         } else {
           std::fill(next_row, next_row + levels, 0.0);

@@ -13,14 +13,21 @@
 // multiplies numbers in [0,1] — this is the numerical-stability property the
 // thesis adopts it for, replacing the unstable Weisberg/Matsunawa methods.
 //
-// The evaluator memoizes sub-vectors of k, so a full evaluation of a count
-// vector k costs O(prod_l (k_l + 1)) instead of the exponential naive
-// recursion; evaluations for the same threshold r share the cache.
+// Because the pivots i and j are always the first nonzero class on each
+// side, every reachable sub-problem is determined by the pair
+// (g, l) = (decrements taken from G so far, decrements taken from L so far):
+// the counts left on each side are the original staircase with its first g
+// (resp. l) units removed in class-index order. The evaluator therefore
+// solves the recursion as a dense wavefront DP over the (||k_G||+1) x
+// (||k_L||+1) lattice — one anti-diagonal at a time, in place, with the
+// inner sweep vectorized via core/simd.hpp — instead of hashing count
+// vectors into a memo table. Cell values are bit-identical to the memoized
+// recursion (same expression, same operands, each cell computed once); only
+// the traversal order changed.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace csrlmrm::numeric {
@@ -28,7 +35,9 @@ namespace csrlmrm::numeric {
 /// Count vector type: counts_[l] spacings carry coefficient c_l.
 using SpacingCounts = std::vector<std::uint32_t>;
 
-/// Memoizing evaluator for one fixed threshold r and coefficient vector c.
+/// Wavefront-DP evaluator for one fixed threshold r and coefficient vector
+/// c. Stateless after construction: evaluate() is const and safe to call
+/// concurrently from multiple threads on a shared instance.
 class OmegaEvaluator {
  public:
   /// `coefficients` are the distinct c_l (any order, need not be sorted);
@@ -38,26 +47,16 @@ class OmegaEvaluator {
 
   /// Omega(r, counts). counts must have one entry per coefficient.
   /// With all counts zero the sum is empty and the result is 1 if r >= 0
-  /// else 0.
-  double evaluate(const SpacingCounts& counts);
+  /// else 0. Costs O(||k_G|| * ||k_L||) cell updates and O(||k||) memory.
+  double evaluate(const SpacingCounts& counts) const;
 
   double threshold() const { return r_; }
   const std::vector<double>& coefficients() const { return c_; }
 
-  /// Number of memoized sub-problems (exposed for the ablation bench).
-  std::size_t cache_size() const { return memo_.size(); }
-
  private:
-  struct CountsHash {
-    std::size_t operator()(const SpacingCounts& k) const noexcept;
-  };
-
-  double evaluate_recursive(SpacingCounts& counts);
-
   std::vector<double> c_;
   double r_;
   std::vector<bool> greater_;  // greater_[l] <=> c_l > r
-  std::unordered_map<SpacingCounts, double, CountsHash> memo_;
 };
 
 /// One-shot convenience wrapper around OmegaEvaluator.

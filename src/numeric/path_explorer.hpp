@@ -61,6 +61,18 @@ struct PathExplorerOptions {
   /// and ignores this. 0 = the process default (CSRLMRM_THREADS or hardware
   /// concurrency).
   unsigned threads = 0;
+  /// Adaptive hybrid mode for the signature-class DP engine: watch the
+  /// per-level merge effectiveness and, once folding stops paying for itself
+  /// on a large frontier, first coarsen the impulse half of the signature
+  /// (40-bit-snapped impulse totals instead of per-class counts, see
+  /// canonical_threshold) and then hand the remaining frontier to a
+  /// depth-first continuation that expands without further merge attempts.
+  /// Results stay deterministic for a fixed start set and are bitwise
+  /// identical across thread counts, but compute_batch is no longer
+  /// guaranteed bitwise equal to per-start single runs (the trigger sees
+  /// different frontier sizes). Off by default; the checker switches it on
+  /// when --until-engine=auto selects the class DP engine.
+  bool adaptive_hybrid = false;
 };
 
 /// Result of one until evaluation.

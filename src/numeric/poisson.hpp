@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -78,16 +79,36 @@ class SharedPoissonTail {
 /// an internal mutex, every later one shares the immutable snapshot. A
 /// request with a larger n_max than the cached table replaces it with an
 /// extended build (already-handed-out snapshots stay valid).
+///
+/// Tables are always built out to the distribution's hard truncation cap
+/// (the same bound poisson_truncation_point uses), so tail() queries from
+/// the explorers stay inside the precomputed range instead of hitting the
+/// per-call summation fallback — profiling showed that fallback dominating
+/// deep DFS runs. The cache itself is capacity-bounded LRU (kCapacity
+/// distinct means) so a long checker fan-out over many time bounds cannot
+/// grow it without limit; occupancy is reported via the
+/// "poisson.tail_cache_occupancy" gauge and evictions via the
+/// "poisson.tail_cache_evictions" counter.
 class PoissonTailCache {
  public:
+  /// Retained tables for distinct means; evicting the least-recently-used
+  /// entry only drops the cache's reference, handed-out snapshots survive.
+  static constexpr std::size_t kCapacity = 8;
+
   /// The table for `mean` covering at least [0, n_max].
   std::shared_ptr<const SharedPoissonTail> table(double mean, std::size_t n_max) const;
 
  private:
+  struct Slot {
+    std::shared_ptr<const SharedPoissonTail> table;
+    std::uint64_t last_use = 0;
+  };
+
   // Linear scan over exact means: one engine sees one or two distinct means
   // over its lifetime, so a map is not worth its allocations.
   mutable std::mutex mutex_;
-  mutable std::vector<std::shared_ptr<const SharedPoissonTail>> tables_;
+  mutable std::uint64_t tick_ = 0;
+  mutable std::vector<Slot> tables_;
 };
 
 }  // namespace csrlmrm::numeric

@@ -4,11 +4,12 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/approx.hpp"
+#include "core/simd.hpp"
 #include "numeric/fox_glynn.hpp"
 #include "numeric/poisson.hpp"
 #include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
-#include "core/approx.hpp"
 
 namespace csrlmrm::numeric {
 
@@ -61,7 +62,7 @@ std::vector<double> accumulate_series(const linalg::CsrMatrix& P,
   for (std::size_t i = 0; i <= window.right; ++i) {
     if (i >= window.left) {
       const double weight = window.probability(i - window.left);
-      for (std::size_t s = 0; s < result.size(); ++s) result[s] += weight * term[s];
+      core::simd::axpy(result.data(), term.data(), result.size(), weight);
     }
     if (i < window.right) advance_term(P, P_transposed, threads, term, scratch);
   }
@@ -208,7 +209,7 @@ std::vector<double> expected_occupation_times(const core::RateMatrix& rates,
     const double weight = tail_table.tail(k + 1) / lambda;
     if (weight <= 0.0) break;
     ++terms;
-    for (std::size_t s = 0; s < n; ++s) result[s] += weight * term[s];
+    core::simd::axpy(result.data(), term.data(), n, weight);
     advance_term(P, P_transposed ? &*P_transposed : nullptr, threads, term, scratch);
   }
   obs::counter_add("transient.series_terms", terms);

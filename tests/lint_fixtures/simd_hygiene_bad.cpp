@@ -1,0 +1,18 @@
+// Fixture for the simd-hygiene rule: every raw SIMD spelling outside
+// src/core/simd.hpp must be diagnosed — vectorization is confined to the
+// DoubleVec layer so scalar and vector builds keep one source of truth.
+#include <immintrin.h>  // EXPECT-LINT
+
+typedef double BadVec [[gnu::vector_size(32)]];  // EXPECT-LINT
+
+void raw_intrinsics(double* p) {
+  _mm_storeu_pd(p, _mm_loadu_pd(p));  // EXPECT-LINT
+}
+
+void raw_pragma(double* p, int n) {
+#pragma omp simd  // EXPECT-LINT
+  for (int i = 0; i < n; ++i) p[i] = p[i] * 2.0;
+}
+
+// lint:allow(simd-hygiene) -- suppression proof: documented exemplar only
+typedef double OkVec [[gnu::vector_size(16)]];

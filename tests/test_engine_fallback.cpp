@@ -36,6 +36,11 @@ const std::vector<bool> kPsi{false, false, true};
 
 CheckerOptions starved(BudgetPolicy policy) {
   CheckerOptions options;
+  // Pin the engine: these tests exercise the mid-flight degradation chain,
+  // which requires a uniformization engine to actually hit its budget. The
+  // default auto cost model would see the starved budget up front and pick
+  // discretization directly (covered by the AutoEngine tests below).
+  options.until_engine = UntilEngine::kClassDp;
   options.uniformization.truncation_probability = 1e-12;
   options.uniformization.max_nodes = 5;  // guaranteed exhaustion
   options.on_budget_exhausted = policy;
@@ -113,6 +118,71 @@ TEST_F(EngineFallback, WidenWPolicyDoesNotThrowAndKeepsTheTruthEnclosed) {
   for (core::StateIndex s = 0; s < model.num_states(); ++s) {
     EXPECT_TRUE(widened[s].bound.overlaps(exact[s].bound)) << "state " << s;
   }
+}
+
+TEST_F(EngineFallback, AutoStarvedRunDiscretizesUpFrontWithoutThrowing) {
+  // The default auto cost model sees live * levels > max_nodes before
+  // exploring anything and goes straight to discretization (no impulse
+  // rewards, degradation allowed) — no NodeBudgetError is ever raised and
+  // the choice is recorded.
+  const core::Mrm model = make_cycle();
+  CheckerOptions options = starved(BudgetPolicy::kFallbackToDiscretization);
+  options.until_engine = UntilEngine::kAuto;
+  const auto values =
+      until_probabilities(model, kPhi, kPsi, logic::up_to(1.0), logic::up_to(10.0), options);
+  EXPECT_GE(obs::StatsRegistry::global().counter("engine.auto_choice.discretization"), 1u);
+
+  CheckerOptions disc;
+  disc.until_method = UntilMethod::kDiscretization;
+  const auto by_disc =
+      until_probabilities(model, kPhi, kPsi, logic::up_to(1.0), logic::up_to(10.0), disc);
+  for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+    EXPECT_TRUE(values[s].bound.contains(by_disc[s].probability))
+        << "state " << s << ": " << values[s].bound.to_string();
+  }
+}
+
+TEST_F(EngineFallback, AutoUnderThrowPolicyFailsLoudlyInsteadOfDegrading) {
+  // kThrow disables every degradation, including auto's up-front method
+  // switch: the starved run must still raise the typed budget error.
+  const core::Mrm model = make_cycle();
+  CheckerOptions options = starved(BudgetPolicy::kThrow);
+  options.until_engine = UntilEngine::kAuto;
+  EXPECT_THROW(
+      until_probabilities(model, kPhi, kPsi, logic::up_to(1.0), logic::up_to(10.0), options),
+      numeric::NodeBudgetError);
+}
+
+TEST(AutoEngineChooser, AmpleBudgetPicksClassDpWithTheHybridArmed) {
+  const core::Mrm model = make_cycle();
+  const CheckerOptions options;  // defaults: generous budget
+  const AutoEngineChoice choice = choose_until_engine(model, 1.0, options);
+  EXPECT_EQ(choice.method, UntilMethod::kUniformization);
+  EXPECT_EQ(choice.engine, UntilEngine::kClassDp);
+  EXPECT_TRUE(choice.adaptive_hybrid);
+}
+
+TEST(AutoEngineChooser, PerPathAblationKnobRoutesToTheDfsEngine) {
+  const core::Mrm model = make_cycle();
+  CheckerOptions options;
+  options.uniformization.aggregate_signatures = false;
+  const AutoEngineChoice choice = choose_until_engine(model, 1.0, options);
+  EXPECT_EQ(choice.method, UntilMethod::kUniformization);
+  EXPECT_EQ(choice.engine, UntilEngine::kDfpg);
+  EXPECT_FALSE(choice.adaptive_hybrid);
+}
+
+TEST(AutoEngineChooser, ProvablyOverBudgetPicksDiscretizationUnlessThrowing) {
+  const core::Mrm model = make_cycle();
+  CheckerOptions options;
+  options.uniformization.max_nodes = 5;
+  const AutoEngineChoice degrading = choose_until_engine(model, 1.0, options);
+  EXPECT_EQ(degrading.method, UntilMethod::kDiscretization);
+
+  options.on_budget_exhausted = BudgetPolicy::kThrow;
+  const AutoEngineChoice throwing = choose_until_engine(model, 1.0, options);
+  EXPECT_EQ(throwing.method, UntilMethod::kUniformization);
+  EXPECT_EQ(throwing.engine, UntilEngine::kClassDp);
 }
 
 TEST(EngineBoundaries, ZeroTimeHorizonIsTheIndicatorOfPsiOnBothEngines) {

@@ -271,11 +271,12 @@ TEST_F(MrmcheckCli, StrictExitsThreeWhenTheIntervalStraddlesTheThreshold) {
 TEST_F(MrmcheckCli, NodeBudgetExhaustionFallsBackInsteadOfFailing) {
   const std::string cycle = write_cycle_model();
   const std::string stats_file = (directory_ / "fallback_stats.json").string();
-  // Budget of 5 DFS nodes cannot explore the cycle: the checker must fall
-  // back to discretization per start state, still exit 0, and record the
-  // degradation in the stats JSON.
-  ASSERT_EQ(run(cycle + " u=1e-12 --max-nodes=5 --stats='" + stats_file +
-                "' NP 'P(>=0.5)[a U[0,1][0,10] b]'"),
+  // Budget of 5 nodes cannot explore the cycle: with the engine pinned (the
+  // default auto cost model would sidestep the exhaustion up front, see
+  // below) the checker must fall back to discretization per start state,
+  // still exit 0, and record the degradation in the stats JSON.
+  ASSERT_EQ(run(cycle + " u=1e-12 --max-nodes=5 --until-engine=classdp --stats='" +
+                stats_file + "' NP 'P(>=0.5)[a U[0,1][0,10] b]'"),
             0);
   std::ifstream in(stats_file);
   ASSERT_TRUE(in.is_open());
@@ -287,7 +288,24 @@ TEST_F(MrmcheckCli, NodeBudgetExhaustionFallsBackInsteadOfFailing) {
   const obs::JsonValue* fallbacks = counters->find("uniformization.fallbacks");
   ASSERT_NE(fallbacks, nullptr);
   EXPECT_GE(fallbacks->as_number(), 1.0);
-  // With the throw policy the same starved run fails loudly instead.
+  // The default auto engine sees the starved budget before exploring
+  // anything, goes straight to discretization, and records that choice.
+  const std::string auto_stats_file = (directory_ / "auto_stats.json").string();
+  ASSERT_EQ(run(cycle + " u=1e-12 --max-nodes=5 --stats='" + auto_stats_file +
+                "' NP 'P(>=0.5)[a U[0,1][0,10] b]'"),
+            0);
+  std::ifstream auto_in(auto_stats_file);
+  ASSERT_TRUE(auto_in.is_open());
+  std::ostringstream auto_buffer;
+  auto_buffer << auto_in.rdbuf();
+  const obs::JsonValue auto_stats = obs::parse_json(auto_buffer.str());
+  const obs::JsonValue* auto_counters = auto_stats.find("counters");
+  ASSERT_NE(auto_counters, nullptr);
+  const obs::JsonValue* chose = auto_counters->find("engine.auto_choice.discretization");
+  ASSERT_NE(chose, nullptr);
+  EXPECT_GE(chose->as_number(), 1.0);
+  // With the throw policy the same starved run fails loudly instead — auto
+  // never degrades behind a kThrow user's back.
   EXPECT_EQ(run(cycle + " u=1e-12 --max-nodes=5 --fallback=throw NP "
                         "'P(>=0.5)[a U[0,1][0,10] b]'"),
             1);

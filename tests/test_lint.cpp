@@ -103,6 +103,23 @@ TEST(LintFixtures, ReservedIdentifier) {
   check_fixture("reserved_identifier_bad.cpp", "reserved-identifier", 1);
 }
 
+TEST(LintFixtures, SimdHygiene) {
+  check_fixture("simd_hygiene_bad.cpp", "simd-hygiene", 1);
+}
+
+TEST(LintRules, SimdHygieneExemptsTheDoubleVecHeader) {
+  // The one sanctioned home of raw vector machinery: the rule must stay
+  // silent on src/core/simd.hpp and fire on the same spelling anywhere else.
+  constexpr const char* snippet =
+      "#pragma once\n"
+      "typedef double Native [[gnu::vector_size(32)]];\n";
+  LintOptions only_simd;
+  only_simd.rule_filter = {"simd-hygiene"};
+  EXPECT_TRUE(lint_source("src/core/simd.hpp", snippet, only_simd).diagnostics.empty());
+  ASSERT_EQ(lint_source("src/numeric/omega.cpp", snippet, only_simd).diagnostics.size(), 1u);
+  ASSERT_EQ(lint_source("bench/bench_kernels.cpp", snippet, only_simd).diagnostics.size(), 1u);
+}
+
 TEST(LintFixtures, PragmaOnceFires) {
   const LintReport report = lint_paths({fixture_path("missing_pragma_bad.hpp")});
   ASSERT_EQ(report.diagnostics.size(), 1u);
@@ -234,7 +251,7 @@ TEST(LintRules, RuleFilterRestrictsExecution) {
 
 TEST(LintRules, CatalogueIsStable) {
   const auto rules = make_default_rules();
-  ASSERT_EQ(rules.size(), 10u);
+  ASSERT_EQ(rules.size(), 11u);
   const std::set<std::string> names = [&] {
     std::set<std::string> out;
     for (const auto& r : rules) out.insert(std::string(r->name()));
@@ -243,7 +260,7 @@ TEST(LintRules, CatalogueIsStable) {
   const std::set<std::string> expected = {
       "float-equality", "unordered-iteration", "unsafe-libm",       "float-narrowing",
       "naked-new",      "solver-stats",        "endl",              "banned-identifier",
-      "pragma-once",    "reserved-identifier"};
+      "pragma-once",    "reserved-identifier", "simd-hygiene"};
   EXPECT_EQ(names, expected);
   for (const auto& r : rules) EXPECT_FALSE(r->description().empty());
 }

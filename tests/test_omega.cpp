@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <random>
 
 namespace csrlmrm::numeric {
@@ -110,15 +112,87 @@ TEST(OmegaEvaluator, RejectsCountSizeMismatch) {
   EXPECT_THROW(evaluator.evaluate({1}), std::invalid_argument);
 }
 
-TEST(OmegaEvaluator, MemoizationGrowsOnlyOnNewSubproblems) {
-  OmegaEvaluator evaluator({3.0, 1.0, 0.0}, 1.5);
-  evaluator.evaluate({2, 2, 2});
-  const std::size_t after_first = evaluator.cache_size();
-  EXPECT_GT(after_first, 0u);
-  evaluator.evaluate({2, 2, 2});  // fully cached
-  EXPECT_EQ(evaluator.cache_size(), after_first);
-  evaluator.evaluate({3, 2, 2});  // superset: adds new lattice points
-  EXPECT_GT(evaluator.cache_size(), after_first);
+namespace {
+// The pre-wavefront memoized recursion, kept as the bitwise ground truth for
+// the DP rewrite: same pivot choice (first nonzero class on each side), same
+// combination expression, so the wavefront evaluator must agree to the last
+// bit on every instance.
+class ReferenceOmega {
+ public:
+  ReferenceOmega(std::vector<double> c, double r) : c_(std::move(c)), r_(r) {
+    greater_.resize(c_.size());
+    for (std::size_t l = 0; l < c_.size(); ++l) greater_[l] = c_[l] > r_;
+  }
+
+  double evaluate(SpacingCounts counts) {
+    const bool all_zero =
+        std::all_of(counts.begin(), counts.end(), [](auto v) { return v == 0; });
+    if (all_zero) return r_ >= 0.0 ? 1.0 : 0.0;
+    return evaluate_recursive(counts);
+  }
+
+ private:
+  double evaluate_recursive(SpacingCounts& counts) {
+    std::size_t total_greater = 0;
+    std::size_t total_lesser = 0;
+    std::size_t pick_greater = c_.size();
+    std::size_t pick_lesser = c_.size();
+    for (std::size_t l = 0; l < c_.size(); ++l) {
+      if (counts[l] == 0) continue;
+      if (greater_[l]) {
+        total_greater += counts[l];
+        if (pick_greater == c_.size()) pick_greater = l;
+      } else {
+        total_lesser += counts[l];
+        if (pick_lesser == c_.size()) pick_lesser = l;
+      }
+    }
+    if (total_greater == 0) return 1.0;
+    if (total_lesser == 0) return 0.0;
+    if (const auto it = memo_.find(counts); it != memo_.end()) return it->second;
+    const double ci = c_[pick_greater];
+    const double cj = c_[pick_lesser];
+    const double denom = ci - cj;
+    --counts[pick_lesser];
+    const double without_lesser = evaluate_recursive(counts);
+    ++counts[pick_lesser];
+    --counts[pick_greater];
+    const double without_greater = evaluate_recursive(counts);
+    ++counts[pick_greater];
+    const double value =
+        ((ci - r_) / denom) * without_lesser + ((r_ - cj) / denom) * without_greater;
+    memo_.emplace(counts, value);
+    return value;
+  }
+
+  std::vector<double> c_;
+  double r_;
+  std::vector<bool> greater_;
+  std::map<SpacingCounts, double> memo_;
+};
+}  // namespace
+
+TEST(OmegaEvaluator, WavefrontMatchesMemoizedRecursionBitwise) {
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<int> num_classes(1, 5);
+  std::uniform_int_distribution<std::uint32_t> count_dist(0, 6);
+  std::uniform_real_distribution<double> coeff_dist(0.0, 10.0);
+  std::uniform_real_distribution<double> threshold_dist(-1.0, 11.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int classes = num_classes(rng);
+    std::vector<double> c;
+    while (static_cast<int>(c.size()) < classes) {
+      const double candidate = coeff_dist(rng);
+      if (std::find(c.begin(), c.end(), candidate) == c.end()) c.push_back(candidate);
+    }
+    SpacingCounts counts(c.size());
+    for (auto& v : counts) v = count_dist(rng);
+    const double r = threshold_dist(rng);
+    OmegaEvaluator evaluator(c, r);
+    ReferenceOmega reference(c, r);
+    EXPECT_EQ(evaluator.evaluate(counts), reference.evaluate(counts))
+        << "trial=" << trial << " r=" << r;
+  }
 }
 
 TEST(Omega, DeepCountsStayInUnitInterval) {

@@ -391,6 +391,65 @@ class ReservedIdentifierRule : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// simd-hygiene: raw vector machinery is confined to src/core/simd.hpp (the
+// portable DoubleVec layer). Anywhere else, `vector_size` attributes,
+// <immintrin.h>-family includes, _mm* intrinsics, or `#pragma omp simd`
+// fork the scalar and vector code paths at the call site — exactly what the
+// bitwise-determinism contract forbids. Kernels use the simd.hpp helpers so
+// one source of truth serves every platform.
+class SimdHygieneRule : public Rule {
+ public:
+  std::string_view name() const override { return "simd-hygiene"; }
+  std::string_view description() const override {
+    return "raw SIMD machinery (vector_size attributes, <immintrin.h>-family "
+           "includes, _mm* intrinsics, #pragma omp simd) is confined to "
+           "src/core/simd.hpp; use the DoubleVec helpers everywhere else";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    // The one sanctioned home of raw vector machinery.
+    if (ctx.path().ends_with("core/simd.hpp")) return;
+    static constexpr std::array<std::string_view, 7> kIntrinsicHeaders = {
+        "immintrin.h", "x86intrin.h", "emmintrin.h", "xmmintrin.h",
+        "pmmintrin.h", "smmintrin.h", "arm_neon.h"};
+    const auto& toks = ctx.tokens();
+    for (const Token& t : toks) {
+      if (t.kind == TokenKind::kPreprocessor) {
+        const std::string_view text = ctx.text(t);
+        if (text.find("include") != std::string_view::npos) {
+          for (const std::string_view header : kIntrinsicHeaders) {
+            if (text.find(header) != std::string_view::npos) {
+              report(out, name(), ctx, t,
+                     "intrinsic header <" + std::string(header) +
+                         "> included outside src/core/simd.hpp; use the "
+                         "DoubleVec helpers");
+              break;
+            }
+          }
+        } else if (text.find("pragma") != std::string_view::npos &&
+                   text.find("omp") != std::string_view::npos &&
+                   text.find("simd") != std::string_view::npos) {
+          report(out, name(), ctx, t,
+                 "`#pragma omp simd` outside src/core/simd.hpp; vectorization "
+                 "lives behind the DoubleVec helpers");
+        }
+        continue;
+      }
+      if (t.kind != TokenKind::kIdentifier) continue;
+      const std::string_view text = ctx.text(t);
+      const bool intrinsic = text.starts_with("_mm_") || text.starts_with("_mm256_") ||
+                             text.starts_with("_mm512_");
+      const bool vector_attr = text == "vector_size";
+      if (intrinsic || vector_attr) {
+        report(out, name(), ctx, t,
+               "raw SIMD spelling '" + std::string(text) +
+                   "' outside src/core/simd.hpp; use the DoubleVec helpers so "
+                   "scalar and vector builds share one source of truth");
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> make_default_rules() {
@@ -405,6 +464,7 @@ std::vector<std::unique_ptr<Rule>> make_default_rules() {
   rules.push_back(std::make_unique<BannedIdentifierRule>());
   rules.push_back(std::make_unique<PragmaOnceRule>());
   rules.push_back(std::make_unique<ReservedIdentifierRule>());
+  rules.push_back(std::make_unique<SimdHygieneRule>());
   return rules;
 }
 

@@ -40,7 +40,7 @@ class Rule {
 /// The full rule catalogue, in stable order:
 ///   float-equality, unordered-iteration, unsafe-libm, float-narrowing,
 ///   naked-new, solver-stats, endl, banned-identifier, pragma-once,
-///   reserved-identifier
+///   reserved-identifier, simd-hygiene
 std::vector<std::unique_ptr<Rule>> make_default_rules();
 
 }  // namespace csrlmrm::lint
