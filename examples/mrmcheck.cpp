@@ -23,6 +23,9 @@
 #include "logic/printer.hpp"
 #include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
+#include "plan/compiler.hpp"
+#include "plan/executor.hpp"
+#include "plan/printer.hpp"
 
 namespace {
 
@@ -60,6 +63,14 @@ void usage() {
                "            the thesis appendix's algorithm)\n"
                "  --max-nodes=N  node budget for the uniformization engines (DFS\n"
                "            node expansions / DP frontier classes, default 500000000)\n"
+               "  --formulas=<file>  check a batch of formulas (one per line; blank\n"
+               "            lines and '#' comments skipped) through one compiled plan\n"
+               "            that deduplicates shared subformulas, solves, and\n"
+               "            absorbing transforms across the batch; replaces the\n"
+               "            positional formula argument\n"
+               "  --explain  compile the formula (or --formulas batch) into a plan,\n"
+               "            print it — ops, sharing, chosen until engines — and exit\n"
+               "            without checking anything\n"
                "  NP        do not print per-state probabilities\n"
                "\n"
                "formula syntax (appendix of the thesis, plus the R extension):\n"
@@ -117,6 +128,85 @@ csrlmrm::core::Mrm load_spec_model(const std::string& path) {
   return std::move(*built.model);
 }
 
+/// Reads a --formulas file: one formula per line, blank lines and lines
+/// starting with '#' skipped.
+std::vector<std::string> load_formula_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open formulas file '" + path + "'");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    lines.push_back(line.substr(start, end - start + 1));
+  }
+  if (lines.empty()) {
+    throw std::runtime_error("formulas file '" + path + "' contains no formulas");
+  }
+  return lines;
+}
+
+/// Prints one batch formula's results in the single-formula output format
+/// (per-state values, satisfying states, UNKNOWN warnings). Returns whether
+/// any state's verdict is UNKNOWN.
+bool report_plan_formula(const csrlmrm::core::Mrm& model,
+                         const csrlmrm::logic::FormulaPtr& formula,
+                         const csrlmrm::plan::FormulaResult& result,
+                         bool print_probabilities) {
+  using namespace csrlmrm;
+  std::printf("formula: %s\n", logic::to_string(formula).c_str());
+  if (print_probabilities && result.has_probabilities) {
+    for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+      std::printf("  P(state %zu) = %.17g", s + 1, result.probabilities[s].probability);
+      if (result.probabilities[s].bound.width() > 0.0) {
+        std::printf("  (in %s)", result.probabilities[s].bound.to_string().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  if (print_probabilities && result.has_values) {
+    const char* name = formula->kind == logic::FormulaKind::kSteady ? "pi" : "E";
+    for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+      std::printf("  %s(state %zu) = %.17g\n", name, s + 1, result.values[s]);
+    }
+  }
+  std::printf("satisfying states (1-based):");
+  bool any = false;
+  bool any_unknown = false;
+  for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+    if (result.verdicts[s] == checker::Verdict::kSat) {
+      std::printf(" %zu", s + 1);
+      any = true;
+    } else if (result.verdicts[s] == checker::Verdict::kUnknown) {
+      any_unknown = true;
+    }
+  }
+  std::printf("%s\n", any ? "" : " (none)");
+  if (any_unknown) {
+    std::printf("UNKNOWN states (1-based):");
+    for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+      if (result.verdicts[s] == checker::Verdict::kUnknown) std::printf(" %zu", s + 1);
+    }
+    std::printf("\n");
+    for (core::StateIndex s = 0; s < model.num_states(); ++s) {
+      if (result.verdicts[s] != checker::Verdict::kUnknown) continue;
+      if (result.has_bounds) {
+        std::fprintf(stderr,
+                     "mrmcheck: warning: state %zu is UNKNOWN — value interval %s straddles "
+                     "the threshold; tighten w/epsilon/d or use --strict to fail\n",
+                     s + 1, result.bounds[s].to_string().c_str());
+      } else {
+        std::fprintf(stderr,
+                     "mrmcheck: warning: state %zu is UNKNOWN — a sub-formula's value "
+                     "interval straddles its threshold at the configured accuracy\n",
+                     s + 1);
+      }
+    }
+  }
+  return any_unknown;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,8 +240,10 @@ int main(int argc, char** argv) {
     checker::CheckerOptions options;
     bool print_probabilities = true;
     bool strict = false;
+    bool explain = false;
     bool stats_requested = obs::stats_enabled();  // CSRLMRM_STATS env var
     std::string stats_path;
+    std::string formulas_path;
     bool have_formula = false;
     std::string formula_text;
     for (; arg < argc; ++arg) {
@@ -192,6 +284,14 @@ int main(int argc, char** argv) {
         }
       } else if (token == "--strict") {
         strict = true;
+      } else if (token == "--explain") {
+        explain = true;
+      } else if (token.rfind("--formulas=", 0) == 0) {
+        formulas_path = token.substr(11);
+        if (formulas_path.empty()) {
+          std::fprintf(stderr, "mrmcheck: --formulas= expects a file path\n");
+          return 2;
+        }
       } else if (token.rfind("--fallback=", 0) == 0) {
         const std::string policy = token.substr(11);
         if (policy == "throw") {
@@ -250,7 +350,12 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    if (!have_formula || formula_text.empty()) {
+    if (formulas_path.empty() ? (!have_formula || formula_text.empty()) : have_formula) {
+      if (!formulas_path.empty()) {
+        std::fprintf(stderr,
+                     "mrmcheck: --formulas=%s replaces the positional formula argument\n",
+                     formulas_path.c_str());
+      }
       usage();
       return 2;
     }
@@ -273,6 +378,51 @@ int main(int argc, char** argv) {
     std::printf("model: %zu states, %zu transitions, impulse rewards: %s\n",
                 model.num_states(), model.rates().matrix().non_zeros(),
                 model.has_impulse_rewards() ? "yes" : "no");
+
+    if (!formulas_path.empty() || explain) {
+      // Batch / explain mode: compile the whole batch into one plan so
+      // structurally shared subformulas, solves, and absorbing transforms
+      // are each evaluated once (see src/plan/).
+      const std::vector<std::string> texts =
+          formulas_path.empty() ? std::vector<std::string>{formula_text}
+                                : load_formula_lines(formulas_path);
+      std::vector<logic::FormulaPtr> formulas;
+      formulas.reserve(texts.size());
+      for (const auto& text : texts) formulas.push_back(logic::parse_formula(text));
+      const plan::Plan compiled = plan::compile(model, formulas, options);
+      if (explain) {
+        std::printf("%s", plan::print_plan(compiled).c_str());
+        return 0;
+      }
+      const plan::PlanResult results = plan::execute(compiled, model);
+      bool batch_unknown = false;
+      for (std::size_t i = 0; i < formulas.size(); ++i) {
+        std::printf("[%zu/%zu] ", i + 1, formulas.size());
+        const bool unknown =
+            report_plan_formula(model, formulas[i], results.formulas[i], print_probabilities);
+        batch_unknown = batch_unknown || unknown;
+      }
+      if (stats_requested) {
+        const std::string json = obs::StatsRegistry::global().to_json();
+        if (stats_path.empty()) {
+          std::printf("stats:\n%s", json.c_str());
+        } else {
+          std::ofstream out(stats_path);
+          out << json;
+          if (!out) {
+            std::fprintf(stderr, "mrmcheck: failed writing stats file '%s'\n",
+                         stats_path.c_str());
+            return 1;
+          }
+          std::printf("stats: written to %s\n", stats_path.c_str());
+        }
+      }
+      if (strict && batch_unknown) {
+        std::fprintf(stderr, "mrmcheck: --strict: UNKNOWN verdicts present\n");
+        return 3;
+      }
+      return 0;
+    }
 
     const logic::FormulaPtr formula = logic::parse_formula(formula_text);
     std::printf("formula: %s\n", logic::to_string(formula).c_str());

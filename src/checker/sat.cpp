@@ -1,29 +1,11 @@
 #include "checker/sat.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
-#include "checker/absorption.hpp"
-#include "checker/performability.hpp"
+#include "checker/operator_eval.hpp"
 #include "obs/stats.hpp"
-#include "parallel/thread_pool.hpp"
 
 namespace csrlmrm::checker {
-
-namespace {
-
-bool any_set(const std::vector<bool>& mask) {
-  return std::find(mask.begin(), mask.end(), true) != mask.end();
-}
-
-/// The optimistic operand set: UNKNOWN counts as satisfied.
-std::vector<bool> optimistic(const std::vector<bool>& sat, const std::vector<bool>& unknown) {
-  std::vector<bool> mask(sat);
-  for (std::size_t s = 0; s < mask.size(); ++s) mask[s] = mask[s] || unknown[s];
-  return mask;
-}
-
-}  // namespace
 
 ModelChecker::ModelChecker(const core::Mrm& model, CheckerOptions options)
     : model_(&model), options_(std::move(options)) {}
@@ -118,147 +100,11 @@ std::vector<double> ModelChecker::expected_rewards(const logic::FormulaPtr& form
         "ModelChecker::expected_rewards: formula is not an R-operator node");
   }
   const auto& node = static_cast<const logic::ExpectedRewardFormula&>(*formula);
-  const std::size_t n = model_->num_states();
-  switch (node.query) {
-    case logic::RewardQuery::kCumulative: {
-      // One occupation-time series per start state, all independent: fan
-      // out over the pool (inner series run serial when nested).
-      std::vector<double> values(n, 0.0);
-      const unsigned threads = parallel::resolve_thread_count(options_.threads);
-      parallel::parallel_for(n, threads, [&](std::size_t begin, std::size_t end) {
-        for (core::StateIndex s = begin; s < end; ++s) {
-          values[s] = expected_accumulated_reward(*model_, s, node.time_horizon,
-                                                  options_.transient);
-        }
-      });
-      return values;
-    }
-    case logic::RewardQuery::kReachability:
-      return expected_reward_to_hit(*model_, evaluate(node.operand).sat, options_.solver);
-    case logic::RewardQuery::kLongRun:
-      return long_run_reward_rate(*model_, options_.solver);
+  if (node.query == logic::RewardQuery::kReachability) {
+    const SatResult operand = evaluate(node.operand);  // copy: see path_probabilities
+    return expected_reward_values(*model_, node, &operand, options_);
   }
-  throw std::logic_error("expected_rewards: unknown reward query");
-}
-
-std::vector<ProbabilityBound> ModelChecker::steady_bounds(const logic::FormulaPtr& formula) {
-  const auto& node = static_cast<const logic::SteadyFormula&>(*formula);
-  const SatResult inner = evaluate(node.operand);  // copy: runs below re-enter evaluate
-  // The steady-state probability of a target set is monotone in the set
-  // (a sum over more states), so the pessimistic/optimistic runs bracket
-  // the truth for UNKNOWN operand states. The iterative solves themselves
-  // converge to solver.tolerance (1e-12 default) and are treated as exact,
-  // like in the thesis.
-  const auto lower_run =
-      steady_state_probability_of_set(*model_, inner.sat, options_.solver);
-  std::vector<ProbabilityBound> bounds(lower_run.size());
-  if (!any_set(inner.unknown)) {
-    for (std::size_t s = 0; s < bounds.size(); ++s) {
-      bounds[s] = ProbabilityBound::point(lower_run[s]);
-    }
-    return bounds;
-  }
-  const auto upper_run = steady_state_probability_of_set(
-      *model_, optimistic(inner.sat, inner.unknown), options_.solver);
-  for (std::size_t s = 0; s < bounds.size(); ++s) {
-    bounds[s] = ProbabilityBound{lower_run[s], upper_run[s]};
-  }
-  return bounds;
-}
-
-std::vector<ProbabilityBound> ModelChecker::next_bounds(const logic::FormulaPtr& formula) {
-  const auto& node = static_cast<const logic::ProbNextFormula&>(*formula);
-  const SatResult inner = evaluate(node.operand);
-  // Closed-form per transition (eq. 3.4): exact up to rounding, and monotone
-  // in the operand set.
-  const auto lower_run = next_probabilities(*model_, inner.sat, node.time_bound,
-                                            node.reward_bound, options_.threads);
-  std::vector<ProbabilityBound> bounds(lower_run.size());
-  if (!any_set(inner.unknown)) {
-    for (std::size_t s = 0; s < bounds.size(); ++s) {
-      bounds[s] = ProbabilityBound::point(lower_run[s]);
-    }
-    return bounds;
-  }
-  const auto upper_run =
-      next_probabilities(*model_, optimistic(inner.sat, inner.unknown), node.time_bound,
-                         node.reward_bound, options_.threads);
-  for (std::size_t s = 0; s < bounds.size(); ++s) {
-    bounds[s] = ProbabilityBound{lower_run[s], upper_run[s]};
-  }
-  return bounds;
-}
-
-std::vector<ProbabilityBound> ModelChecker::until_bounds(const logic::FormulaPtr& formula) {
-  const auto& node = static_cast<const logic::ProbUntilFormula&>(*formula);
-  const SatResult lhs = evaluate(node.lhs);  // copies: see path_probabilities
-  const SatResult rhs = evaluate(node.rhs);
-  const auto lower_run = until_probabilities(*model_, lhs.sat, rhs.sat, node.time_bound,
-                                             node.reward_bound, options_);
-  std::vector<ProbabilityBound> bounds(lower_run.size());
-  if (!any_set(lhs.unknown) && !any_set(rhs.unknown)) {
-    for (std::size_t s = 0; s < bounds.size(); ++s) bounds[s] = lower_run[s].bound;
-    return bounds;
-  }
-  // The until probability is monotone nondecreasing in both operand sets
-  // (every satisfying path stays satisfying when Sat(Phi) or Sat(Psi)
-  // grows), so the pessimistic run's lower end and the optimistic run's
-  // upper end enclose the truth.
-  const auto upper_run = until_probabilities(
-      *model_, optimistic(lhs.sat, lhs.unknown), optimistic(rhs.sat, rhs.unknown),
-      node.time_bound, node.reward_bound, options_);
-  for (std::size_t s = 0; s < bounds.size(); ++s) {
-    bounds[s] = ProbabilityBound{lower_run[s].bound.lower, upper_run[s].bound.upper};
-  }
-  return bounds;
-}
-
-std::vector<ProbabilityBound> ModelChecker::reward_bounds(const logic::FormulaPtr& formula) {
-  const auto& node = static_cast<const logic::ExpectedRewardFormula&>(*formula);
-  const std::size_t n = model_->num_states();
-  std::vector<ProbabilityBound> bounds(n);
-  switch (node.query) {
-    case logic::RewardQuery::kCumulative: {
-      // The occupation-time series truncates the Poisson sum, losing at most
-      // epsilon * t of residence mass; each lost unit earns at most the
-      // largest gain rate, so the truth lies in [v, v + eps * t * max gain].
-      const auto values = expected_rewards(formula);
-      const auto gain = per_state_gain_rates(*model_);
-      const double max_gain =
-          gain.empty() ? 0.0 : *std::max_element(gain.begin(), gain.end());
-      const double slack = options_.transient.epsilon * node.time_horizon * max_gain;
-      for (std::size_t s = 0; s < n; ++s) {
-        bounds[s] = ProbabilityBound{values[s], values[s] + slack};
-      }
-      return bounds;
-    }
-    case logic::RewardQuery::kReachability: {
-      const SatResult inner = evaluate(node.operand);
-      // Antitone in the target set: reaching a *larger* set takes less time
-      // and therefore less reward, so the optimistic run gives the lower
-      // values and the pessimistic run the upper ones.
-      const auto pessimistic_run =
-          expected_reward_to_hit(*model_, inner.sat, options_.solver);
-      if (!any_set(inner.unknown)) {
-        for (std::size_t s = 0; s < n; ++s) {
-          bounds[s] = ProbabilityBound::point(pessimistic_run[s]);
-        }
-        return bounds;
-      }
-      const auto optimistic_run = expected_reward_to_hit(
-          *model_, optimistic(inner.sat, inner.unknown), options_.solver);
-      for (std::size_t s = 0; s < n; ++s) {
-        bounds[s] = ProbabilityBound{optimistic_run[s], pessimistic_run[s]};
-      }
-      return bounds;
-    }
-    case logic::RewardQuery::kLongRun: {
-      const auto values = expected_rewards(formula);
-      for (std::size_t s = 0; s < n; ++s) bounds[s] = ProbabilityBound::point(values[s]);
-      return bounds;
-    }
-  }
-  throw std::logic_error("reward_bounds: unknown reward query");
+  return expected_reward_values(*model_, node, nullptr, options_);
 }
 
 const std::vector<ProbabilityBound>& ModelChecker::operator_bounds(
@@ -268,18 +114,39 @@ const std::vector<ProbabilityBound>& ModelChecker::operator_bounds(
 
   std::vector<ProbabilityBound> bounds;
   switch (formula->kind) {
-    case logic::FormulaKind::kSteady:
-      bounds = steady_bounds(formula);
+    case logic::FormulaKind::kSteady: {
+      const auto& node = static_cast<const logic::SteadyFormula&>(*formula);
+      const SatResult operand = evaluate(node.operand);  // copy: runs re-enter evaluate
+      bounds = evaluate_steady_operator(*model_, operand, options_).bounds;
       break;
-    case logic::FormulaKind::kProbNext:
-      bounds = next_bounds(formula);
+    }
+    case logic::FormulaKind::kProbNext: {
+      const auto& node = static_cast<const logic::ProbNextFormula&>(*formula);
+      const SatResult operand = evaluate(node.operand);
+      bounds = evaluate_next_operator(*model_, operand, node.time_bound, node.reward_bound,
+                                      options_)
+                   .bounds;
       break;
-    case logic::FormulaKind::kProbUntil:
-      bounds = until_bounds(formula);
+    }
+    case logic::FormulaKind::kProbUntil: {
+      const auto& node = static_cast<const logic::ProbUntilFormula&>(*formula);
+      const SatResult lhs = evaluate(node.lhs);
+      const SatResult rhs = evaluate(node.rhs);
+      bounds = evaluate_until_operator(*model_, lhs, rhs, node.time_bound, node.reward_bound,
+                                       options_)
+                   .bounds;
       break;
-    case logic::FormulaKind::kExpectedReward:
-      bounds = reward_bounds(formula);
+    }
+    case logic::FormulaKind::kExpectedReward: {
+      const auto& node = static_cast<const logic::ExpectedRewardFormula&>(*formula);
+      if (node.query == logic::RewardQuery::kReachability) {
+        const SatResult operand = evaluate(node.operand);
+        bounds = evaluate_reward_operator(*model_, node, &operand, options_).bounds;
+      } else {
+        bounds = evaluate_reward_operator(*model_, node, nullptr, options_).bounds;
+      }
       break;
+    }
     default:
       throw std::invalid_argument("operator_bounds: formula is not an operator node");
   }
@@ -308,37 +175,22 @@ const ModelChecker::SatResult& ModelChecker::evaluate(const logic::FormulaPtr& f
           model_->labels().states_with(static_cast<const logic::AtomicFormula&>(*formula).name);
       break;
     case logic::FormulaKind::kNot: {
-      // Kleene: !T = F, !F = T, !U = U.
       const SatResult inner = evaluate(static_cast<const logic::NotFormula&>(*formula).operand);
-      for (core::StateIndex s = 0; s < n; ++s) {
-        result.sat[s] = !inner.sat[s] && !inner.unknown[s];
-      }
-      result.unknown = inner.unknown;
+      result = kleene_not(inner);
       break;
     }
     case logic::FormulaKind::kOr: {
-      // Kleene: T || x = T, F || U = U.
       const auto& node = static_cast<const logic::OrFormula&>(*formula);
       const SatResult lhs = evaluate(node.lhs);  // copy: rhs evaluation may rehash cache_
       const SatResult& rhs = evaluate(node.rhs);
-      for (core::StateIndex s = 0; s < n; ++s) {
-        result.sat[s] = lhs.sat[s] || rhs.sat[s];
-        result.unknown[s] = !result.sat[s] && (lhs.unknown[s] || rhs.unknown[s]);
-      }
+      result = kleene_or(lhs, rhs);
       break;
     }
     case logic::FormulaKind::kAnd: {
-      // Kleene: F && x = F, T && U = U.
       const auto& node = static_cast<const logic::AndFormula&>(*formula);
       const SatResult lhs = evaluate(node.lhs);
       const SatResult& rhs = evaluate(node.rhs);
-      for (core::StateIndex s = 0; s < n; ++s) {
-        result.sat[s] = lhs.sat[s] && rhs.sat[s];
-        const bool lhs_false = !lhs.sat[s] && !lhs.unknown[s];
-        const bool rhs_false = !rhs.sat[s] && !rhs.unknown[s];
-        result.unknown[s] =
-            !lhs_false && !rhs_false && (lhs.unknown[s] || rhs.unknown[s]);
-      }
+      result = kleene_and(lhs, rhs);
       break;
     }
     case logic::FormulaKind::kSteady:
@@ -374,19 +226,7 @@ const ModelChecker::SatResult& ModelChecker::evaluate(const logic::FormulaPtr& f
           break;
         }
       }
-      for (core::StateIndex s = 0; s < n; ++s) {
-        switch (compare_bound(bounds[s], op, threshold)) {
-          case Verdict::kSat:
-            result.sat[s] = true;
-            break;
-          case Verdict::kUnknown:
-            result.unknown[s] = true;
-            obs::counter_add("checker.verdicts.unknown");
-            break;
-          case Verdict::kUnsat:
-            break;
-        }
-      }
+      result = compare_operator_bounds(bounds, op, threshold);
       break;
     }
   }

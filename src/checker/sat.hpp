@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "checker/next.hpp"
+#include "checker/operator_eval.hpp"
 #include "checker/options.hpp"
 #include "checker/steady.hpp"
 #include "checker/until.hpp"
@@ -76,13 +77,9 @@ class ModelChecker {
   const CheckerOptions& options() const { return options_; }
 
  private:
-  /// Three-valued satisfaction per state: sat[s] = provably true,
-  /// unknown[s] = undecidable at the configured accuracy; both false =
-  /// provably false.
-  struct SatResult {
-    std::vector<bool> sat;
-    std::vector<bool> unknown;
-  };
+  /// Three-valued satisfaction per state; the per-operator math lives in
+  /// checker/operator_eval.hpp, shared with the plan executor.
+  using SatResult = SatSets;
 
   const SatResult& evaluate(const logic::FormulaPtr& formula);
 
@@ -90,11 +87,6 @@ class ModelChecker {
   /// uncertainty (two monotone mask runs when the operand has UNKNOWN
   /// states). Caches into bounds_cache_.
   const std::vector<ProbabilityBound>& operator_bounds(const logic::FormulaPtr& formula);
-
-  std::vector<ProbabilityBound> steady_bounds(const logic::FormulaPtr& formula);
-  std::vector<ProbabilityBound> next_bounds(const logic::FormulaPtr& formula);
-  std::vector<ProbabilityBound> until_bounds(const logic::FormulaPtr& formula);
-  std::vector<ProbabilityBound> reward_bounds(const logic::FormulaPtr& formula);
 
   const core::Mrm* model_;
   CheckerOptions options_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "core/transform.hpp"
@@ -25,6 +26,18 @@ void require_masks(const core::Mrm& model, const std::vector<bool>& sat_phi,
   if (sat_phi.size() != model.num_states() || sat_psi.size() != model.num_states()) {
     throw std::invalid_argument("until: satisfaction mask size mismatch");
   }
+}
+
+/// M[absorb] through the caller's transform cache when one was supplied
+/// (batched plan execution), else a fresh build parked in `local`. Both
+/// paths run core::make_absorbing — a pure function of (model, absorb) — so
+/// the returned model is bitwise-identical either way.
+const core::Mrm& absorbing_model(const core::Mrm& model, const std::vector<bool>& absorb,
+                                 core::TransformCache* transforms,
+                                 std::optional<core::Mrm>& local) {
+  if (transforms != nullptr) return transforms->absorbing(model, absorb);
+  local.emplace(core::make_absorbing(model, absorb));
+  return *local;
 }
 
 }  // namespace
@@ -299,7 +312,8 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
                                             const std::vector<bool>& sat_psi,
                                             const logic::Interval& time_bound,
                                             const logic::Interval& reward_bound,
-                                            const CheckerOptions& caller_options) {
+                                            const CheckerOptions& caller_options,
+                                            core::TransformCache* transforms) {
   obs::ScopedTimer timer("checker.until");
   obs::counter_add("checker.until.calls");
   require_masks(model, sat_phi, sat_psi);
@@ -341,11 +355,12 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
 
     std::vector<bool> not_phi(n, false);
     for (core::StateIndex s = 0; s < n; ++s) not_phi[s] = !sat_phi[s];
-    const core::Mrm phase_one = core::make_absorbing(model, not_phi);
+    std::optional<core::Mrm> phase_one_local;
+    const core::Mrm& phase_one = absorbing_model(model, not_phi, transforms, phase_one_local);
 
     const auto residual = until_probabilities(model, sat_phi, sat_psi,
                                               logic::Interval(0.0, t2 - t1),
-                                              logic::Interval{}, options);
+                                              logic::Interval{}, options, transforms);
 
     // Phase-one distributions for every Phi-state at once: the uniformized
     // matrix and Fox-Glynn window are built once, the start states fan out
@@ -396,7 +411,8 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
     // P1: Phi U^[0,t] Psi = transient analysis of M[!Phi v Psi] (Thm 4.1).
     std::vector<bool> absorb(n, false);
     for (core::StateIndex s = 0; s < n; ++s) absorb[s] = !sat_phi[s] || sat_psi[s];
-    const core::Mrm transformed = core::make_absorbing(model, absorb);
+    std::optional<core::Mrm> transformed_local;
+    const core::Mrm& transformed = absorbing_model(model, absorb, transforms, transformed_local);
     std::vector<UntilValue> values(n);
     std::vector<core::StateIndex> starts;
     for (core::StateIndex s = 0; s < n; ++s) {
@@ -437,7 +453,8 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
             "until with point time interval [t,t] requires Psi => Phi (Theorem 4.2)");
       }
     }
-    const core::Mrm transformed = core::make_absorbing(model, dead);
+    std::optional<core::Mrm> transformed_local;
+    const core::Mrm& transformed = absorbing_model(model, dead, transforms, transformed_local);
     return bounded_time_reward(transformed, sat_psi, dead, t, r, options,
                                /*psi_absorbed=*/false);
   }
@@ -445,7 +462,8 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
   // P2: Phi U^[0,t]_[0,r] Psi on M[!Phi v Psi] (Theorems 4.1 + 4.3).
   std::vector<bool> absorb(n, false);
   for (core::StateIndex s = 0; s < n; ++s) absorb[s] = !sat_phi[s] || sat_psi[s];
-  const core::Mrm transformed = core::make_absorbing(model, absorb);
+  std::optional<core::Mrm> transformed_local;
+  const core::Mrm& transformed = absorbing_model(model, absorb, transforms, transformed_local);
   return bounded_time_reward(transformed, sat_psi, dead, t, r, options,
                              /*psi_absorbed=*/true);
 }

@@ -21,6 +21,7 @@
 #include "checker/options.hpp"
 #include "checker/verdict.hpp"
 #include "core/mrm.hpp"
+#include "core/transform.hpp"
 #include "logic/interval.hpp"
 
 namespace csrlmrm::checker {
@@ -100,11 +101,20 @@ std::vector<double> unbounded_until_probabilities(const core::Mrm& model,
 
 /// P(s, Phi U_J^I Psi) for every state s, dispatching as described above.
 /// Masks must have one entry per state.
+///
+/// `transforms`, when non-null, memoizes the absorbing transforms this query
+/// builds (M[!Phi v Psi], M[!Phi], M[!Phi && !Psi]) keyed by mask, so a batch
+/// of queries over the same model shares them — the plan executor passes the
+/// cache its compile step prewarmed. The cache must be bound to `model` (a
+/// TransformCache keys by mask only) and the call does not touch it inside
+/// the per-state fan-out, so a serial caller needs no locking. Passing
+/// nullptr rebuilds every transform, bitwise-identically.
 std::vector<UntilValue> until_probabilities(const core::Mrm& model,
                                             const std::vector<bool>& sat_phi,
                                             const std::vector<bool>& sat_psi,
                                             const logic::Interval& time_bound,
                                             const logic::Interval& reward_bound,
-                                            const CheckerOptions& options = {});
+                                            const CheckerOptions& options = {},
+                                            core::TransformCache* transforms = nullptr);
 
 }  // namespace csrlmrm::checker

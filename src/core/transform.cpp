@@ -25,4 +25,13 @@ Mrm make_absorbing(const Mrm& model, const std::vector<bool>& absorb) {
   return Mrm(Ctmc(rates.build(), model.labels()), std::move(rewards), impulses.build());
 }
 
+const Mrm& TransformCache::absorbing(const Mrm& model, const std::vector<bool>& absorb) {
+  const auto found = entries_.find(absorb);
+  if (found != entries_.end()) {
+    ++hits_;
+    return found->second;
+  }
+  return entries_.emplace(absorb, make_absorbing(model, absorb)).first->second;
+}
+
 }  // namespace csrlmrm::core

@@ -12,6 +12,8 @@
 // first reaches the absorbing set still pays its impulse cost.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <vector>
 
 #include "core/mrm.hpp"
@@ -22,5 +24,30 @@ namespace csrlmrm::core {
 /// absorb[s] holds made absorbing with zero rewards. Throws
 /// std::invalid_argument when the mask size differs from the model size.
 Mrm make_absorbing(const Mrm& model, const std::vector<bool>& absorb);
+
+/// Memoizes make_absorbing results by absorbing mask, so a batch of until
+/// queries that share one transformed model (the plan compiler's hoisting
+/// pass, or the two mask runs of an operator with UNKNOWN operand states)
+/// builds it once. make_absorbing is a deterministic pure function of
+/// (model, mask), so returning the cached Mrm is bitwise-identical to
+/// rebuilding it.
+///
+/// One cache instance serves ONE base model (the key is the mask alone);
+/// callers bind a cache to a model and must not mix models. Not thread-safe:
+/// the until checker consults it only from its serial prologue, before the
+/// per-state fan-out.
+class TransformCache {
+ public:
+  /// M[absorb] for the bound base model, built on first request. The
+  /// reference stays valid for the cache's lifetime (node-based map).
+  const Mrm& absorbing(const Mrm& model, const std::vector<bool>& absorb);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t hits() const { return hits_; }
+
+ private:
+  std::map<std::vector<bool>, Mrm> entries_;
+  std::size_t hits_ = 0;
+};
 
 }  // namespace csrlmrm::core

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "logic/number_format.hpp"
+
 namespace csrlmrm::logic {
 
 Interval::Interval(double lower, double upper) : lower_(lower), upper_(upper) {
@@ -20,11 +22,11 @@ Interval::Interval(double lower, double upper) : lower_(lower), upper_(upper) {
 
 std::string Interval::to_string() const {
   std::ostringstream out;
-  out << '[' << lower_ << ',';
+  out << '[' << format_number(lower_) << ',';
   if (is_upper_unbounded()) {
     out << '~';
   } else {
-    out << upper_;
+    out << format_number(upper_);
   }
   out << ']';
   return out.str();

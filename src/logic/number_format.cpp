@@ -1,0 +1,24 @@
+#include "logic/number_format.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+#include <system_error>
+
+namespace csrlmrm::logic {
+
+std::string format_number(double value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("format_number: value must be finite");
+  }
+  // 32 chars comfortably fit the longest shortest-form double
+  // (-2.2250738585072014e-308 is 24 chars).
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (result.ec != std::errc()) {
+    throw std::logic_error("format_number: to_chars failed");
+  }
+  return std::string(buffer, result.ptr);
+}
+
+}  // namespace csrlmrm::logic

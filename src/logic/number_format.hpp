@@ -1,0 +1,21 @@
+// Shortest round-trip rendering of doubles for the CSRL printers.
+//
+// The concrete-syntax printers (logic/printer.cpp, logic/interval.cpp, and
+// the plan printer) must satisfy parse(print(f)) == f *structurally*, which
+// requires every numeric literal to re-parse to the identical double. The
+// default ostream precision (6 significant digits) loses bits on arbitrary
+// bounds; fixed 17-digit precision round-trips but renders 0.3 as
+// 0.29999999999999999. std::to_chars's shortest form does both: minimal
+// digits, exact round-trip.
+#pragma once
+
+#include <string>
+
+namespace csrlmrm::logic {
+
+/// The shortest decimal string that parses back to exactly `value`
+/// (std::to_chars general format; "0.3" stays "0.3", arbitrary doubles get
+/// however many digits they need). `value` must be finite.
+std::string format_number(double value);
+
+}  // namespace csrlmrm::logic

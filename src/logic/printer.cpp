@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "logic/number_format.hpp"
+
 namespace csrlmrm::logic {
 
 namespace {
@@ -56,14 +58,14 @@ void print(const FormulaPtr& f, std::ostringstream& out) {
     }
     case FormulaKind::kSteady: {
       const auto& node = static_cast<const SteadyFormula&>(*f);
-      out << "S(" << to_string(node.op) << " " << node.bound << ") (";
+      out << "S(" << to_string(node.op) << " " << format_number(node.bound) << ") (";
       print(node.operand, out);
       out << ")";
       return;
     }
     case FormulaKind::kProbNext: {
       const auto& node = static_cast<const ProbNextFormula&>(*f);
-      out << "P(" << to_string(node.op) << " " << node.bound << ") [X";
+      out << "P(" << to_string(node.op) << " " << format_number(node.bound) << ") [X";
       print_bounds(node.time_bound, node.reward_bound, out);
       out << " ";
       print(node.operand, out);
@@ -72,7 +74,7 @@ void print(const FormulaPtr& f, std::ostringstream& out) {
     }
     case FormulaKind::kProbUntil: {
       const auto& node = static_cast<const ProbUntilFormula&>(*f);
-      out << "P(" << to_string(node.op) << " " << node.bound << ") [";
+      out << "P(" << to_string(node.op) << " " << format_number(node.bound) << ") [";
       print(node.lhs, out);
       out << " U";
       print_bounds(node.time_bound, node.reward_bound, out);
@@ -83,10 +85,10 @@ void print(const FormulaPtr& f, std::ostringstream& out) {
     }
     case FormulaKind::kExpectedReward: {
       const auto& node = static_cast<const ExpectedRewardFormula&>(*f);
-      out << "R(" << to_string(node.op) << " " << node.bound << ") [";
+      out << "R(" << to_string(node.op) << " " << format_number(node.bound) << ") [";
       switch (node.query) {
         case RewardQuery::kCumulative:
-          out << "C[0," << node.time_horizon << "]";
+          out << "C[0," << format_number(node.time_horizon) << "]";
           break;
         case RewardQuery::kReachability:
           out << "F ";

@@ -59,6 +59,12 @@ std::size_t SharedOmegaCache::size() const {
   return entries_.size();
 }
 
+void SharedOmegaCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  tick_ = 0;
+}
+
 namespace {
 
 void require_strictly_decreasing(const std::vector<double>& v, const char* what) {

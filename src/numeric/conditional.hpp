@@ -62,6 +62,11 @@ class SharedOmegaCache {
 
   std::size_t size() const;
 
+  /// Drops every cached evaluator (handed-out shared_ptrs stay valid).
+  /// Benchmarks use this to emulate a cold process between runs; production
+  /// code has no reason to call it.
+  void clear();
+
  private:
   using Key = std::pair<std::vector<double>, double>;
   struct Entry {

@@ -1,0 +1,175 @@
+#include "plan/executor.hpp"
+
+#include <stdexcept>
+
+#include "obs/stats.hpp"
+
+namespace csrlmrm::plan {
+
+namespace {
+
+/// Expands a per-quotient-state vector to the original states (identity when
+/// block_of is empty, i.e. the plan is not lumped).
+template <typename T>
+std::vector<T> maybe_expand(std::vector<T> values, const Plan& plan) {
+  if (!plan.lumped) return values;
+  std::vector<T> out(plan.block_of.size());
+  for (std::size_t s = 0; s < plan.block_of.size(); ++s) out[s] = values[plan.block_of[s]];
+  return out;
+}
+
+}  // namespace
+
+PlanResult execute(const Plan& plan, const core::Mrm& model, const ExecutionOptions& exec) {
+  obs::ScopedTimer timer("plan.execute");
+  obs::counter_add("plan.execute.calls");
+  if (model.num_states() != plan.original_states) {
+    throw std::invalid_argument(
+        "plan::execute: model has a different state count than the plan was compiled for");
+  }
+  const core::Mrm& target = plan.lumped ? *plan.quotient : model;
+  const std::size_t n = target.num_states();
+  checker::CheckerOptions options = plan.options;
+  if (exec.threads != 0) options.threads = exec.threads;
+  core::TransformCache* transforms = plan.transforms.get();
+
+  // Per-op result slots (only the slot matching the op's kind is filled).
+  const std::size_t m = plan.ops.size();
+  std::vector<checker::SatSets> sets(m);
+  std::vector<std::vector<checker::ProbabilityBound>> solve_bounds(m);
+  std::vector<std::vector<checker::UntilValue>> solve_untils(m);
+  std::vector<std::vector<double>> solve_values(m);
+
+  for (OpId id = 0; id < m; ++id) {
+    const PlanOp& op = plan.ops[id];
+    switch (op.kind) {
+      case OpKind::kConstTrue:
+        sets[id].sat.assign(n, true);
+        sets[id].unknown.assign(n, false);
+        break;
+      case OpKind::kConstFalse:
+        sets[id].sat.assign(n, false);
+        sets[id].unknown.assign(n, false);
+        break;
+      case OpKind::kLabelSet:
+        sets[id].sat = target.labels().states_with(op.label);
+        sets[id].unknown.assign(n, false);
+        break;
+      case OpKind::kNot:
+        sets[id] = checker::kleene_not(sets[op.inputs[0]]);
+        break;
+      case OpKind::kAnd:
+        sets[id] = checker::kleene_and(sets[op.inputs[0]], sets[op.inputs[1]]);
+        break;
+      case OpKind::kOr:
+        sets[id] = checker::kleene_or(sets[op.inputs[0]], sets[op.inputs[1]]);
+        break;
+      case OpKind::kTransform:
+        // Structural only: the model itself is built through the plan's
+        // TransformCache on first use inside an until solve (prewarmed at
+        // compile time when the masks were compile-time known).
+        break;
+      case OpKind::kSteadySolve: {
+        auto evaluation =
+            checker::evaluate_steady_operator(target, sets[op.inputs[0]], options);
+        solve_values[id] = std::move(evaluation.values);
+        solve_bounds[id] = std::move(evaluation.bounds);
+        break;
+      }
+      case OpKind::kNextSolve: {
+        auto evaluation = checker::evaluate_next_operator(
+            target, sets[op.inputs[0]], op.time_bound, op.reward_bound, options);
+        solve_values[id] = std::move(evaluation.probabilities);
+        solve_bounds[id] = std::move(evaluation.bounds);
+        break;
+      }
+      case OpKind::kUntilSolve: {
+        // Apply the compile-time engine pin. Sound because the prediction ran
+        // checker::choose_until_engine on the identical transformed model, so
+        // this skips a re-derivation, never changes the outcome. A predicted
+        // kDiscretization is deliberately NOT pinned: the runtime auto path
+        // also adapts the step (adapted_discretization_options), and pinning
+        // the method alone would skip that adaptation and diverge.
+        checker::CheckerOptions until_options = options;
+        if (op.engine_known &&
+            op.engine_choice.method == checker::UntilMethod::kUniformization) {
+          until_options.until_engine = op.engine_choice.engine;
+          if (op.engine_choice.adaptive_hybrid) {
+            until_options.uniformization.adaptive_hybrid = true;
+          }
+          obs::counter_add("plan.execute.pins_applied");
+        }
+        auto evaluation = checker::evaluate_until_operator(
+            target, sets[op.inputs[0]], sets[op.inputs[1]], op.time_bound, op.reward_bound,
+            until_options, transforms);
+        solve_untils[id] = std::move(evaluation.values);
+        solve_bounds[id] = std::move(evaluation.bounds);
+        break;
+      }
+      case OpKind::kRewardSolve: {
+        const auto& node =
+            static_cast<const logic::ExpectedRewardFormula&>(*op.reward_node);
+        const checker::SatSets* operand =
+            op.inputs.empty() ? nullptr : &sets[op.inputs[0]];
+        auto evaluation = checker::evaluate_reward_operator(target, node, operand, options);
+        solve_values[id] = std::move(evaluation.values);
+        solve_bounds[id] = std::move(evaluation.bounds);
+        break;
+      }
+      case OpKind::kCompare:
+        sets[id] = checker::compare_operator_bounds(solve_bounds[op.inputs[0]],
+                                                    op.compare_op, op.threshold);
+        break;
+    }
+  }
+
+  PlanResult result;
+  result.formulas.reserve(plan.roots.size());
+  for (const OpId root : plan.roots) {
+    const PlanOp& root_op = plan.ops[root];
+    FormulaResult formula;
+    formula.sat = maybe_expand(sets[root].sat, plan);
+    formula.unknown = maybe_expand(sets[root].unknown, plan);
+    formula.verdicts.assign(formula.sat.size(), checker::Verdict::kUnsat);
+    for (std::size_t s = 0; s < formula.sat.size(); ++s) {
+      if (formula.sat[s]) {
+        formula.verdicts[s] = checker::Verdict::kSat;
+      } else if (formula.unknown[s]) {
+        formula.verdicts[s] = checker::Verdict::kUnknown;
+      }
+    }
+    if (exec.collect_values && root_op.kind == OpKind::kCompare) {
+      const OpId solve = root_op.inputs[0];
+      formula.has_bounds = true;
+      formula.bounds = maybe_expand(solve_bounds[solve], plan);
+      switch (plan.ops[solve].kind) {
+        case OpKind::kUntilSolve:
+          formula.has_probabilities = true;
+          formula.probabilities = maybe_expand(solve_untils[solve], plan);
+          break;
+        case OpKind::kNextSolve: {
+          // Next probabilities are exact; the direct checker reports them as
+          // point-interval UntilValues and so does the plan.
+          std::vector<checker::UntilValue> values(solve_values[solve].size());
+          for (std::size_t s = 0; s < values.size(); ++s) {
+            values[s] = checker::exact_until_value(solve_values[solve][s]);
+          }
+          formula.has_probabilities = true;
+          formula.probabilities = maybe_expand(std::move(values), plan);
+          break;
+        }
+        case OpKind::kSteadySolve:
+        case OpKind::kRewardSolve:
+          formula.has_values = true;
+          formula.values = maybe_expand(solve_values[solve], plan);
+          break;
+        default:
+          break;
+      }
+    }
+    result.formulas.push_back(std::move(formula));
+  }
+  return result;
+}
+
+}  // namespace csrlmrm::plan

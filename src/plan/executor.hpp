@@ -1,0 +1,78 @@
+// The plan executor: one forward walk over a compiled plan's ops.
+//
+// Every numeric op calls the same checker/operator_eval.hpp function the
+// direct ModelChecker would, against the same model and options, so verdicts
+// and value enclosures are bitwise-identical to a per-formula direct check
+// (tests/test_plan_differential.cpp asserts this at 1/2/8 threads). What the
+// plan buys is work shared across the batch:
+//
+//   - each deduplicated solve runs ONCE for every formula referencing it,
+//     and serves both the printed probabilities and the verdicts from that
+//     one run (the direct CLI path solves twice for the same output);
+//   - absorbing transforms are served from the plan's prewarmed
+//     TransformCache instead of rebuilt per until query;
+//   - Omega/Poisson setup behind the uniformization engines is shared via
+//     numeric::SharedOmegaCache, which ops hitting the same transformed
+//     model reach with identical keys.
+//
+// Execution is serial over ops (each numeric op parallelizes internally over
+// start states, exactly like the direct checker); a Plan must not be
+// executed from two threads at once (its TransformCache is unsynchronized).
+#pragma once
+
+#include <vector>
+
+#include "checker/operator_eval.hpp"
+#include "checker/until.hpp"
+#include "checker/verdict.hpp"
+#include "core/mrm.hpp"
+#include "plan/ir.hpp"
+
+namespace csrlmrm::plan {
+
+struct ExecutionOptions {
+  /// Copy each root's underlying numeric results (probabilities, expected
+  /// rewards, value enclosures) into the FormulaResult. Off skips the
+  /// copies when only verdicts are needed.
+  bool collect_values = true;
+  /// Overrides the plan's CheckerOptions::threads when non-zero (the solves
+  /// are identical at any thread count; this exists so one compiled plan can
+  /// be executed at several counts).
+  unsigned threads = 0;
+};
+
+/// Per-formula results, all sized to the ORIGINAL model's states (lumped
+/// plans expand through block_of before returning).
+struct FormulaResult {
+  std::vector<bool> sat;
+  std::vector<bool> unknown;
+  std::vector<checker::Verdict> verdicts;
+
+  /// Widened per-state value enclosures of the root operator, when the root
+  /// is an S/P/R node (ModelChecker::value_bounds equivalent).
+  bool has_bounds = false;
+  std::vector<checker::ProbabilityBound> bounds;
+
+  /// Raw path probabilities, when the root is a P node
+  /// (ModelChecker::path_probabilities equivalent).
+  bool has_probabilities = false;
+  std::vector<checker::UntilValue> probabilities;
+
+  /// Raw numeric values, when the root is an S node (steady-state
+  /// probabilities) or R node (expected rewards).
+  bool has_values = false;
+  std::vector<double> values;
+};
+
+struct PlanResult {
+  /// One entry per plan root / input formula, in order.
+  std::vector<FormulaResult> formulas;
+};
+
+/// Executes `plan` against `model` — the same model it was compiled for
+/// (checked by state count). Throws checker::UnsupportedFormulaError for
+/// kUnsupported until ops, exactly like the direct checker would.
+PlanResult execute(const Plan& plan, const core::Mrm& model,
+                   const ExecutionOptions& exec = {});
+
+}  // namespace csrlmrm::plan

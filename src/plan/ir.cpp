@@ -1,0 +1,65 @@
+#include "plan/ir.hpp"
+
+namespace csrlmrm::plan {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConstTrue:
+      return "const:tt";
+    case OpKind::kConstFalse:
+      return "const:ff";
+    case OpKind::kLabelSet:
+      return "labelset";
+    case OpKind::kNot:
+      return "not";
+    case OpKind::kAnd:
+      return "and";
+    case OpKind::kOr:
+      return "or";
+    case OpKind::kTransform:
+      return "transform";
+    case OpKind::kSteadySolve:
+      return "steady";
+    case OpKind::kNextSolve:
+      return "next";
+    case OpKind::kUntilSolve:
+      return "until";
+    case OpKind::kRewardSolve:
+      return "reward";
+    case OpKind::kCompare:
+      return "compare";
+  }
+  return "?";
+}
+
+const char* to_string(UntilClass cls) {
+  switch (cls) {
+    case UntilClass::kUnbounded:
+      return "P0:unbounded";
+    case UntilClass::kTimeBounded:
+      return "P1:time-bounded";
+    case UntilClass::kTwoPhase:
+      return "P1':two-phase";
+    case UntilClass::kTimeReward:
+      return "P2:time-reward";
+    case UntilClass::kPointTimeReward:
+      return "P2:point-time-reward";
+    case UntilClass::kUnsupported:
+      return "unsupported";
+  }
+  return "?";
+}
+
+const char* to_string(TransformShape shape) {
+  switch (shape) {
+    case TransformShape::kNotPhiOrPsi:
+      return "M[!phi|psi]";
+    case TransformShape::kNotPhi:
+      return "M[!phi]";
+    case TransformShape::kDead:
+      return "M[!phi&!psi]";
+  }
+  return "?";
+}
+
+}  // namespace csrlmrm::plan

@@ -1,0 +1,169 @@
+// The plan IR: a CSRL formula batch lowered to a DAG of typed ops.
+//
+// A Plan is the compiled form of a batch of state formulas against one MRM
+// and one CheckerOptions configuration (ROADMAP item 2, the prerequisite for
+// a resident mrmcheckd service that caches compiled plans across requests).
+// Ops come in three families:
+//
+//   set ops      const tt/ff, label-set eval, Kleene !/&&/|| — produce a
+//                three-valued SatSets per state
+//   numeric ops  steady-/next-/until-/reward-solve — produce the widened
+//                per-state value enclosures (and the raw pessimistic values)
+//                by calling the same checker/operator_eval.hpp functions the
+//                direct ModelChecker uses
+//   compare ops  threshold comparison of a solve op's enclosures — produce
+//                a SatSets again
+//
+// plus structural kTransform ops that name the hoisted absorbing transforms
+// (M[!Phi v Psi], M[!Phi], M[!Phi && !Psi]) shared by the until solves; the
+// actual models live in the plan's TransformCache, prewarmed at compile time
+// where operand sets are compile-time known.
+//
+// Ops are stored in topological order (inputs strictly before consumers), so
+// the executor is a single forward walk. The compiler's common-subformula
+// dedup guarantees at most one op per structural key, which is what makes a
+// batch share label sets, operand sets, solves (formulas differing only in
+// their threshold share the whole solve!) and transforms.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checker/options.hpp"
+#include "checker/until.hpp"
+#include "core/mrm.hpp"
+#include "core/transform.hpp"
+#include "logic/ast.hpp"
+
+namespace csrlmrm::plan {
+
+using OpId = std::size_t;
+inline constexpr OpId kNoOp = std::numeric_limits<OpId>::max();
+
+enum class OpKind {
+  kConstTrue,
+  kConstFalse,
+  kLabelSet,
+  kNot,
+  kAnd,
+  kOr,
+  kTransform,
+  kSteadySolve,
+  kNextSolve,
+  kUntilSolve,
+  kRewardSolve,
+  kCompare,
+};
+
+/// Stable lower-case op name for the plan printer ("labelset", "until", ...).
+const char* to_string(OpKind kind);
+
+/// Which dispatch class of checker/until.hpp an until-solve op lands in
+/// (decided at compile time from the bound shapes alone).
+enum class UntilClass {
+  kUnbounded,        // P0: linear system on the embedded DTMC
+  kTimeBounded,      // P1: transient analysis of M[!Phi v Psi]
+  kTwoPhase,         // P1': [t1,t2] two-phase reduction via M[!Phi]
+  kTimeReward,       // P2: [0,t] + [0,r] on M[!Phi v Psi], engine-evaluated
+  kPointTimeReward,  // [t,t] + [0,r] on M[!Phi && !Psi] (Theorem 4.2)
+  kUnsupported,      // raises UnsupportedFormulaError at execution
+};
+
+const char* to_string(UntilClass cls);
+
+/// Shape of a hoisted absorbing transform, relative to an until op's operand
+/// sets (Phi = inputs[0], Psi = inputs[1]).
+enum class TransformShape {
+  kNotPhiOrPsi,  // M[!Phi v Psi] (Theorem 4.1)
+  kNotPhi,       // M[!Phi] (the [Bai03] phase-one chain)
+  kDead,         // M[!Phi && !Psi] (Theorem 4.2)
+};
+
+const char* to_string(TransformShape shape);
+
+/// One op. Which fields are meaningful depends on `kind`; unused fields keep
+/// their defaults so ops compare and print deterministically.
+struct PlanOp {
+  OpKind kind = OpKind::kConstTrue;
+  /// Set-valued operand ops (kNot: 1; kAnd/kOr: 2; kSteadySolve: 1;
+  /// kNextSolve: 1; kUntilSolve: lhs, rhs; kTransform: the sets its mask is
+  /// built from; kRewardSolve: the F-target for reachability queries, else
+  /// empty; kCompare: the solve op whose bounds it compares).
+  std::vector<OpId> inputs;
+
+  std::string label;                      // kLabelSet: the atomic proposition
+  logic::Comparison compare_op = logic::Comparison::kGreaterEqual;  // kCompare
+  double threshold = 0.0;                                           // kCompare
+  logic::Interval time_bound;             // kUntilSolve / kNextSolve
+  logic::Interval reward_bound;           // kUntilSolve / kNextSolve
+  logic::FormulaPtr reward_node;          // kRewardSolve: the R-operator node
+  UntilClass until_class = UntilClass::kUnbounded;      // kUntilSolve
+  TransformShape transform_shape = TransformShape::kNotPhiOrPsi;  // kTransform
+  OpId transform = kNoOp;                 // kUntilSolve: its hoisted transform
+
+  /// Number of consumers in the DAG (other ops' inputs/transform references);
+  /// the printer reports transforms and solves shared by more than one.
+  std::size_t uses = 0;
+
+  // --- engine-selection pass annotations (kUntilSolve, P2 classes only) ---
+  /// True when the cost model resolved the engine at compile time (operand
+  /// sets were compile-time known and the options ask for kAuto). The
+  /// executor then pins the choice instead of re-deriving it per run —
+  /// sound because the prediction runs checker::choose_until_engine on the
+  /// identical transformed model.
+  bool engine_known = false;
+  checker::AutoEngineChoice engine_choice;
+  /// True when recorded history (PlanOptions::adaptive_cost_model) overrode
+  /// the static heuristic; such a pin may diverge from what a direct check
+  /// would pick, which is why the knob is opt-in.
+  bool engine_history_adjusted = false;
+  /// Cost-model inputs, for the printer: non-absorbing states of the
+  /// transformed model and the Poisson truncation depth at the op's horizon.
+  std::size_t predicted_live = 0;
+  std::size_t predicted_levels = 0;
+};
+
+/// A compiled batch. Bound to the model and options it was compiled against;
+/// executing it on a different model is undefined.
+struct Plan {
+  std::vector<PlanOp> ops;   // topological order
+  /// One root op per input formula, in input order.
+  std::vector<OpId> roots;
+  /// The input formulas (for printing; roots[i] realizes formulas[i]).
+  std::vector<logic::FormulaPtr> formulas;
+  /// The checker configuration baked into every solve op.
+  checker::CheckerOptions options;
+
+  /// Hoisted absorbing transforms, prewarmed at compile time for ops whose
+  /// masks were compile-time known and filled lazily during execution for
+  /// the rest. Shared across executions of this plan (not thread-safe: one
+  /// execution at a time). Null when hoisting is disabled.
+  std::shared_ptr<core::TransformCache> transforms;
+
+  // --- lumping pass (optional, off by default) ---
+  /// When true the ops run on `quotient` and results are expanded through
+  /// `block_of`. CSRL-preserving by the lumpability criterion of
+  /// core/lumping.hpp, but the quotient's numerics are not bitwise-identical
+  /// to the original model's, so the pass is opt-in.
+  bool lumped = false;
+  std::shared_ptr<const core::Mrm> quotient;
+  std::vector<std::size_t> block_of;  // original state -> quotient state
+
+  /// States the ops run on (quotient size when lumped).
+  std::size_t num_states = 0;
+  /// Original model size (== num_states unless lumped).
+  std::size_t original_states = 0;
+
+  // --- pass summary (deterministic; pinned by the pass-level tests) ---
+  /// Lowering requests answered by an already-interned op (the CSE pass).
+  std::size_t cse_hits = 0;
+  /// Transform-op references beyond each transform's first (hoisting wins).
+  std::size_t transforms_hoisted = 0;
+  /// Until ops whose engine the cost model resolved at compile time.
+  std::size_t engines_pinned = 0;
+};
+
+}  // namespace csrlmrm::plan

@@ -393,6 +393,18 @@ TEST(LintCli, JsonFileOutputParses) {
   std::filesystem::remove(json_path);
 }
 
+#if defined(CSRLMRM_SOURCE_DIR)
+// The plan subsystem must stay inside the whole-tree scan's scope: lint_tree
+// already walks src/ recursively, but this pins the directory explicitly so
+// a future scan-list regression (e.g. an exclude pattern swallowing
+// src/plan) fails a unit test, not just a code review.
+TEST(LintCli, PlanSubsystemIsCleanAndInScope) {
+  const std::string plan_dir = std::string(CSRLMRM_SOURCE_DIR) + "/src/plan";
+  ASSERT_TRUE(std::filesystem::is_directory(plan_dir)) << plan_dir;
+  EXPECT_EQ(run_lint_cli("'" + plan_dir + "'"), 0);
+}
+#endif  // CSRLMRM_SOURCE_DIR
+
 #endif  // CSRLMRM_LINT_BINARY && !_WIN32
 
 }  // namespace

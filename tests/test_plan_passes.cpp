@@ -1,0 +1,350 @@
+// Pass-level unit tests of the plan compiler: each pass's effect is pinned
+// through the Plan's deterministic summary fields, the `plan.*` stats
+// counters, and — for transform hoisting — the `omega.shared_cache_*`
+// counters of the uniformization layer the shared transformed models feed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checker/sat.hpp"
+#include "logic/parser.hpp"
+#include "models/explicit_nmr.hpp"
+#include "models/random_mrm.hpp"
+#include "models/tmr.hpp"
+#include "numeric/conditional.hpp"
+#include "obs/stats.hpp"
+#include "plan/compiler.hpp"
+#include "plan/cost_model.hpp"
+#include "plan/executor.hpp"
+
+namespace csrlmrm {
+namespace {
+
+std::vector<logic::FormulaPtr> parse_batch(const std::vector<std::string>& texts) {
+  std::vector<logic::FormulaPtr> batch;
+  for (const auto& text : texts) batch.push_back(logic::parse_formula(text));
+  return batch;
+}
+
+/// Counter-reading tests need the stats layer armed (the default test
+/// process keeps it off); every test leaves the registry clean.
+class PlanPasses : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_stats_enabled(true);
+    obs::StatsRegistry::global().reset();
+    numeric::SharedOmegaCache::global().clear();
+  }
+  void TearDown() override {
+    obs::StatsRegistry::global().reset();
+    obs::set_stats_enabled(false);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CSE pass
+// ---------------------------------------------------------------------------
+
+// The Table 5.4-style batch: two thresholds over one time-reward until plus
+// the time-only variant. CSE must intern the two label sets once, share the
+// entire time-reward solve between the thresholds, and keep exactly one
+// transform op for both untils (same M[!Phi v Psi] mask).
+TEST_F(PlanPasses, CseDedupCountsPinnedOnTmrBatch) {
+  const core::Mrm model = models::make_tmr();
+  const auto batch = parse_batch({"P(>0.1)[Sup U[0,100][0,3000] failed]",
+                                  "P(>0.5)[Sup U[0,100][0,3000] failed]",
+                                  "P(>0.1)[Sup U[0,100] failed]"});
+  checker::CheckerOptions options;
+  const plan::Plan compiled = plan::compile(model, batch, options);
+
+  // Ops: Sup, failed, transform, until[0,100][0,3000], cmp>0.1, cmp>0.5,
+  // until[0,100], cmp>0.1 — eight, not the 15 a per-formula lowering builds.
+  EXPECT_EQ(compiled.ops.size(), 8u);
+  // Hits: formula 2 re-finds Sup, failed, and the whole solve; formula 3
+  // re-finds the two label sets.
+  EXPECT_EQ(compiled.cse_hits, 5u);
+  EXPECT_EQ(compiled.transforms_hoisted, 1u);  // second until reuses the transform
+  // Only the P2-class (time-reward) until is engine-eligible; the time-only
+  // variant runs the fixed P1 uniformization path with no engine choice.
+  EXPECT_EQ(compiled.engines_pinned, 1u);
+
+  // The same numbers flow into the global counters (what `--stats` reports).
+  const auto& registry = obs::StatsRegistry::global();
+  EXPECT_EQ(registry.counter("plan.cse.hits"), compiled.cse_hits);
+  EXPECT_EQ(registry.counter("plan.ops"), compiled.ops.size());
+  EXPECT_EQ(registry.counter("plan.transforms.hoisted"), compiled.transforms_hoisted);
+  EXPECT_EQ(registry.counter("plan.engines.pinned"), compiled.engines_pinned);
+  EXPECT_EQ(registry.counter("plan.compile.calls"), 1u);
+
+  // The shared until solve is referenced by both compare ops.
+  std::size_t shared_solves = 0;
+  for (const auto& op : compiled.ops) {
+    if (op.kind == plan::OpKind::kUntilSolve && op.uses == 2) ++shared_solves;
+  }
+  EXPECT_EQ(shared_solves, 1u);
+}
+
+TEST_F(PlanPasses, CseOffLowersEveryOccurrenceSeparately) {
+  const core::Mrm model = models::make_tmr();
+  const auto batch = parse_batch({"P(>0.1)[Sup U[0,100][0,3000] failed]",
+                                  "P(>0.5)[Sup U[0,100][0,3000] failed]",
+                                  "P(>0.1)[Sup U[0,100] failed]"});
+  checker::CheckerOptions options;
+  plan::PlanOptions no_cse;
+  no_cse.cse = false;
+  const plan::Plan compiled = plan::compile(model, batch, options, no_cse);
+  EXPECT_EQ(compiled.cse_hits, 0u);
+  EXPECT_EQ(obs::StatsRegistry::global().counter("plan.cse.hits"), 0u);
+  // More ops than the deduplicated plan, and no solve is shared — the two
+  // identical time-reward untils each run their own solve. (Label-set ops
+  // legitimately reach uses=2 even here: each feeds its until op and that
+  // until's transform op. Transform sharing is the hoisting pass's toggle,
+  // not CSE's.)
+  const plan::Plan with_cse = plan::compile(model, batch, options);
+  EXPECT_GT(compiled.ops.size(), with_cse.ops.size());
+  for (const auto& op : compiled.ops) {
+    if (op.kind == plan::OpKind::kUntilSolve) EXPECT_LE(op.uses, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transform-hoisting pass
+// ---------------------------------------------------------------------------
+
+// Two time-reward untils over the same operand sets at ratio-matched bounds
+// ([0,50][0,300] and [0,100][0,600]: same r/t, so their zero-impulse Omega
+// thresholds coincide): one hoisted transform, and part of the second
+// solve's Omega evaluators (keyed by the transformed model's reward
+// coefficients and the canonical threshold) must be served from
+// numeric::SharedOmegaCache instead of re-derived. Measured against two
+// singleton plans executed from a cold cache, the batch must spend strictly
+// fewer misses (= evaluator derivations) and score strictly more hits.
+TEST_F(PlanPasses, HoistedTransformSharesOmegaEvaluatorsAcrossSolves) {
+  const core::Mrm model = models::make_tmr();  // has impulse rewards
+  checker::CheckerOptions options;
+  const auto& registry = obs::StatsRegistry::global();
+
+  // Lane 1: each formula compiled and executed alone, cold cache each time —
+  // the per-process behavior of two separate mrmcheck invocations.
+  std::uint64_t singleton_misses = 0;
+  std::uint64_t singleton_hits = 0;
+  for (const std::string& text :
+       {std::string("P(>0.1)[Sup U[0,50][0,300] failed]"),
+        std::string("P(>0.1)[Sup U[0,100][0,600] failed]")}) {
+    numeric::SharedOmegaCache::global().clear();
+    obs::StatsRegistry::global().reset();
+    const plan::Plan single = plan::compile(model, parse_batch({text}), options);
+    plan::execute(single, model);
+    singleton_misses += registry.counter("omega.shared_cache_misses");
+    singleton_hits += registry.counter("omega.shared_cache_hits");
+  }
+
+  // Lane 2: the batch through one plan, cold cache once.
+  numeric::SharedOmegaCache::global().clear();
+  obs::StatsRegistry::global().reset();
+  const plan::Plan batch = plan::compile(
+      model, parse_batch({"P(>0.1)[Sup U[0,50][0,300] failed]",
+                          "P(>0.1)[Sup U[0,100][0,600] failed]"}),
+      options);
+  EXPECT_EQ(batch.transforms_hoisted, 1u);
+  EXPECT_GE(registry.counter("plan.transform_prewarms"), 1u);
+  plan::execute(batch, model);
+  const std::uint64_t batch_misses = registry.counter("omega.shared_cache_misses");
+  const std::uint64_t batch_hits = registry.counter("omega.shared_cache_hits");
+
+  EXPECT_LT(batch_misses, singleton_misses);
+  EXPECT_GT(batch_hits, singleton_hits);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-selection pass (cost model)
+// ---------------------------------------------------------------------------
+
+// The compile-time pin must be the decision the runtime auto path records:
+// on the TMR bench model the auto cost model picks class-DP with the hybrid
+// armed, and a direct check bumps exactly that counter.
+TEST_F(PlanPasses, CostModelPinMatchesRuntimeAutoChoiceOnTmr) {
+  const core::Mrm model = models::make_tmr();
+  const auto batch = parse_batch({"P(>0.1)[Sup U[0,100][0,3000] failed]"});
+  checker::CheckerOptions options;
+  const plan::Plan compiled = plan::compile(model, batch, options);
+
+  const plan::PlanOp* until = nullptr;
+  for (const auto& op : compiled.ops) {
+    if (op.kind == plan::OpKind::kUntilSolve) until = &op;
+  }
+  ASSERT_NE(until, nullptr);
+  ASSERT_TRUE(until->engine_known);
+  EXPECT_EQ(until->engine_choice.method, checker::UntilMethod::kUniformization);
+  EXPECT_EQ(until->engine_choice.engine, checker::UntilEngine::kClassDp);
+  EXPECT_TRUE(until->engine_choice.adaptive_hybrid);
+  EXPECT_FALSE(until->engine_history_adjusted);
+
+  obs::StatsRegistry::global().reset();
+  checker::ModelChecker direct(model, options);
+  direct.verdicts(batch[0]);
+  const auto& registry = obs::StatsRegistry::global();
+  EXPECT_EQ(registry.counter("engine.auto_choice.classdp"), 1u);
+  EXPECT_EQ(registry.counter("engine.auto_choice.dfpg"), 0u);
+  EXPECT_EQ(registry.counter("engine.auto_choice.discretization"), 0u);
+}
+
+// Same regression on the 11-module NMR calibration (Tables 5.5/5.7): more
+// states, same verdict — class-DP stays within budget at the table horizons.
+TEST_F(PlanPasses, CostModelPinMatchesRuntimeAutoChoiceOnNmr) {
+  const core::Mrm model = models::make_tmr(models::chapter5_nmr_config());
+  const auto batch = parse_batch({"P(>0.1)[Sup U[0,100][0,3000] failed]"});
+  checker::CheckerOptions options;
+  const plan::Plan compiled = plan::compile(model, batch, options);
+  const plan::PlanOp* until = nullptr;
+  for (const auto& op : compiled.ops) {
+    if (op.kind == plan::OpKind::kUntilSolve) until = &op;
+  }
+  ASSERT_NE(until, nullptr);
+  ASSERT_TRUE(until->engine_known);
+  EXPECT_EQ(until->engine_choice.engine, checker::UntilEngine::kClassDp);
+  EXPECT_GT(until->predicted_live, 0u);
+  EXPECT_GT(until->predicted_levels, 0u);
+
+  obs::StatsRegistry::global().reset();
+  checker::ModelChecker direct(model, options);
+  direct.verdicts(batch[0]);
+  EXPECT_EQ(obs::StatsRegistry::global().counter("engine.auto_choice.classdp"), 1u);
+}
+
+// An impulse-free model with a starved node budget under a degrading policy:
+// auto provably skips to discretization, and the prediction must agree.
+TEST_F(PlanPasses, CostModelPredictsDiscretizationWhenOverBudget) {
+  models::RandomMrmConfig config;
+  config.num_states = 6;
+  config.impulse_probability = 0.0;
+  const core::Mrm model = models::make_random_mrm(7, config);
+  checker::CheckerOptions options;
+  options.uniformization.max_nodes = 1;  // guaranteed over budget
+  options.on_budget_exhausted = checker::BudgetPolicy::kFallbackToDiscretization;
+  const plan::EnginePrediction prediction =
+      plan::predict_until_engine(model, 10.0, options, plan::CostModelHistory{}, false);
+  EXPECT_EQ(prediction.choice.method, checker::UntilMethod::kDiscretization);
+  EXPECT_FALSE(prediction.history_adjusted);
+  EXPECT_EQ(prediction.choice.method, checker::choose_until_engine(model, 10.0, options).method);
+}
+
+// The per-path ablation (aggregate_signatures off) only DFPG implements.
+TEST_F(PlanPasses, CostModelFollowsSignatureAblationToDfpg) {
+  const core::Mrm model = models::make_tmr();
+  checker::CheckerOptions options;
+  options.uniformization.aggregate_signatures = false;
+  const plan::EnginePrediction prediction =
+      plan::predict_until_engine(model, 100.0, options, plan::CostModelHistory{}, false);
+  EXPECT_EQ(prediction.choice.method, checker::UntilMethod::kUniformization);
+  EXPECT_EQ(prediction.choice.engine, checker::UntilEngine::kDfpg);
+}
+
+// Adaptive mode: a fallback-heavy class-DP history demotes the static pick
+// to DFPG; a clean or thin history leaves it alone; static mode ignores the
+// history entirely.
+TEST_F(PlanPasses, AdaptiveHistoryDemotesFallbackHeavyClassDp) {
+  const core::Mrm model = models::make_tmr();
+  checker::CheckerOptions options;
+
+  plan::CostModelHistory bad;
+  bad.auto_classdp = 4;
+  bad.classdp_fallbacks = 2;  // half the runs fell back
+  const auto demoted = plan::predict_until_engine(model, 100.0, options, bad, true);
+  EXPECT_EQ(demoted.choice.engine, checker::UntilEngine::kDfpg);
+  EXPECT_TRUE(demoted.history_adjusted);
+  EXPECT_NE(demoted.rationale.find("history"), std::string::npos);
+
+  plan::CostModelHistory thin;
+  thin.auto_classdp = 3;  // below the 4-run confidence floor
+  thin.classdp_fallbacks = 3;
+  const auto kept_thin = plan::predict_until_engine(model, 100.0, options, thin, true);
+  EXPECT_EQ(kept_thin.choice.engine, checker::UntilEngine::kClassDp);
+  EXPECT_FALSE(kept_thin.history_adjusted);
+
+  plan::CostModelHistory clean;
+  clean.auto_classdp = 100;
+  clean.classdp_fallbacks = 1;
+  const auto kept_clean = plan::predict_until_engine(model, 100.0, options, clean, true);
+  EXPECT_EQ(kept_clean.choice.engine, checker::UntilEngine::kClassDp);
+  EXPECT_FALSE(kept_clean.history_adjusted);
+
+  const auto static_pick = plan::predict_until_engine(model, 100.0, options, bad, false);
+  EXPECT_EQ(static_pick.choice.engine, checker::UntilEngine::kClassDp);
+  EXPECT_FALSE(static_pick.history_adjusted);
+}
+
+// History-adjusted pins reach the plan only under the opt-in flag.
+TEST_F(PlanPasses, AdaptiveCostModelIsOptInAtCompileTime) {
+  const core::Mrm model = models::make_tmr();
+  const auto batch = parse_batch({"P(>0.1)[Sup U[0,100][0,3000] failed]"});
+  checker::CheckerOptions options;
+
+  // Seed the registry with the fallback-heavy history the adaptive pass reads.
+  obs::counter_add("engine.auto_choice.classdp", 4);
+  obs::counter_add("classdp.fallbacks", 2);
+  const plan::CostModelHistory history = plan::CostModelHistory::from_global_stats();
+  EXPECT_EQ(history.auto_classdp, 4u);
+  EXPECT_EQ(history.classdp_fallbacks, 2u);
+
+  plan::PlanOptions adaptive;
+  adaptive.adaptive_cost_model = true;
+  const plan::Plan adjusted = plan::compile(model, batch, options, adaptive);
+  const plan::Plan untouched = plan::compile(model, batch, options);
+  bool saw_adjusted = false;
+  for (const auto& op : adjusted.ops) {
+    if (op.kind == plan::OpKind::kUntilSolve) {
+      EXPECT_EQ(op.engine_choice.engine, checker::UntilEngine::kDfpg);
+      saw_adjusted = op.engine_history_adjusted;
+    }
+  }
+  EXPECT_TRUE(saw_adjusted);
+  for (const auto& op : untouched.ops) {
+    if (op.kind == plan::OpKind::kUntilSolve) {
+      EXPECT_EQ(op.engine_choice.engine, checker::UntilEngine::kClassDp);
+      EXPECT_FALSE(op.engine_history_adjusted);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lumping pass
+// ---------------------------------------------------------------------------
+
+// The explicit-state NMR collapses from 2^(N+1) states to the N+2 counter
+// abstraction; the lumped plan's verdicts must equal the direct checker's on
+// the full model (verdict-level, not bitwise — the quotient's numerics
+// differ in the last ulps, which is exactly why the pass is opt-in).
+TEST_F(PlanPasses, LumpingQuotientPreservesVerdicts) {
+  models::TmrConfig config;
+  config.num_modules = 4;
+  config.variable_failure_rate = true;
+  const core::Mrm model = models::make_explicit_nmr(config);
+  const auto batch = parse_batch({"S(>0.5) Sup", "P(>0.1)[Sup U[0,10][0,200] failed]",
+                                  "R(>=1)[C[0,10]]"});
+  checker::CheckerOptions options;
+  plan::PlanOptions with_lumping;
+  with_lumping.lumping = true;
+  const plan::Plan compiled = plan::compile(model, batch, options, with_lumping);
+  ASSERT_TRUE(compiled.lumped);
+  EXPECT_EQ(compiled.num_states, config.num_modules + 2u);
+  EXPECT_EQ(compiled.original_states, model.num_states());
+  ASSERT_EQ(compiled.block_of.size(), model.num_states());
+  EXPECT_EQ(obs::StatsRegistry::global().counter("plan.lumping.applied"), 1u);
+
+  const plan::PlanResult planned = plan::execute(compiled, model);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE("formula " + std::to_string(i));
+    checker::ModelChecker direct(model, options);
+    const auto verdicts = direct.verdicts(batch[i]);
+    ASSERT_EQ(planned.formulas[i].verdicts.size(), verdicts.size());
+    for (std::size_t s = 0; s < verdicts.size(); ++s) {
+      EXPECT_EQ(verdicts[s], planned.formulas[i].verdicts[s]) << "state " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csrlmrm

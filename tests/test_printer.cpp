@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "logic/parser.hpp"
+#include "models/random_formula.hpp"
 
 namespace csrlmrm::logic {
 namespace {
@@ -50,6 +51,16 @@ bool structurally_equal(const FormulaPtr& a, const FormulaPtr& b) {
              ua.reward_bound == ub.reward_bound && structurally_equal(ua.lhs, ub.lhs) &&
              structurally_equal(ua.rhs, ub.rhs);
     }
+    case FormulaKind::kExpectedReward: {
+      const auto& ra = static_cast<const ExpectedRewardFormula&>(*a);
+      const auto& rb = static_cast<const ExpectedRewardFormula&>(*b);
+      if (ra.op != rb.op || ra.bound != rb.bound || ra.query != rb.query) return false;
+      if (ra.query == RewardQuery::kCumulative) return ra.time_horizon == rb.time_horizon;
+      if (ra.query == RewardQuery::kReachability) {
+        return structurally_equal(ra.operand, rb.operand);
+      }
+      return true;
+    }
   }
   return false;
 }
@@ -76,7 +87,9 @@ INSTANTIATE_TEST_SUITE_P(
         "P(>0.8)[X (P(>0.5)[X[0,10][0,50] sleep])]",
         "S(>0.3)(P(>0.1)[a U[0,1][0,2] b])",
         "P(>0.1)[a U[0,~][0,5] b]",
-        "P(>0.1)[(busy || idle) U[0,10][0,50] sleep]"));
+        "P(>0.1)[(busy || idle) U[0,10][0,50] sleep]",
+        "R(<= 25)[C[0,10]]", "R(<100)[F failed]", "R(>=3.2)[S]",
+        "R(<5)[F (a && P(>0.1)[b U c])]"));
 
 TEST(Printer, AppendixFormulaPrintsRecognizably) {
   const auto f = parse_formula("P(>= 0.3) [a U[0,3][0,23] b]");
@@ -91,6 +104,45 @@ TEST(Printer, TrivialBoundsAreOmitted) {
 TEST(Printer, RejectsNullFormula) {
   EXPECT_THROW(to_string(nullptr), std::invalid_argument);
 }
+
+// Property form of the round trip over the seeded generator: every random
+// formula (arbitrary bound shapes, shortest-form numeric literals, nesting)
+// must satisfy parse(print(f)) == f under logic::equal — the same structural
+// equality the plan compiler's CSE pass keys on. 200 seeds.
+class RandomRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RandomRoundTrip, ParsePrintParseIsIdentity) {
+  const FormulaPtr original = models::make_random_formula(GetParam());
+  const std::string printed = to_string(original);
+  FormulaPtr reparsed;
+  ASSERT_NO_THROW(reparsed = parse_formula(printed)) << "printed: " << printed;
+  EXPECT_TRUE(equal(original, reparsed)) << "printed: " << printed;
+  // Printing is idempotent: the reparsed tree prints to the same text.
+  EXPECT_EQ(to_string(reparsed), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRoundTrip, ::testing::Range(1u, 201u));
+
+// The same property under hostile numerics: deep nesting plus bound
+// magnitudes that force format_number into exponent notation (tiny rewards)
+// and many-digit shortest forms (huge horizons).
+class WildRandomRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WildRandomRoundTrip, ParsePrintParseIsIdentity) {
+  models::RandomFormulaConfig config;
+  config.max_depth = 6;
+  config.probabilistic_probability = 0.25;
+  config.max_time_bound = 1e9;
+  config.max_reward_bound = 1e-6;
+  const FormulaPtr original = models::make_random_formula(GetParam(), config);
+  const std::string printed = to_string(original);
+  FormulaPtr reparsed;
+  ASSERT_NO_THROW(reparsed = parse_formula(printed)) << "printed: " << printed;
+  EXPECT_TRUE(equal(original, reparsed)) << "printed: " << printed;
+  EXPECT_EQ(to_string(reparsed), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WildRandomRoundTrip, ::testing::Range(1u, 51u));
 
 }  // namespace
 }  // namespace csrlmrm::logic
