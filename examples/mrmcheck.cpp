@@ -67,7 +67,9 @@ void usage() {
                "            lines and '#' comments skipped) through one compiled plan\n"
                "            that deduplicates shared subformulas, solves, and\n"
                "            absorbing transforms across the batch; replaces the\n"
-               "            positional formula argument\n"
+               "            positional formula argument. A malformed or unsupported\n"
+               "            formula fails alone (its error printed in its slot), the\n"
+               "            rest of the batch still runs, and the exit status is 4\n"
                "  --explain  compile the formula (or --formulas batch) into a plan,\n"
                "            print it — ops, sharing, chosen until engines — and exit\n"
                "            without checking anything\n"
@@ -383,24 +385,92 @@ int main(int argc, char** argv) {
       // Batch / explain mode: compile the whole batch into one plan so
       // structurally shared subformulas, solves, and absorbing transforms
       // are each evaluated once (see src/plan/).
+      //
+      // Per-formula error isolation: a malformed (or unsupported) formula
+      // fails alone — its error is reported in its batch slot, every other
+      // formula still runs, and the process exits 4 instead of aborting the
+      // whole batch on the first bad line.
       const std::vector<std::string> texts =
           formulas_path.empty() ? std::vector<std::string>{formula_text}
                                 : load_formula_lines(formulas_path);
-      std::vector<logic::FormulaPtr> formulas;
-      formulas.reserve(texts.size());
-      for (const auto& text : texts) formulas.push_back(logic::parse_formula(text));
-      const plan::Plan compiled = plan::compile(model, formulas, options);
-      if (explain) {
-        std::printf("%s", plan::print_plan(compiled).c_str());
-        return 0;
+      std::vector<logic::FormulaPtr> formulas(texts.size());
+      std::vector<std::string> parse_errors(texts.size());
+      std::vector<std::size_t> runnable;
+      for (std::size_t i = 0; i < texts.size(); ++i) {
+        try {
+          formulas[i] = logic::parse_formula(texts[i]);
+          runnable.push_back(i);
+        } catch (const std::exception& error) {
+          parse_errors[i] = error.what();
+        }
       }
-      const plan::PlanResult results = plan::execute(compiled, model);
+      std::vector<logic::FormulaPtr> good;
+      good.reserve(runnable.size());
+      for (const std::size_t i : runnable) good.push_back(formulas[i]);
+
+      if (explain) {
+        for (std::size_t i = 0; i < texts.size(); ++i) {
+          if (!parse_errors[i].empty()) {
+            std::fprintf(stderr, "mrmcheck: formula %zu '%s': %s\n", i + 1,
+                         texts[i].c_str(), parse_errors[i].c_str());
+          }
+        }
+        if (!good.empty()) {
+          const plan::Plan compiled = plan::compile(model, good, options);
+          std::printf("%s", plan::print_plan(compiled).c_str());
+        }
+        return runnable.size() == texts.size() ? 0 : 4;
+      }
+
+      // Execute the parsed formulas as one shared plan; when a formula
+      // poisons the shared execution (unsupported bound shapes surface at
+      // solve time), re-run each alone so only the offender fails — plan
+      // results are bitwise-identical at every batch composition.
+      std::vector<const plan::FormulaResult*> results_by_index(texts.size(), nullptr);
+      std::vector<std::string> check_errors(texts.size());
+      plan::PlanResult batch_results;
+      std::vector<plan::PlanResult> single_results(texts.size());
+      bool batch_ok = false;
+      if (!good.empty()) {
+        try {
+          const plan::Plan compiled = plan::compile(model, good, options);
+          batch_results = plan::execute(compiled, model);
+          batch_ok = true;
+          for (std::size_t k = 0; k < runnable.size(); ++k) {
+            results_by_index[runnable[k]] = &batch_results.formulas[k];
+          }
+        } catch (const std::exception&) {
+          // fall through to per-formula runs
+        }
+        if (!batch_ok) {
+          for (const std::size_t i : runnable) {
+            try {
+              const plan::Plan single = plan::compile(model, {formulas[i]}, options);
+              single_results[i] = plan::execute(single, model);
+              results_by_index[i] = &single_results[i].formulas[0];
+            } catch (const std::exception& error) {
+              check_errors[i] = error.what();
+            }
+          }
+        }
+      }
+
       bool batch_unknown = false;
-      for (std::size_t i = 0; i < formulas.size(); ++i) {
-        std::printf("[%zu/%zu] ", i + 1, formulas.size());
-        const bool unknown =
-            report_plan_formula(model, formulas[i], results.formulas[i], print_probabilities);
-        batch_unknown = batch_unknown || unknown;
+      bool any_failed = false;
+      for (std::size_t i = 0; i < texts.size(); ++i) {
+        std::printf("[%zu/%zu] ", i + 1, texts.size());
+        if (results_by_index[i] != nullptr) {
+          const bool unknown = report_plan_formula(model, formulas[i], *results_by_index[i],
+                                                   print_probabilities);
+          batch_unknown = batch_unknown || unknown;
+        } else {
+          const std::string& message =
+              parse_errors[i].empty() ? check_errors[i] : parse_errors[i];
+          std::printf("formula: %s\n  error: %s\n", texts[i].c_str(), message.c_str());
+          std::fprintf(stderr, "mrmcheck: formula %zu '%s': %s\n", i + 1, texts[i].c_str(),
+                       message.c_str());
+          any_failed = true;
+        }
       }
       if (stats_requested) {
         const std::string json = obs::StatsRegistry::global().to_json();
@@ -419,7 +489,11 @@ int main(int argc, char** argv) {
       }
       if (strict && batch_unknown) {
         std::fprintf(stderr, "mrmcheck: --strict: UNKNOWN verdicts present\n");
-        return 3;
+        if (!any_failed) return 3;
+      }
+      if (any_failed) {
+        std::fprintf(stderr, "mrmcheck: batch completed with per-formula failures\n");
+        return 4;
       }
       return 0;
     }

@@ -29,15 +29,15 @@ void require_masks(const core::Mrm& model, const std::vector<bool>& sat_phi,
 }
 
 /// M[absorb] through the caller's transform cache when one was supplied
-/// (batched plan execution), else a fresh build parked in `local`. Both
-/// paths run core::make_absorbing — a pure function of (model, absorb) — so
-/// the returned model is bitwise-identical either way.
-const core::Mrm& absorbing_model(const core::Mrm& model, const std::vector<bool>& absorb,
-                                 core::TransformCache* transforms,
-                                 std::optional<core::Mrm>& local) {
+/// (batched plan execution), else a fresh build. Both paths run
+/// core::make_absorbing — a pure function of (model, absorb) — so the
+/// returned model is bitwise-identical either way. The shared_ptr keeps the
+/// model alive across cache eviction while this solve uses it.
+std::shared_ptr<const core::Mrm> absorbing_model(const core::Mrm& model,
+                                                 const std::vector<bool>& absorb,
+                                                 core::TransformCache* transforms) {
   if (transforms != nullptr) return transforms->absorbing(model, absorb);
-  local.emplace(core::make_absorbing(model, absorb));
-  return *local;
+  return std::make_shared<const core::Mrm>(core::make_absorbing(model, absorb));
 }
 
 }  // namespace
@@ -355,8 +355,8 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
 
     std::vector<bool> not_phi(n, false);
     for (core::StateIndex s = 0; s < n; ++s) not_phi[s] = !sat_phi[s];
-    std::optional<core::Mrm> phase_one_local;
-    const core::Mrm& phase_one = absorbing_model(model, not_phi, transforms, phase_one_local);
+    const auto phase_one_ptr = absorbing_model(model, not_phi, transforms);
+    const core::Mrm& phase_one = *phase_one_ptr;
 
     const auto residual = until_probabilities(model, sat_phi, sat_psi,
                                               logic::Interval(0.0, t2 - t1),
@@ -411,8 +411,8 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
     // P1: Phi U^[0,t] Psi = transient analysis of M[!Phi v Psi] (Thm 4.1).
     std::vector<bool> absorb(n, false);
     for (core::StateIndex s = 0; s < n; ++s) absorb[s] = !sat_phi[s] || sat_psi[s];
-    std::optional<core::Mrm> transformed_local;
-    const core::Mrm& transformed = absorbing_model(model, absorb, transforms, transformed_local);
+    const auto transformed_ptr = absorbing_model(model, absorb, transforms);
+    const core::Mrm& transformed = *transformed_ptr;
     std::vector<UntilValue> values(n);
     std::vector<core::StateIndex> starts;
     for (core::StateIndex s = 0; s < n; ++s) {
@@ -453,18 +453,16 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
             "until with point time interval [t,t] requires Psi => Phi (Theorem 4.2)");
       }
     }
-    std::optional<core::Mrm> transformed_local;
-    const core::Mrm& transformed = absorbing_model(model, dead, transforms, transformed_local);
-    return bounded_time_reward(transformed, sat_psi, dead, t, r, options,
+    const auto transformed_ptr = absorbing_model(model, dead, transforms);
+    return bounded_time_reward(*transformed_ptr, sat_psi, dead, t, r, options,
                                /*psi_absorbed=*/false);
   }
 
   // P2: Phi U^[0,t]_[0,r] Psi on M[!Phi v Psi] (Theorems 4.1 + 4.3).
   std::vector<bool> absorb(n, false);
   for (core::StateIndex s = 0; s < n; ++s) absorb[s] = !sat_phi[s] || sat_psi[s];
-  std::optional<core::Mrm> transformed_local;
-  const core::Mrm& transformed = absorbing_model(model, absorb, transforms, transformed_local);
-  return bounded_time_reward(transformed, sat_psi, dead, t, r, options,
+  const auto transformed_ptr = absorbing_model(model, absorb, transforms);
+  return bounded_time_reward(*transformed_ptr, sat_psi, dead, t, r, options,
                              /*psi_absorbed=*/true);
 }
 

@@ -1,6 +1,9 @@
 #include "core/transform.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "obs/stats.hpp"
 
 namespace csrlmrm::core {
 
@@ -25,13 +28,46 @@ Mrm make_absorbing(const Mrm& model, const std::vector<bool>& absorb) {
   return Mrm(Ctmc(rates.build(), model.labels()), std::move(rewards), impulses.build());
 }
 
-const Mrm& TransformCache::absorbing(const Mrm& model, const std::vector<bool>& absorb) {
+TransformCache::TransformCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const Mrm> TransformCache::absorbing(const Mrm& model,
+                                                     const std::vector<bool>& absorb) {
+  // Build OUTSIDE the lock would double-build under a concurrent miss on the
+  // same mask; holding the lock across make_absorbing keeps the cache
+  // single-build per mask instead. Transform builds are cheap (one pass over
+  // the rate matrix) relative to the solves behind them, so serializing them
+  // is the right trade.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++tick_;
   const auto found = entries_.find(absorb);
   if (found != entries_.end()) {
     ++hits_;
-    return found->second;
+    found->second.last_use = tick_;
+    obs::counter_add("transform.cache_hits");
+    return found->second.model;
   }
-  return entries_.emplace(absorb, make_absorbing(model, absorb)).first->second;
+  if (capacity_ > 0 && entries_.size() >= capacity_) {
+    auto victim = entries_.begin();
+    for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+      if (cand->second.last_use < victim->second.last_use) victim = cand;
+    }
+    entries_.erase(victim);
+    obs::counter_add("transform.cache_evictions");
+  }
+  auto built = std::make_shared<const Mrm>(make_absorbing(model, absorb));
+  entries_.emplace(absorb, Entry{built, tick_});
+  obs::gauge_max("transform.cache_occupancy", static_cast<double>(entries_.size()));
+  return built;
+}
+
+std::size_t TransformCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t TransformCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
 }
 
 }  // namespace csrlmrm::core

@@ -13,7 +13,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/mrm.hpp"
@@ -27,27 +30,45 @@ Mrm make_absorbing(const Mrm& model, const std::vector<bool>& absorb);
 
 /// Memoizes make_absorbing results by absorbing mask, so a batch of until
 /// queries that share one transformed model (the plan compiler's hoisting
-/// pass, or the two mask runs of an operator with UNKNOWN operand states)
-/// builds it once. make_absorbing is a deterministic pure function of
-/// (model, mask), so returning the cached Mrm is bitwise-identical to
-/// rebuilding it.
+/// pass, the two mask runs of an operator with UNKNOWN operand states, or
+/// the per-model resident cache of mrmcheckd) builds it once.
+/// make_absorbing is a deterministic pure function of (model, mask), so
+/// returning the cached Mrm is bitwise-identical to rebuilding it.
 ///
 /// One cache instance serves ONE base model (the key is the mask alone);
-/// callers bind a cache to a model and must not mix models. Not thread-safe:
-/// the until checker consults it only from its serial prologue, before the
-/// per-state fan-out.
+/// callers bind a cache to a model and must not mix models. Thread-safe and
+/// capacity-bounded: a daemon keeps one cache alive per resident model for
+/// the process lifetime and serves concurrent same-model queries from it, so
+/// lookups lock internally and occupancy is bounded LRU — eviction only
+/// drops the cache's reference, handed-out shared_ptrs stay valid.
+/// Observability: "transform.cache_hits" / "transform.cache_evictions"
+/// counters and the "transform.cache_occupancy" gauge.
 class TransformCache {
  public:
-  /// M[absorb] for the bound base model, built on first request. The
-  /// reference stays valid for the cache's lifetime (node-based map).
-  const Mrm& absorbing(const Mrm& model, const std::vector<bool>& absorb);
+  /// Distinct masks retained. Generous for one model's formula batches
+  /// (three transform shapes per until class), tight enough that a daemon
+  /// fed adversarial mask-churning queries stays bounded.
+  static constexpr std::size_t kDefaultCapacity = 64;
 
-  std::size_t size() const { return entries_.size(); }
-  std::size_t hits() const { return hits_; }
+  explicit TransformCache(std::size_t capacity = kDefaultCapacity);
+
+  /// M[absorb] for the bound base model, built on first request.
+  std::shared_ptr<const Mrm> absorbing(const Mrm& model, const std::vector<bool>& absorb);
+
+  std::size_t size() const;
+  std::size_t hits() const;
 
  private:
-  std::map<std::vector<bool>, Mrm> entries_;
+  struct Entry {
+    std::shared_ptr<const Mrm> model;
+    std::uint64_t last_use = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
   std::size_t hits_ = 0;
+  std::map<std::vector<bool>, Entry> entries_;
 };
 
 }  // namespace csrlmrm::core

@@ -1,0 +1,35 @@
+// Minimal blocking client for the mrmcheckd protocol: connect to the unix
+// socket, send one JSON line, read one JSON reply line. Used by mrmcheckc,
+// the daemon tests, and bench_daemon's concurrent-client lanes.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace csrlmrm::daemon {
+
+class Client {
+ public:
+  /// Connects immediately; throws std::runtime_error when the socket cannot
+  /// be reached.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends `request` as one frame and blocks for the reply line. Requests on
+  /// one Client must not interleave across threads (one in flight at a
+  /// time); use one Client per thread for concurrency.
+  obs::JsonValue roundtrip(const obs::JsonValue& request);
+
+ private:
+  /// Reads up to the next newline (buffering any overshoot).
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace csrlmrm::daemon

@@ -1,0 +1,222 @@
+#include "daemon/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "io/model_files.hpp"
+#include "lang/builder.hpp"
+#include "obs/json.hpp"
+#include "obs/stats.hpp"
+
+namespace csrlmrm::daemon {
+
+namespace {
+
+using obs::JsonValue;
+
+JsonValue error_json(const std::string& message) {
+  JsonValue reply = JsonValue::object();
+  reply.set("ok", JsonValue(false));
+  reply.set("error", JsonValue(message));
+  return reply;
+}
+
+std::string required_string(const JsonValue& request, const char* key) {
+  const JsonValue* member = request.find(key);
+  if (member == nullptr || !member->is_string()) {
+    throw std::invalid_argument(std::string("'") + key + "' must be a string");
+  }
+  return member->as_string();
+}
+
+core::Mrm load_requested_model(const JsonValue& request) {
+  if (const JsonValue* spec = request.find("spec")) {
+    std::ifstream in(spec->as_string());
+    if (!in) throw std::runtime_error("cannot open '" + spec->as_string() + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto built = lang::build_model_from_text(buffer.str());
+    return std::move(*built.model);
+  }
+  const std::string tra = required_string(request, "tra");
+  const std::string lab = required_string(request, "lab");
+  const std::string rewr = required_string(request, "rewr");
+  const JsonValue* rewi = request.find("rewi");
+  return io::load_mrm(tra, lab, rewr, rewi != nullptr ? rewi->as_string() : "");
+}
+
+}  // namespace
+
+DaemonServer::DaemonServer(ServerOptions options)
+    : options_(std::move(options)),
+      registry_(options_.registry_capacity),
+      service_(registry_, options_.service) {}
+
+DaemonServer::~DaemonServer() { stop(); }
+
+std::string DaemonServer::handle_line(const std::string& line) {
+  JsonValue reply;
+  JsonValue id;  // echoed when the request carried one
+  try {
+    const JsonValue request = obs::parse_json(line);
+    if (const JsonValue* requested_id = request.find("id")) id = *requested_id;
+    const std::string op = required_string(request, "op");
+    if (op == "ping") {
+      reply = JsonValue::object();
+      reply.set("ok", JsonValue(true));
+    } else if (op == "load") {
+      const JsonValue* name = request.find("name");
+      const auto resident = registry_.add(load_requested_model(request),
+                                          name != nullptr ? name->as_string() : "");
+      reply = JsonValue::object();
+      reply.set("ok", JsonValue(true));
+      reply.set("model", JsonValue(resident->fingerprint));
+      reply.set("states", JsonValue(static_cast<double>(resident->model->num_states())));
+      reply.set("resident", JsonValue(static_cast<double>(registry_.size())));
+    } else if (op == "check") {
+      const CheckReply checked = service_.submit(check_request_from_json(request)).get();
+      reply = check_reply_to_json(checked);
+    } else if (op == "stats") {
+      reply = JsonValue::object();
+      reply.set("ok", JsonValue(true));
+      reply.set("stats", obs::snapshot_to_json(obs::StatsRegistry::global().snapshot()));
+    } else if (op == "shutdown") {
+      {
+        const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+        shutdown_ = true;
+      }
+      shutdown_requested_.notify_all();
+      reply = JsonValue::object();
+      reply.set("ok", JsonValue(true));
+    } else {
+      reply = error_json("unknown op '" + op + "'");
+    }
+  } catch (const std::exception& error) {
+    reply = error_json(error.what());
+  }
+  if (!id.is_null()) reply.set("id", id);
+  return frame(reply);
+}
+
+void DaemonServer::start() {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("mrmcheckd: cannot create socket");
+
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(address.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("mrmcheckd: socket path too long: " + options_.socket_path);
+  }
+  std::memcpy(address.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("mrmcheckd: cannot bind '" + options_.socket_path + "'");
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void DaemonServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;  // transient accept failure (EINTR and friends)
+    }
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void DaemonServer::serve_connection(int fd) {
+  obs::counter_add("daemon.connections");
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+      const std::string reply = handle_line(line);
+      std::size_t written = 0;
+      while (written < reply.size()) {
+        // MSG_NOSIGNAL: a client that hung up (or a stop() racing a shutdown
+        // reply) must surface as a failed send, not a SIGPIPE that kills the
+        // whole daemon mid-teardown with the socket file still on disk.
+        const ssize_t sent =
+            ::send(fd, reply.data() + written, reply.size() - written, MSG_NOSIGNAL);
+        if (sent <= 0) {
+          open = false;
+          break;
+        }
+        written += static_cast<std::size_t>(sent);
+      }
+    }
+  }
+  {
+    // Deregister before closing so stop() never shutdown()s a recycled fd.
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (std::size_t i = 0; i < connection_fds_.size(); ++i) {
+      if (connection_fds_[i] == fd) {
+        connection_fds_.erase(connection_fds_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void DaemonServer::wait_for_shutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_requested_.wait(lock, [this] { return shutdown_; });
+}
+
+void DaemonServer::stop() {
+  if (!running_.exchange(false)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Wake the blocking accept(); shutdown() makes it return immediately.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<std::thread> connections;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    // SHUT_RD only: the blocking read() returns 0 and the thread winds down,
+    // but an in-flight reply — the shutdown ack in particular — can still be
+    // written before the thread closes its own fd.
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+    connections.swap(connections_);
+  }
+  for (std::thread& connection : connections) connection.join();
+  ::unlink(options_.socket_path.c_str());
+  {
+    const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_ = true;
+  }
+  shutdown_requested_.notify_all();
+}
+
+}  // namespace csrlmrm::daemon

@@ -1,0 +1,85 @@
+// The unix-domain-socket front of mrmcheckd: an accept loop handing each
+// connection to its own thread, which reads newline-delimited JSON requests
+// (see daemon/protocol.hpp) and writes one reply line per request.
+//
+// Connection threads block in submit(...).get() while the dispatcher serves
+// their request — which is exactly what makes cross-client batching emerge:
+// requests arriving while a batch runs queue up and are grouped into the
+// next one. Load/stats/ping are answered inline (they are cheap and take no
+// numeric locks).
+//
+// handle_line() is the transport-free core — tests drive the full protocol
+// through it without a socket; the socket layer only does framing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/model_registry.hpp"
+#include "daemon/service.hpp"
+
+namespace csrlmrm::daemon {
+
+struct ServerOptions {
+  /// Filesystem path of the listening socket; unlinked on stop. Must fit
+  /// sockaddr_un (~100 bytes).
+  std::string socket_path;
+  std::size_t registry_capacity = ModelRegistry::kDefaultCapacity;
+  ServiceOptions service;
+};
+
+class DaemonServer {
+ public:
+  explicit DaemonServer(ServerOptions options);
+  ~DaemonServer();
+
+  DaemonServer(const DaemonServer&) = delete;
+  DaemonServer& operator=(const DaemonServer&) = delete;
+
+  /// Binds the socket and spawns the accept loop. Throws std::runtime_error
+  /// when the path cannot be bound.
+  void start();
+
+  /// Blocks until a client sends {"op":"shutdown"} (or stop() is called).
+  void wait_for_shutdown();
+
+  /// Closes the listener, joins every connection thread, unlinks the socket.
+  /// Idempotent.
+  void stop();
+
+  /// Handles one request line and returns the reply line (newline-
+  /// terminated). Never throws: protocol errors become {"ok":false,...}.
+  std::string handle_line(const std::string& line);
+
+  ModelRegistry& registry() { return registry_; }
+  CheckService& service() { return service_; }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  ServerOptions options_;
+  ModelRegistry registry_;
+  CheckService service_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connections_;
+  /// Open connection fds, so stop() can shutdown() blocked readers before
+  /// joining. A thread removes its fd (under the mutex) before closing it.
+  std::vector<int> connection_fds_;
+  std::atomic<bool> running_{false};
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_requested_;
+  bool shutdown_ = false;
+};
+
+}  // namespace csrlmrm::daemon

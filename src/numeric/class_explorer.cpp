@@ -220,7 +220,7 @@ std::vector<UntilUniformizationResult> SignatureClassUntilEngine::compute_batch(
   const double mean = sig_.uniformized.lambda() * t;
   const double w = options.truncation_probability;
   const auto poisson_tail =
-      poisson_tails_.table(mean, poisson_truncation_point(mean, w) + 2);
+      PoissonTailCache::global().table(mean, poisson_truncation_point(mean, w) + 2);
 
   const std::size_t num_k = sig_.distinct_state_rewards.size();
   const std::size_t num_j = sig_.distinct_impulse_rewards.size();

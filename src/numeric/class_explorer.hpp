@@ -131,7 +131,6 @@ class SignatureClassUntilEngine {
   /// at dead states exactly (no error contribution), the DP never generates
   /// the class in the first place.
   std::vector<std::vector<SignatureTransition>> live_adjacency_;
-  mutable PoissonTailCache poisson_tails_;
 };
 
 }  // namespace csrlmrm::numeric

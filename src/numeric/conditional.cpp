@@ -40,7 +40,7 @@ std::shared_ptr<const OmegaEvaluator> SharedOmegaCache::evaluator(
   }
   obs::counter_add("omega.shared_cache_misses");
   obs::counter_add("omega.evaluators_built");
-  if (entries_.size() >= capacity_) {
+  if (capacity_ > 0 && entries_.size() >= capacity_) {
     // O(n) LRU scan; the capacity is small and misses are rare once warm.
     auto victim = entries_.begin();
     for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {

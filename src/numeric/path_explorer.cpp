@@ -63,7 +63,8 @@ UntilUniformizationResult UniformizationUntilEngine::compute(
   const double log_mean = std::log(mean);
   const double log_w = std::log(options.truncation_probability);
   const auto poisson_tail =
-      poisson_tails_.table(mean, poisson_truncation_point(mean, options.truncation_probability) + 2);
+      PoissonTailCache::global().table(
+          mean, poisson_truncation_point(mean, options.truncation_probability) + 2);
 
   const std::size_t num_k = sig_.distinct_state_rewards.size();
   const std::size_t num_j = sig_.distinct_impulse_rewards.size();

@@ -130,10 +130,6 @@ class UniformizationUntilEngine {
 
  private:
   SignatureModel sig_;
-  // Per-(mean) Poisson tail tables shared across compute() calls: the
-  // checker's per-state fan-out issues one query per start state with the
-  // identical mean Lambda*t, and the table only depends on that mean.
-  mutable PoissonTailCache poisson_tails_;
 };
 
 }  // namespace csrlmrm::numeric

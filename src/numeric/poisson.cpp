@@ -147,6 +147,11 @@ double SharedPoissonTail::tail(std::size_t n) const {
   return std::max(0.0, 1.0 - cdf(n - 1));
 }
 
+PoissonTailCache& PoissonTailCache::global() {
+  static PoissonTailCache cache;
+  return cache;
+}
+
 std::shared_ptr<const SharedPoissonTail> PoissonTailCache::table(double mean,
                                                                 std::size_t n_max) const {
   require_valid_mean(mean);

@@ -95,6 +95,13 @@ class PoissonTailCache {
   /// entry only drops the cache's reference, handed-out snapshots survive.
   static constexpr std::size_t kCapacity = 8;
 
+  /// The process-wide cache both uniformization explorers draw from, so a
+  /// long-lived service re-checking the same (model, t) keeps its Poisson
+  /// tables warm across requests. Tables are pure functions of the mean
+  /// (always built to the hard truncation cap), so sharing across solves is
+  /// bitwise-identical to per-solve rebuilds.
+  static PoissonTailCache& global();
+
   /// The table for `mean` covering at least [0, n_max].
   std::shared_ptr<const SharedPoissonTail> table(double mean, std::size_t n_max) const;
 

@@ -314,6 +314,40 @@ void write_value(const JsonValue& value, std::string& out, int depth) {
   }
 }
 
+/// Whitespace-free form for newline-delimited framing. Scalars delegate to
+/// write_value (which emits no indentation for them), so the two writers
+/// format numbers identically.
+void write_value_compact(const JsonValue& value, std::string& out) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kArray: {
+      const auto& items = value.items();
+      out += '[';
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ',';
+        write_value_compact(items[i], out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      const auto& members = value.members();
+      out += '{';
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"';
+        out += json_escape(members[i].first);
+        out += "\":";
+        write_value_compact(members[i].second, out);
+      }
+      out += '}';
+      return;
+    }
+    default:
+      write_value(value, out, 0);
+      return;
+  }
+}
+
 }  // namespace
 
 JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
@@ -322,6 +356,12 @@ std::string write_json(const JsonValue& value) {
   std::string out;
   write_value(value, out, 0);
   out += '\n';
+  return out;
+}
+
+std::string write_json_compact(const JsonValue& value) {
+  std::string out;
+  write_value_compact(value, out);
   return out;
 }
 

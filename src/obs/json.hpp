@@ -95,6 +95,12 @@ JsonValue parse_json(std::string_view text);
 /// (JSON has no representation for them).
 std::string write_json(const JsonValue& value);
 
+/// Serializes without any whitespace — one line, suitable for
+/// newline-delimited JSON framing (the mrmcheckd wire protocol). Numbers use
+/// the same shortest round-trip formatting as write_json, so doubles survive
+/// a serialize/parse round trip bitwise.
+std::string write_json_compact(const JsonValue& value);
+
 /// Escapes one string for embedding in JSON output (quotes not included).
 std::string json_escape(std::string_view text);
 

@@ -294,6 +294,45 @@ std::string StatsRegistry::to_json() const {
   return write_json(document);
 }
 
+StatsSnapshot StatsRegistry::snapshot() const {
+  // counters()/gauges() each flush the calling thread and lock; two calls
+  // are fine — counters only grow, so an interleaved write between them can
+  // only make the delta attribute slightly *less* work to the request, never
+  // negative.
+  return StatsSnapshot{counters(), gauges()};
+}
+
+StatsSnapshot StatsRegistry::delta_since(const StatsSnapshot& base) const {
+  const StatsSnapshot now = snapshot();
+  StatsSnapshot delta;
+  for (const auto& [name, value] : now.counters) {
+    const auto it = base.counters.find(name);
+    const std::uint64_t before = it != base.counters.end() ? it->second : 0;
+    // Guard against a caller mixing snapshots across a reset(): a counter
+    // can then read lower than the base, and wrapping to ~2^64 would be
+    // worse than dropping the entry.
+    if (value > before) delta.counters.emplace(name, value - before);
+  }
+  for (const auto& [name, value] : now.gauges) {
+    const auto it = base.gauges.find(name);
+    if (it == base.gauges.end() || value > it->second) delta.gauges.emplace(name, value);
+  }
+  return delta;
+}
+
+JsonValue snapshot_to_json(const StatsSnapshot& snapshot) {
+  JsonValue object = JsonValue::object();
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.set(name, JsonValue(static_cast<double>(value)));
+  }
+  object.set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, value] : snapshot.gauges) gauges.set(name, JsonValue(value));
+  object.set("gauges", std::move(gauges));
+  return object;
+}
+
 void StatsRegistry::reset() {
   flush_calling_thread_if_global();  // don't let stale thread data resurface later
   std::lock_guard<std::mutex> lock(mutex_);

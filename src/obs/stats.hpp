@@ -63,6 +63,16 @@ struct TraceNode {
   const TraceNode* find(std::string_view child_name) const;
 };
 
+/// Point-in-time copy of a registry's counters and gauges, taken before a
+/// request so the work attributable to that request can be reported as a
+/// *delta* instead of the process-lifetime totals. A long-lived service
+/// (mrmcheckd) serves hundreds of queries from one process; without deltas
+/// every response would report cumulative `classdp.*` / `plan.*` numbers.
+struct StatsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+};
+
 /// Thread-safe store of counters (merge: sum), gauges (merge: max), and the
 /// merged trace tree. One global instance backs the whole process; local
 /// instances exist for unit tests.
@@ -98,6 +108,20 @@ class StatsRegistry {
   /// "trace": {...}} with trace times in both ns and ms.
   std::string to_json() const;
 
+  /// Counters/gauges right now (the calling thread's pending block flushed
+  /// first when this is the global registry). Callers that run work on other
+  /// threads must ensure those threads flushed (the thread pool does so after
+  /// every chunk; a service worker calls flush_thread() when its request
+  /// ends) or the snapshot under-counts.
+  StatsSnapshot snapshot() const;
+
+  /// What happened since `base`: counters subtract (a counter absent from
+  /// the base counts from 0; counters never decrease). Gauges merge by max
+  /// and cannot be subtracted — the delta carries a gauge only when it is
+  /// new or higher than in the base, with its current value. Scoped-reset
+  /// alternative for callers that own the registry: reset() + snapshot().
+  StatsSnapshot delta_since(const StatsSnapshot& base) const;
+
   /// Drops all recorded data (counters, gauges, trace).
   void reset();
 
@@ -111,6 +135,13 @@ class StatsRegistry {
   std::map<std::string, double, std::less<>> gauges_;
   TraceNode root_{"root", 0, 0, {}};
 };
+
+class JsonValue;
+
+/// A snapshot as the JSON object {"counters": {...}, "gauges": {...}} — the
+/// shape of StatsRegistry::to_json() minus schema and trace. The mrmcheckd
+/// responses embed per-request deltas this way.
+JsonValue snapshot_to_json(const StatsSnapshot& snapshot);
 
 /// Runtime switch. Defaults to the CSRLMRM_STATS environment variable (unset
 /// or "0" = disabled); mrmcheck --stats and the benches enable it

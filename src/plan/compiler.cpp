@@ -263,14 +263,10 @@ class Lowerer {
         plan_.options.until_engine == checker::UntilEngine::kAuto && known_[lhs] &&
         known_[rhs]) {
       const auto absorb = transform_mask(*shape, *known_[lhs], *known_[rhs]);
-      std::optional<core::Mrm> local;
-      const core::Mrm* transformed = nullptr;
-      if (plan_.transforms) {
-        transformed = &plan_.transforms->absorbing(model_, absorb);
-      } else {
-        local.emplace(core::make_absorbing(model_, absorb));
-        transformed = &*local;
-      }
+      const std::shared_ptr<const core::Mrm> transformed =
+          plan_.transforms
+              ? plan_.transforms->absorbing(model_, absorb)
+              : std::make_shared<const core::Mrm>(core::make_absorbing(model_, absorb));
       const EnginePrediction prediction =
           predict_until_engine(*transformed, node.time_bound.upper(), plan_.options,
                                history_, plan_options_.adaptive_cost_model);
@@ -384,7 +380,12 @@ Plan compile(const core::Mrm& model, const std::vector<logic::FormulaPtr>& formu
   plan.num_states = target->num_states();
 
   if (plan_options.hoist_transforms) {
-    plan.transforms = std::make_shared<core::TransformCache>();
+    // A lumped plan compiles against the quotient, whose transforms must not
+    // mix with the original model's in a caller-shared cache (the cache keys
+    // by mask alone); reuse only applies to the unlumped path.
+    plan.transforms = (plan_options.shared_transforms && !plan.lumped)
+                          ? plan_options.shared_transforms
+                          : std::make_shared<core::TransformCache>();
   }
 
   Lowerer lowerer(*target, plan_options, plan);

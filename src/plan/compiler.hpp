@@ -19,10 +19,12 @@
 // Compilation runs no numeric solves; it is O(batch size + transforms).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "checker/options.hpp"
 #include "core/mrm.hpp"
+#include "core/transform.hpp"
 #include "logic/ast.hpp"
 #include "plan/ir.hpp"
 
@@ -48,6 +50,12 @@ struct PlanOptions {
   /// adjust the static engine choice. Off by default: a history-adjusted pin
   /// may differ from what a direct check would pick.
   bool adaptive_cost_model = false;
+  /// When set (and hoist_transforms is on), the compiled plan uses this
+  /// TransformCache instead of a fresh one, so transforms built by earlier
+  /// compilations of the SAME model stay warm — mrmcheckd binds one cache per
+  /// resident model and passes it here on every request. The cache keys by
+  /// mask alone; the caller owns the cache-per-model discipline.
+  std::shared_ptr<core::TransformCache> shared_transforms;
 };
 
 /// Compiles `formulas` against `model` under `options`. The returned plan

@@ -16,8 +16,10 @@
 //     model reach with identical keys.
 //
 // Execution is serial over ops (each numeric op parallelizes internally over
-// start states, exactly like the direct checker); a Plan must not be
-// executed from two threads at once (its TransformCache is unsynchronized).
+// start states, exactly like the direct checker). The TransformCache locks
+// internally, so concurrent executions of plans sharing one cache (the
+// mrmcheckd per-model resident cache) are safe; a single PlanResult is still
+// built by one thread.
 #pragma once
 
 #include <vector>

@@ -1,0 +1,497 @@
+// The mrmcheckd subsystem: protocol round trips, the resident-model
+// registry, the batching check service (including its admission-control
+// degradation paths), the socket server, and the concurrent soak test
+// pinning daemon results bitwise-identical to cold direct checks.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/approx.hpp"
+#include "daemon/client.hpp"
+#include "io/model_files.hpp"
+#include "daemon/model_registry.hpp"
+#include "daemon/protocol.hpp"
+#include "daemon/server.hpp"
+#include "daemon/service.hpp"
+#include "logic/parser.hpp"
+#include "models/cellphone.hpp"
+#include "models/mm1k.hpp"
+#include "models/tmr.hpp"
+#include "plan/compiler.hpp"
+#include "plan/executor.hpp"
+
+namespace {
+
+using namespace csrlmrm;
+
+// ---------------------------------------------------------------- protocol
+
+TEST(DaemonProtocol, CheckRequestRoundTrips) {
+  daemon::CheckRequest request;
+  request.model = "tmr";
+  request.formulas = {"P(>0.1)[Sup U[0,10][0,300] failed]", "S(<0.9) allUp"};
+  request.options.w = 1e-6;
+  request.options.max_nodes = 1000;
+  request.options.deadline_ms = 250.0;
+  request.options.until_engine = "classdp";
+  request.options.fallback = "widen-w";
+
+  const daemon::CheckRequest back =
+      daemon::check_request_from_json(daemon::check_request_to_json(request));
+  EXPECT_EQ(back.model, request.model);
+  EXPECT_EQ(back.formulas, request.formulas);
+  ASSERT_TRUE(back.options.w.has_value());
+  EXPECT_TRUE(core::exactly_equal(*back.options.w, 1e-6));
+  EXPECT_EQ(back.options.max_nodes, request.options.max_nodes);
+  EXPECT_EQ(back.options.until_engine, request.options.until_engine);
+  EXPECT_EQ(back.options.fallback, request.options.fallback);
+}
+
+TEST(DaemonProtocol, CheckReplyRoundTripsBitwise) {
+  daemon::CheckReply reply;
+  reply.ok = true;
+  reply.batch_requests = 3;
+  daemon::FormulaReply formula;
+  formula.ok = true;
+  formula.formula = "P(> 0.1) [a U b]";
+  formula.verdicts = "YN?";
+  formula.has_probabilities = true;
+  formula.probabilities = {0.010198025684297257, 1.0 / 3.0, 1.0};
+  formula.has_bounds = true;
+  formula.bound_lower = {0.0, 0.3, 1.0};
+  formula.bound_upper = {0.25, 0.5, 1.0};
+  reply.formulas.push_back(formula);
+  reply.stats_delta.counters["daemon.requests"] = 7;
+
+  // Through the actual wire representation: compact JSON text and back.
+  const std::string line = daemon::frame(daemon::check_reply_to_json(reply));
+  const daemon::CheckReply back = daemon::check_reply_from_json(obs::parse_json(line));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.batch_requests, 3u);
+  ASSERT_EQ(back.formulas.size(), 1u);
+  EXPECT_EQ(back.formulas[0].verdicts, "YN?");
+  ASSERT_EQ(back.formulas[0].probabilities.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    // %.17g framing must round-trip doubles bitwise.
+    EXPECT_TRUE(core::exactly_equal(back.formulas[0].probabilities[i],
+                                    formula.probabilities[i]));
+  }
+  EXPECT_EQ(back.stats_delta.counters.at("daemon.requests"), 7u);
+}
+
+TEST(DaemonProtocol, ApplyOverridesRejectsBadNames) {
+  checker::CheckerOptions base;
+  daemon::CheckOverrides overrides;
+  overrides.until_engine = "warp-drive";
+  EXPECT_THROW(daemon::apply_overrides(base, overrides), std::invalid_argument);
+  overrides.until_engine.reset();
+  overrides.fallback = "ignore";
+  EXPECT_THROW(daemon::apply_overrides(base, overrides), std::invalid_argument);
+  overrides.fallback.reset();
+  overrides.w = -1.0;
+  EXPECT_THROW(daemon::apply_overrides(base, overrides), std::invalid_argument);
+}
+
+TEST(DaemonProtocol, BatchKeySeparatesNumericOptionsOnly) {
+  daemon::CheckRequest a;
+  a.model = "tmr";
+  daemon::CheckRequest b = a;
+  // Deadline is admission control, never numeric: same key.
+  b.options.deadline_ms = 5.0;
+  EXPECT_EQ(daemon::batch_key(a), daemon::batch_key(b));
+  b.options.w = 1e-6;
+  EXPECT_NE(daemon::batch_key(a), daemon::batch_key(b));
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(ModelRegistry, FingerprintIsContentBased) {
+  const std::string fp_tmr = daemon::fingerprint_mrm(models::make_tmr());
+  EXPECT_EQ(fp_tmr.size(), 16u);
+  EXPECT_EQ(fp_tmr, daemon::fingerprint_mrm(models::make_tmr()));
+  EXPECT_NE(fp_tmr, daemon::fingerprint_mrm(models::make_cellphone()));
+}
+
+TEST(ModelRegistry, AddIsIdempotentAndKeepsWarmCaches) {
+  daemon::ModelRegistry registry;
+  const auto first = registry.add(models::make_tmr(), "tmr");
+  // Warm the transform cache through the resident handle.
+  const std::vector<bool> mask(first->model->num_states(), false);
+  first->transforms->absorbing(*first->model, mask);
+  const std::size_t warm = first->transforms->size();
+  EXPECT_EQ(warm, 1u);
+
+  const auto second = registry.add(models::make_tmr(), "tmr-again");
+  EXPECT_EQ(first.get(), second.get());  // same resident entry, caches kept
+  EXPECT_EQ(second->transforms->size(), warm);
+  EXPECT_EQ(registry.size(), 1u);
+  // Both aliases and the fingerprint resolve.
+  EXPECT_NE(registry.find("tmr-again"), nullptr);
+  EXPECT_NE(registry.find(first->fingerprint), nullptr);
+  EXPECT_EQ(registry.find("nope"), nullptr);
+}
+
+TEST(ModelRegistry, EvictsLeastRecentlyUsedAtCapacity) {
+  daemon::ModelRegistry registry(2);
+  registry.add(models::make_tmr(), "tmr");
+  registry.add(models::make_cellphone(), "cell");
+  ASSERT_NE(registry.find("tmr"), nullptr);  // refresh tmr: cell becomes LRU
+  registry.add(models::make_mm1k(), "queue");
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.find("cell"), nullptr);
+  EXPECT_NE(registry.find("tmr"), nullptr);
+  EXPECT_NE(registry.find("queue"), nullptr);
+}
+
+// ----------------------------------------------------------------- service
+
+/// Direct (daemon-free) reference results for one model/formula pair, the
+/// way a cold mrmcheck process would compute them.
+plan::FormulaResult direct_result(const core::Mrm& model, const std::string& text) {
+  const auto formula = logic::parse_formula(text);
+  const plan::Plan compiled = plan::compile(model, {formula}, checker::CheckerOptions{});
+  plan::PlanResult result = plan::execute(compiled, model);
+  return std::move(result.formulas[0]);
+}
+
+/// Bitwise comparison of a daemon reply against a direct result; returns
+/// false on ANY difference. gtest assertions are not thread-safe, so the
+/// soak's client threads use this and assert after joining.
+bool bitwise_matches(const daemon::FormulaReply& reply,
+                     const plan::FormulaResult& expected) {
+  if (!reply.ok) return false;
+  if (reply.verdicts.size() != expected.verdicts.size()) return false;
+  for (std::size_t s = 0; s < expected.verdicts.size(); ++s) {
+    const char want = expected.verdicts[s] == checker::Verdict::kSat      ? 'Y'
+                      : expected.verdicts[s] == checker::Verdict::kUnsat ? 'N'
+                                                                         : '?';
+    if (reply.verdicts[s] != want) return false;
+  }
+  if (reply.has_probabilities != expected.has_probabilities) return false;
+  if (expected.has_probabilities) {
+    if (reply.probabilities.size() != expected.probabilities.size()) return false;
+    for (std::size_t s = 0; s < expected.probabilities.size(); ++s) {
+      if (!core::exactly_equal(reply.probabilities[s],
+                               expected.probabilities[s].probability)) {
+        return false;
+      }
+    }
+  }
+  if (reply.has_values != expected.has_values) return false;
+  if (expected.has_values) {
+    if (reply.values.size() != expected.values.size()) return false;
+    for (std::size_t s = 0; s < expected.values.size(); ++s) {
+      if (!core::exactly_equal(reply.values[s], expected.values[s])) return false;
+    }
+  }
+  if (expected.has_bounds) {
+    if (!reply.has_bounds || reply.bound_lower.size() != expected.bounds.size()) return false;
+    for (std::size_t s = 0; s < expected.bounds.size(); ++s) {
+      if (!core::exactly_equal(reply.bound_lower[s], expected.bounds[s].lower) ||
+          !core::exactly_equal(reply.bound_upper[s], expected.bounds[s].upper)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void expect_matches_direct(const daemon::FormulaReply& reply,
+                           const plan::FormulaResult& expected) {
+  ASSERT_TRUE(reply.ok) << reply.error;
+  ASSERT_EQ(reply.verdicts.size(), expected.verdicts.size());
+  for (std::size_t s = 0; s < expected.verdicts.size(); ++s) {
+    const char want = expected.verdicts[s] == checker::Verdict::kSat      ? 'Y'
+                      : expected.verdicts[s] == checker::Verdict::kUnsat ? 'N'
+                                                                         : '?';
+    EXPECT_EQ(reply.verdicts[s], want) << "state " << s;
+  }
+  EXPECT_EQ(reply.has_probabilities, expected.has_probabilities);
+  if (expected.has_probabilities) {
+    ASSERT_EQ(reply.probabilities.size(), expected.probabilities.size());
+    for (std::size_t s = 0; s < expected.probabilities.size(); ++s) {
+      EXPECT_TRUE(core::exactly_equal(reply.probabilities[s],
+                                      expected.probabilities[s].probability))
+          << "state " << s;
+    }
+  }
+  if (expected.has_values) {
+    ASSERT_EQ(reply.values.size(), expected.values.size());
+    for (std::size_t s = 0; s < expected.values.size(); ++s) {
+      EXPECT_TRUE(core::exactly_equal(reply.values[s], expected.values[s])) << "state " << s;
+    }
+  }
+}
+
+TEST(CheckService, AnswersBitwiseIdenticalToDirectCheck) {
+  daemon::ModelRegistry registry;
+  registry.add(models::make_tmr(), "tmr");
+  daemon::CheckService service(registry);
+
+  const std::string text = "P(>0.1)[Sup U[0,10][0,300] failed]";
+  daemon::CheckRequest request;
+  request.model = "tmr";
+  request.formulas = {text};
+  const daemon::CheckReply reply = service.submit(request).get();
+  ASSERT_TRUE(reply.ok) << reply.error;
+  EXPECT_FALSE(reply.degraded);
+  ASSERT_EQ(reply.formulas.size(), 1u);
+  expect_matches_direct(reply.formulas[0], direct_result(models::make_tmr(), text));
+}
+
+TEST(CheckService, RepeatQueriesHitTheResidentTransformCache) {
+  daemon::ModelRegistry registry;
+  const auto resident = registry.add(models::make_tmr(), "tmr");
+  daemon::CheckService service(registry);
+
+  daemon::CheckRequest request;
+  request.model = "tmr";
+  request.formulas = {"P(>0.1)[Sup U[0,10][0,300] failed]"};
+  ASSERT_TRUE(service.submit(request).get().ok);
+  const std::size_t hits_after_first = resident->transforms->hits();
+  ASSERT_TRUE(service.submit(request).get().ok);
+  // The second request's transform comes from the warm per-model cache.
+  EXPECT_GT(resident->transforms->hits(), hits_after_first);
+}
+
+TEST(CheckService, UnknownModelFailsTheRequest) {
+  daemon::ModelRegistry registry;
+  daemon::CheckService service(registry);
+  daemon::CheckRequest request;
+  request.model = "ghost";
+  request.formulas = {"TT"};
+  const daemon::CheckReply reply = service.submit(request).get();
+  EXPECT_FALSE(reply.ok);
+  EXPECT_NE(reply.error.find("ghost"), std::string::npos);
+}
+
+TEST(CheckService, MalformedFormulaFailsAloneInABatch) {
+  daemon::ModelRegistry registry;
+  registry.add(models::make_tmr(), "tmr");
+  daemon::CheckService service(registry);
+
+  daemon::CheckRequest request;
+  request.model = "tmr";
+  request.formulas = {"S(<0.9) allUp", "THIS IS (not a formula", "TT"};
+  const daemon::CheckReply reply = service.submit(request).get();
+  ASSERT_TRUE(reply.ok) << reply.error;
+  ASSERT_EQ(reply.formulas.size(), 3u);
+  EXPECT_TRUE(reply.formulas[0].ok);
+  EXPECT_FALSE(reply.formulas[1].ok);
+  EXPECT_FALSE(reply.formulas[1].error.empty());
+  EXPECT_TRUE(reply.formulas[2].ok);
+  EXPECT_EQ(reply.formulas[2].verdicts, std::string(5, 'Y'));
+}
+
+TEST(CheckService, ExpiredDeadlineDegradesToUnknownWithInterval) {
+  daemon::ModelRegistry registry;
+  registry.add(models::make_tmr(), "tmr");
+  daemon::CheckService service(registry);
+
+  daemon::CheckRequest request;
+  request.model = "tmr";
+  request.formulas = {"P(>0.1)[Sup U[0,10][0,300] failed]"};
+  request.options.deadline_ms = -1.0;  // expired at submission, deterministically
+  const daemon::CheckReply reply = service.submit(request).get();
+  ASSERT_TRUE(reply.ok);
+  EXPECT_TRUE(reply.degraded);
+  ASSERT_EQ(reply.formulas.size(), 1u);
+  EXPECT_EQ(reply.formulas[0].verdicts, std::string(5, '?'));
+  ASSERT_TRUE(reply.formulas[0].has_bounds);
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_TRUE(core::exactly_equal(reply.formulas[0].bound_lower[s], 0.0));
+    EXPECT_TRUE(core::exactly_equal(reply.formulas[0].bound_upper[s], 1.0));
+  }
+}
+
+TEST(CheckService, FullQueueShedsInsteadOfStalling) {
+  daemon::ModelRegistry registry;
+  registry.add(models::make_tmr(), "tmr");
+  daemon::ServiceOptions options;
+  options.max_queue = 0;  // every request is over the admission bound
+  daemon::CheckService service(registry, options);
+
+  daemon::CheckRequest request;
+  request.model = "tmr";
+  request.formulas = {"TT"};
+  const daemon::CheckReply reply = service.submit(request).get();
+  ASSERT_TRUE(reply.ok);
+  EXPECT_TRUE(reply.degraded);
+  EXPECT_NE(reply.error.find("queue"), std::string::npos);
+  ASSERT_EQ(reply.formulas.size(), 1u);
+  EXPECT_EQ(reply.formulas[0].verdicts, std::string(5, '?'));
+}
+
+TEST(CheckService, StatsDeltaIsPerBatchNotProcessLifetime) {
+  daemon::ModelRegistry registry;
+  registry.add(models::make_tmr(), "tmr");
+  daemon::CheckService service(registry);
+  obs::set_stats_enabled(true);
+
+  daemon::CheckRequest request;
+  request.model = "tmr";
+  request.formulas = {"P(>0.1)[Sup U[0,10][0,300] failed]"};
+  const daemon::CheckReply first = service.submit(request).get();
+  const daemon::CheckReply second = service.submit(request).get();
+  obs::set_stats_enabled(false);
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  // Both requests did comparable work; cumulative reporting would make the
+  // second delta roughly double the first.
+  const auto calls = [](const daemon::CheckReply& reply) {
+    const auto it = reply.stats_delta.counters.find("plan.compile.calls");
+    return it != reply.stats_delta.counters.end() ? it->second : 0u;
+  };
+  EXPECT_EQ(calls(first), 1u);
+  EXPECT_EQ(calls(second), 1u);
+}
+
+// -------------------------------------------------------------------- soak
+
+/// The acceptance soak: 8 concurrent clients x 100 queries over mixed
+/// resident models against ONE service must return results bitwise-identical
+/// to cold direct checks, with over-budget (expired-deadline) requests
+/// answered degraded instead of hanging.
+TEST(DaemonSoak, ConcurrentClientsMatchColdChecksBitwise) {
+  struct Combo {
+    const char* model;
+    core::Mrm built;
+    std::string formula;
+    plan::FormulaResult expected;
+  };
+  std::vector<Combo> combos;
+  combos.push_back({"tmr", models::make_tmr(), "P(>0.1)[Sup U[0,10][0,300] failed]", {}});
+  combos.push_back({"tmr", models::make_tmr(), "S(<0.9) allUp", {}});
+  combos.push_back(
+      {"cell", models::make_cellphone(),
+       "P(>0.4)[(Call_Idle || Doze) U[0,24][0,600] Call_Initiated]", {}});
+  combos.push_back({"queue", models::make_mm1k(), "P(>0.05)[busy U[0,4][0,40] full]", {}});
+  combos.push_back({"queue", models::make_mm1k(), "R(<30)[C[0,5]]", {}});
+  for (Combo& combo : combos) combo.expected = direct_result(combo.built, combo.formula);
+
+  daemon::ModelRegistry registry;
+  registry.add(models::make_tmr(), "tmr");
+  registry.add(models::make_cellphone(), "cell");
+  registry.add(models::make_mm1k(), "queue");
+  daemon::ServiceOptions options;
+  options.max_queue = 4096;  // soak admission-free; shedding is tested above
+  daemon::CheckService service(registry, options);
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 100;
+  std::vector<std::thread> clients;
+  std::vector<int> mismatches(kClients, 0);
+  std::vector<int> degraded(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const Combo& combo = combos[static_cast<std::size_t>(c + q) % combos.size()];
+        daemon::CheckRequest request;
+        request.model = combo.model;
+        request.formulas = {combo.formula};
+        // Every 10th query carries an already-expired deadline: it must come
+        // back degraded immediately, never hang, and never perturb others.
+        const bool expired = q % 10 == 9;
+        if (expired) request.options.deadline_ms = -1.0;
+        const daemon::CheckReply reply = service.submit(request).get();
+        if (!reply.ok || reply.formulas.size() != 1) {
+          ++mismatches[c];
+          continue;
+        }
+        if (expired) {
+          if (!reply.degraded ||
+              reply.formulas[0].verdicts !=
+                  std::string(combo.expected.verdicts.size(), '?')) {
+            ++mismatches[c];
+          } else {
+            ++degraded[c];
+          }
+          continue;
+        }
+        if (reply.degraded) {
+          ++mismatches[c];
+          continue;
+        }
+        // Bitwise comparison against the cold direct results.
+        if (!bitwise_matches(reply.formulas[0], combo.expected)) ++mismatches[c];
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(mismatches[c], 0) << "client " << c;
+    EXPECT_EQ(degraded[c], kQueriesPerClient / 10) << "client " << c;
+  }
+}
+
+// ------------------------------------------------------------------ server
+
+TEST(DaemonServer, HandleLineSpeaksTheProtocol) {
+  daemon::ServerOptions options;
+  options.socket_path = "/unused";  // handle_line needs no socket
+  daemon::DaemonServer server(options);
+
+  // Unknown op and malformed JSON become error replies, never throws.
+  EXPECT_NE(server.handle_line(R"({"op":"warp"})").find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(server.handle_line("not json").find("\"ok\":false"), std::string::npos);
+  // Ping echoes the id.
+  const std::string pong = server.handle_line(R"({"op":"ping","id":"42"})");
+  EXPECT_NE(pong.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(pong.find("\"id\":\"42\""), std::string::npos);
+}
+
+TEST(DaemonServer, SocketRoundTripLoadCheckStatsShutdown) {
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() /
+       (std::string("mrmcheckd_test_") + std::to_string(::getpid()) + ".sock"))
+          .string();
+  daemon::ServerOptions options;
+  options.socket_path = socket_path;
+  daemon::DaemonServer server(options);
+  server.start();
+
+  const std::string models = CSRLMRM_EXAMPLE_MODELS_DIR;
+  {
+    daemon::Client client(socket_path);
+    obs::JsonValue load = obs::JsonValue::object();
+    load.set("op", obs::JsonValue(std::string("load")));
+    load.set("name", obs::JsonValue(std::string("tmr")));
+    load.set("tra", obs::JsonValue(models + "/tmr.tra"));
+    load.set("lab", obs::JsonValue(models + "/tmr.lab"));
+    load.set("rewr", obs::JsonValue(models + "/tmr.rewr"));
+    load.set("rewi", obs::JsonValue(models + "/tmr.rewi"));
+    const obs::JsonValue loaded = client.roundtrip(load);
+    ASSERT_TRUE(loaded.at("ok").as_bool());
+    EXPECT_TRUE(core::exactly_equal(loaded.at("states").as_number(), 5.0));
+
+    daemon::CheckRequest request;
+    request.model = "tmr";
+    request.formulas = {"P(>0.1)[Sup U[0,10][0,300] failed]"};
+    const daemon::CheckReply reply = daemon::check_reply_from_json(
+        client.roundtrip(daemon::check_request_to_json(request)));
+    ASSERT_TRUE(reply.ok) << reply.error;
+    // The wire reply must match the direct check bitwise, double for double.
+    expect_matches_direct(
+        reply.formulas[0],
+        direct_result(io::load_mrm(models + "/tmr.tra", models + "/tmr.lab",
+                                   models + "/tmr.rewr", models + "/tmr.rewi"),
+                      request.formulas[0]));
+
+    obs::JsonValue stats = obs::JsonValue::object();
+    stats.set("op", obs::JsonValue(std::string("stats")));
+    EXPECT_TRUE(client.roundtrip(stats).at("ok").as_bool());
+
+    obs::JsonValue shutdown = obs::JsonValue::object();
+    shutdown.set("op", obs::JsonValue(std::string("shutdown")));
+    EXPECT_TRUE(client.roundtrip(shutdown).at("ok").as_bool());
+  }
+  server.wait_for_shutdown();
+  server.stop();
+  EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+}  // namespace

@@ -311,6 +311,35 @@ TEST_F(MrmcheckCli, NodeBudgetExhaustionFallsBackInsteadOfFailing) {
             1);
 }
 
+TEST_F(MrmcheckCli, FormulasBatchIsolatesPerFormulaFailures) {
+  // A malformed formula in a --formulas batch fails alone: the remaining
+  // formulas still run and the process exits 4 (batch completed with
+  // per-formula failures) — not 1, and not 0.
+  const auto write_batch = [&](const char* name, const char* text) {
+    std::ofstream out(directory_ / name);
+    out << text;
+    return "'" + (directory_ / name).string() + "'";
+  };
+  const std::string mixed = write_batch("mixed.csrl",
+                                        "P(>0.1)[Sup U[0,50][0,3000] failed]\n"
+                                        "THIS IS (not a formula\n"
+                                        "S(<0.9) allUp\n");
+  EXPECT_EQ(run(model_args_ + " NP --formulas=" + mixed), 4);
+  // --strict does not mask the failure exit: per-formula failures dominate
+  // the UNKNOWN exit code.
+  EXPECT_EQ(run(model_args_ + " NP --strict --formulas=" + mixed), 4);
+  // A fully well-formed batch exits 0.
+  const std::string clean = write_batch("clean.csrl",
+                                        "P(>0.1)[Sup U[0,50][0,3000] failed]\n"
+                                        "\n"
+                                        "# comments and blanks are skipped\n"
+                                        "S(<0.9) allUp\n");
+  EXPECT_EQ(run(model_args_ + " NP --formulas=" + clean), 0);
+  // --explain on a mixed batch also reports the failures via exit 4 while
+  // still printing the plan of the good formulas.
+  EXPECT_EQ(run(model_args_ + " NP --explain --formulas=" + mixed), 4);
+}
+
 TEST_F(MrmcheckCli, StatsToUnwritablePathFailsBeforeChecking) {
   EXPECT_EQ(run(model_args_ + " --stats=/nonexistent-dir/stats.json 'TT'"), 2);
   EXPECT_EQ(run(model_args_ + " --stats= 'TT'"), 2);

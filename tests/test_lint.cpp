@@ -403,6 +403,15 @@ TEST(LintCli, PlanSubsystemIsCleanAndInScope) {
   ASSERT_TRUE(std::filesystem::is_directory(plan_dir)) << plan_dir;
   EXPECT_EQ(run_lint_cli("'" + plan_dir + "'"), 0);
 }
+
+// Same pin for the daemon subsystem: src/daemon carries raw socket I/O and
+// hand-rolled framing — exactly the code the linter's rules (no naked new,
+// no float ==, no reserved identifiers) are meant to keep honest.
+TEST(LintCli, DaemonSubsystemIsCleanAndInScope) {
+  const std::string daemon_dir = std::string(CSRLMRM_SOURCE_DIR) + "/src/daemon";
+  ASSERT_TRUE(std::filesystem::is_directory(daemon_dir)) << daemon_dir;
+  EXPECT_EQ(run_lint_cli("'" + daemon_dir + "'"), 0);
+}
 #endif  // CSRLMRM_SOURCE_DIR
 
 #endif  // CSRLMRM_LINT_BINARY && !_WIN32

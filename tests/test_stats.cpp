@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/approx.hpp"
 #include "obs/json.hpp"
 #include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
@@ -198,6 +199,68 @@ TEST_F(StatsTest, ToJsonMatchesSchema) {
   EXPECT_DOUBLE_EQ(op.at("calls").as_number(), 1.0);
   EXPECT_GE(op.at("total_ns").as_number(), 0.0);
   EXPECT_DOUBLE_EQ(op.at("total_ms").as_number(), op.at("total_ns").as_number() / 1e6);
+}
+
+TEST_F(StatsTest, SnapshotDeltaIsolatesARequestsWork) {
+  // The mrmcheckd pattern: snapshot before a request, delta after. The delta
+  // must carry only the work recorded in between — no contamination from
+  // counters that predate the request (a long-lived process accumulates
+  // process-lifetime totals that must never leak into a reply).
+  obs::counter_add("test.before", 100);
+  obs::gauge_max("test.gauge", 9.0);
+  const obs::StatsSnapshot base = obs::StatsRegistry::global().snapshot();
+
+  obs::counter_add("test.before", 5);
+  obs::counter_add("test.during", 2);
+  const obs::StatsSnapshot delta = obs::StatsRegistry::global().delta_since(base);
+
+  EXPECT_EQ(delta.counters.at("test.before"), 5u);  // increment only, not 105
+  EXPECT_EQ(delta.counters.at("test.during"), 2u);
+  // An untouched counter is absent from the delta, not reported as zero.
+  obs::counter_add("test.untouched", 7);
+  const obs::StatsSnapshot base2 = obs::StatsRegistry::global().snapshot();
+  const obs::StatsSnapshot delta2 = obs::StatsRegistry::global().delta_since(base2);
+  EXPECT_TRUE(delta2.counters.empty());
+  // A gauge that did not grow past its base maximum is absent too.
+  EXPECT_EQ(delta.gauges.find("test.gauge"), delta.gauges.end());
+}
+
+TEST_F(StatsTest, SnapshotDeltaSurvivesAResetBetweenSnapshots) {
+  // A reset between base and delta makes counters read lower than the base.
+  // The delta must drop such entries instead of wrapping to ~2^64.
+  obs::counter_add("test.counter", 50);
+  const obs::StatsSnapshot base = obs::StatsRegistry::global().snapshot();
+  obs::StatsRegistry::global().reset();
+  obs::counter_add("test.counter", 3);
+  const obs::StatsSnapshot delta = obs::StatsRegistry::global().delta_since(base);
+  EXPECT_EQ(delta.counters.find("test.counter"), delta.counters.end());
+}
+
+TEST_F(StatsTest, SnapshotToJsonRoundTrips) {
+  obs::counter_add("test.counter", 3);
+  obs::gauge_max("test.gauge", 2.5);
+  const obs::StatsSnapshot snapshot = obs::StatsRegistry::global().snapshot();
+  const obs::JsonValue document =
+      obs::parse_json(obs::write_json_compact(obs::snapshot_to_json(snapshot)));
+  EXPECT_DOUBLE_EQ(document.at("counters").at("test.counter").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(document.at("gauges").at("test.gauge").as_number(), 2.5);
+}
+
+TEST_F(StatsJson, CompactWriterIsOneLineAndBitwiseStable) {
+  obs::JsonValue object = obs::JsonValue::object();
+  object.set("p", obs::JsonValue(0.010198025684297257));
+  object.set("text", obs::JsonValue(std::string("a\nb")));
+  obs::JsonValue array = obs::JsonValue::array();
+  array.push_back(obs::JsonValue(1.0 / 3.0));
+  object.set("xs", std::move(array));
+  const std::string line = obs::write_json_compact(object);
+  // NDJSON framing requires the payload itself to be newline-free.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const obs::JsonValue back = obs::parse_json(line);
+  // Shortest round-trip formatting must reproduce the doubles bitwise.
+  EXPECT_TRUE(core::exactly_equal(back.at("p").as_number(), 0.010198025684297257));
+  EXPECT_TRUE(core::exactly_equal(back.at("xs").items()[0].as_number(), 1.0 / 3.0));
+  EXPECT_EQ(back.at("text").as_string(), "a\nb");
 }
 
 /// The workload used for the thread-merge determinism check: fan out over
