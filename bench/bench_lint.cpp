@@ -1,0 +1,136 @@
+// csrlmrm-lint whole-tree scan record, written to BENCH_lint.json (CWD, or
+// the path given as argv[1]).
+//
+// Workload: the same scan the lint_tree test runs — every C++ source under
+// src/ tests/ bench/ examples/ tools/ (fixture corpora skipped by the
+// walker). Three lanes:
+//
+//   serial   — threads=1, no cache: the v1 baseline configuration;
+//   parallel — threads=0 (process default), no cache: the src/parallel
+//     chunked scan with results merged in sorted-path order;
+//   warm     — threads=1 with the incremental cache pre-populated: every
+//     file satisfied by content-hash lookup, measuring the cache floor
+//     (read + hash + JSON replay, no analysis).
+//
+// The serial and parallel reports must be byte-identical ("identical" lands
+// in the JSON and gates the exit code) — parallelism buys the same bytes
+// faster or it does not count. --smoke shrinks the workload to tools/ and
+// one repetition so the bench-smoke lane stays fast.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "driver.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+int g_repeats = 3;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename Fn>
+double best_of(Fn&& fn) {
+  fn();  // untimed warmup: page in the sources, size the allocator pools
+  double best = 1e300;
+  for (int repeat = 0; repeat < g_repeats; ++repeat) {
+    const double start = now_ms();
+    fn();
+    best = best < now_ms() - start ? best : now_ms() - start;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csrlmrm;
+
+  std::string out_path = "BENCH_lint.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_repeats = 1;
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const std::string root = CSRLMRM_SOURCE_DIR;
+  std::vector<std::string> paths;
+  if (smoke) {
+    paths = {root + "/tools"};
+  } else {
+    paths = {root + "/src", root + "/tests", root + "/bench", root + "/examples",
+             root + "/tools"};
+  }
+
+  // --- serial lane --------------------------------------------------------
+  lint::LintOptions serial_options;
+  serial_options.threads = 1;
+  lint::LintReport serial_report;
+  const double serial_ms =
+      best_of([&] { serial_report = lint::lint_paths(paths, serial_options); });
+
+  // --- parallel lane ------------------------------------------------------
+  lint::LintOptions parallel_options;
+  parallel_options.threads = 0;  // process default
+  lint::LintReport parallel_report;
+  const double parallel_ms =
+      best_of([&] { parallel_report = lint::lint_paths(paths, parallel_options); });
+
+  const bool identical = obs::write_json(lint::report_to_json(serial_report)) ==
+                         obs::write_json(lint::report_to_json(parallel_report));
+
+  // --- warm-cache lane ----------------------------------------------------
+  const std::string cache_path =
+      (std::filesystem::temp_directory_path() / "BENCH_lint.cache.json").string();
+  std::filesystem::remove(cache_path);
+  lint::LintOptions warm_options;
+  warm_options.threads = 1;
+  warm_options.cache_path = cache_path;
+  lint::lint_paths(paths, warm_options);  // populate
+  lint::LintReport warm_report;
+  const double warm_ms =
+      best_of([&] { warm_report = lint::lint_paths(paths, warm_options); });
+  std::filesystem::remove(cache_path);
+
+  const double parallel_speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  const double warm_speedup = warm_ms > 0.0 ? serial_ms / warm_ms : 0.0;
+  std::printf("lint scan bench (%zu files, best of %d)\n", serial_report.files_scanned,
+              g_repeats);
+  std::printf("  serial:    %8.3f ms\n  parallel:  %8.3f ms (%.2fx)\n",
+              serial_ms, parallel_ms, parallel_speedup);
+  std::printf("  warm:      %8.3f ms (%.2fx, %zu cached)\n", warm_ms, warm_speedup,
+              warm_report.files_cached);
+  std::printf("  serial/parallel reports identical: %s\n", identical ? "yes" : "NO");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::printf("cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"lint_scan\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"files\": %zu,\n", serial_report.files_scanned);
+  std::fprintf(out, "  \"diagnostics\": %zu,\n", serial_report.diagnostics.size());
+  std::fprintf(out, "  \"repeats\": %d,\n", g_repeats);
+  std::fprintf(out, "  \"serial_ms\": %.3f,\n", serial_ms);
+  std::fprintf(out, "  \"parallel_ms\": %.3f,\n", parallel_ms);
+  std::fprintf(out, "  \"parallel_speedup\": %.2f,\n", parallel_speedup);
+  std::fprintf(out, "  \"warm_cache_ms\": %.3f,\n", warm_ms);
+  std::fprintf(out, "  \"warm_cache_speedup\": %.2f,\n", warm_speedup);
+  std::fprintf(out, "  \"warm_files_cached\": %zu,\n", warm_report.files_cached);
+  std::fprintf(out, "  \"reports_identical\": %s\n}\n", identical ? "true" : "false");
+  std::fclose(out);
+
+  return identical ? 0 : 1;
+}

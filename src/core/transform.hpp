@@ -66,9 +66,9 @@ class TransformCache {
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
-  std::uint64_t tick_ = 0;
-  std::size_t hits_ = 0;
-  std::map<std::vector<bool>, Entry> entries_;
+  std::uint64_t tick_ = 0;  // lint:guarded_by(mutex_)
+  std::size_t hits_ = 0;    // lint:guarded_by(mutex_)
+  std::map<std::vector<bool>, Entry> entries_;  // lint:guarded_by(mutex_)
 };
 
 }  // namespace csrlmrm::core

@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
@@ -56,6 +57,7 @@ std::string Client::read_line() {
     }
     char chunk[4096];
     const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+    if (got < 0 && errno == EINTR) continue;  // interrupted, not closed: retry
     if (got <= 0) throw std::runtime_error("connection closed by daemon");
     buffer_.append(chunk, static_cast<std::size_t>(got));
   }

@@ -71,8 +71,8 @@ class ModelRegistry {
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
-  std::uint64_t tick_ = 0;
-  std::vector<Slot> slots_;
+  std::uint64_t tick_ = 0;   // lint:guarded_by(mutex_)
+  std::vector<Slot> slots_;  // lint:guarded_by(mutex_)
 };
 
 }  // namespace csrlmrm::daemon

@@ -83,6 +83,11 @@ struct CheckReply {
   std::string error;
   /// How many requests the serving batch combined (>= 1).
   std::size_t batch_requests = 1;
+  /// Non-empty when the shared batched execution failed and the group was
+  /// re-run formula-by-formula: the batch-level error, kept so clients (and
+  /// operators) can see why the slower isolation path ran. Per-formula
+  /// results are still authoritative — only the offender carries an error.
+  std::string batch_error;
   std::vector<FormulaReply> formulas;
   /// Stats recorded while the serving batch ran (shared across its
   /// requests, since the solves themselves are shared).

@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -135,7 +136,8 @@ void DaemonServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load()) return;
-      continue;  // transient accept failure (EINTR and friends)
+      if (errno == EINTR) continue;  // interrupted by a signal: retry
+      continue;  // other transient accept failure
     }
     const std::lock_guard<std::mutex> lock(connections_mutex_);
     connection_fds_.push_back(fd);
@@ -150,6 +152,7 @@ void DaemonServer::serve_connection(int fd) {
   bool open = true;
   while (open) {
     const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got < 0 && errno == EINTR) continue;  // interrupted, not hung up: retry
     if (got <= 0) break;
     buffer.append(chunk, static_cast<std::size_t>(got));
     std::size_t newline;

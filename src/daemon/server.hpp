@@ -71,15 +71,15 @@ class DaemonServer {
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::mutex connections_mutex_;
-  std::vector<std::thread> connections_;
+  std::vector<std::thread> connections_;  // lint:guarded_by(connections_mutex_)
   /// Open connection fds, so stop() can shutdown() blocked readers before
   /// joining. A thread removes its fd (under the mutex) before closing it.
-  std::vector<int> connection_fds_;
+  std::vector<int> connection_fds_;  // lint:guarded_by(connections_mutex_)
   std::atomic<bool> running_{false};
 
   std::mutex shutdown_mutex_;
   std::condition_variable shutdown_requested_;
-  bool shutdown_ = false;
+  bool shutdown_ = false;  // lint:guarded_by(shutdown_mutex_)
 };
 
 }  // namespace csrlmrm::daemon

@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -215,6 +216,7 @@ void CheckService::serve_group(std::vector<Pending>& group) {
   }
 
   const obs::StatsSnapshot base = obs::StatsRegistry::global().snapshot();
+  std::string batch_error;
 
   // Unique formula texts across the whole group, in first-appearance order:
   // N clients asking the same formula share one root (and the plan compiler
@@ -253,12 +255,16 @@ void CheckService::serve_group(std::vector<Pending>& group) {
       for (std::size_t k = 0; k < runnable.size(); ++k) {
         replies[runnable[k]] = formula_reply(formulas[k], results.formulas[k]);
       }
-    } catch (const std::exception&) {
+    } catch (const std::exception& batch_failure) {
       // One formula poisoned the shared execution (e.g. an unsupported bound
       // shape surfacing at solve time). Re-run each alone so only the
       // offender fails; per-formula results are bitwise-identical to the
       // batched run (plan executions are differential-tested against direct
-      // checks at every batch composition).
+      // checks at every batch composition). The batch-level error is not
+      // swallowed: it is counted and attached to every reply of the group as
+      // batch_error so the isolation rerun is observable.
+      obs::counter_add("daemon.batch_poisoned");
+      batch_error = batch_failure.what();
       for (const std::size_t i : runnable) {
         try {
           const plan::Plan single =
@@ -279,6 +285,7 @@ void CheckService::serve_group(std::vector<Pending>& group) {
     CheckReply reply;
     reply.ok = true;
     reply.batch_requests = live.size();
+    reply.batch_error = batch_error;
     reply.stats_delta = delta;
     for (const std::string& text : pending.request.formulas) {
       reply.formulas.push_back(replies[text_index[text]]);

@@ -90,9 +90,9 @@ class CheckService {
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::deque<Pending> queue_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  std::deque<Pending> queue_;      // lint:guarded_by(mutex_)
+  std::size_t in_flight_ = 0;      // lint:guarded_by(mutex_)
+  bool stopping_ = false;          // lint:guarded_by(mutex_)
   std::thread dispatcher_;
 };
 

@@ -76,8 +76,8 @@ class SharedOmegaCache {
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
-  std::uint64_t tick_ = 0;
-  std::map<Key, Entry> entries_;
+  std::uint64_t tick_ = 0;       // lint:guarded_by(mutex_)
+  std::map<Key, Entry> entries_;  // lint:guarded_by(mutex_)
 };
 
 /// Precomputed reward bookkeeping for conditional-probability queries.

@@ -114,8 +114,8 @@ class PoissonTailCache {
   // Linear scan over exact means: one engine sees one or two distinct means
   // over its lifetime, so a map is not worth its allocations.
   mutable std::mutex mutex_;
-  mutable std::uint64_t tick_ = 0;
-  mutable std::vector<Slot> tables_;
+  mutable std::uint64_t tick_ = 0;     // lint:guarded_by(mutex_)
+  mutable std::vector<Slot> tables_;  // lint:guarded_by(mutex_)
 };
 
 }  // namespace csrlmrm::numeric

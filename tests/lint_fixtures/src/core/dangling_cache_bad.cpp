@@ -1,0 +1,47 @@
+// Fixture for dangling-cache-reference: an LRU-style cache whose accessors
+// return references/pointers into the evicted map — the PR 8 TransformCache
+// bug reintroduced in miniature. The path carries src/core/ so the fixture
+// classifies as Tree::kSrc, where the rule applies.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+struct Model {
+  std::string name;
+};
+
+class LruCache {
+ public:
+  const Model& lookup(int key) {
+    const auto found = entries_.find(key);
+    return found->second;  // EXPECT-LINT dangling-cache-reference
+  }
+
+  const Model* lookup_ptr(int key) {
+    return &entries_[key];  // EXPECT-LINT dangling-cache-reference
+  }
+
+  // Safe shape: ownership leaves the cache before eviction can run.
+  std::shared_ptr<const Model> lookup_shared(int key) {
+    const auto found = shared_entries_.find(key);
+    return found->second;
+  }
+
+  void evict_one() {
+    if (!entries_.empty()) entries_.erase(entries_.begin());
+  }
+
+  // Documented-unsafe escape hatch: the suppression must silence the rule.
+  const Model& unsafe_lookup(int key) {
+    return entries_.at(key);  // lint:allow(dangling-cache-reference)
+  }
+
+ private:
+  std::map<int, Model> entries_;
+  std::map<int, std::shared_ptr<const Model>> shared_entries_;
+};
+
+}  // namespace fixture

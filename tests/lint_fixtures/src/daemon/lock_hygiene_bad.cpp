@@ -1,0 +1,46 @@
+// Fixture for lock-hygiene: members annotated lint:guarded_by(<mutex>) read
+// and written outside a lock scope on that mutex. The path carries
+// src/daemon/ so the fixture classifies as daemon code.
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace fixture {
+
+class WorkQueue {
+ public:
+  void push(int job) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(job);  // covered: inside the guard's scope
+    ++depth_;
+  }
+
+  void push_racy(int job) {
+    queue_.push_back(job);  // EXPECT-LINT lock-hygiene
+    ++depth_;               // EXPECT-LINT lock-hygiene
+  }
+
+  std::size_t depth_racy() const {
+    return depth_;  // EXPECT-LINT lock-hygiene
+  }
+
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return depth_;
+  }
+
+  // The *_locked convention: callers hold the lock; the helper is exempt.
+  std::size_t depth_locked() const { return depth_; }
+
+  // Documented single-threaded setup phase: suppression must work.
+  void prefill(int job) {
+    queue_.push_back(job);  // lint:allow(lock-hygiene)
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<int> queue_;    // lint:guarded_by(mutex_)
+  std::size_t depth_ = 0;    // lint:guarded_by(mutex_)
+};
+
+}  // namespace fixture

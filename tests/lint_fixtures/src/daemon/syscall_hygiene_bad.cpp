@@ -1,0 +1,43 @@
+// Fixture for syscall-hygiene: raw socket calls missing the daemon's
+// hard-won defenses — ::send without MSG_NOSIGNAL (SIGPIPE kills the
+// process) and ::read/::accept loops without an EINTR retry (a stray signal
+// reads as connection loss). The <sys/socket.h> include is the rule's scope
+// gate; the src/daemon/ path segment classifies the fixture as daemon code.
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstddef>
+
+namespace fixture {
+
+void send_unprotected(int fd, const char* data, std::size_t size) {
+  ::send(fd, data, size, 0);  // EXPECT-LINT syscall-hygiene
+}
+
+void send_protected(int fd, const char* data, std::size_t size) {
+  ::send(fd, data, size, MSG_NOSIGNAL);
+}
+
+long read_fragile(int fd, char* buffer, std::size_t size) {
+  return ::read(fd, buffer, size);  // EXPECT-LINT syscall-hygiene
+}
+
+long read_robust(int fd, char* buffer, std::size_t size) {
+  for (;;) {
+    const long got = ::read(fd, buffer, size);
+    if (got < 0 && errno == EINTR) continue;
+    return got;
+  }
+}
+
+int accept_fragile(int fd) {
+  return ::accept(fd, nullptr, nullptr);  // EXPECT-LINT syscall-hygiene
+}
+
+// Documented one-shot CLI path where SIGPIPE is acceptable: suppression
+// must silence the rule.
+void send_suppressed(int fd, const char* data, std::size_t size) {
+  ::send(fd, data, size, 0);  // lint:allow(syscall-hygiene)
+}
+
+}  // namespace fixture

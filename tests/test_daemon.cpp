@@ -66,6 +66,7 @@ TEST(DaemonProtocol, CheckReplyRoundTripsBitwise) {
   formula.bound_upper = {0.25, 0.5, 1.0};
   reply.formulas.push_back(formula);
   reply.stats_delta.counters["daemon.requests"] = 7;
+  reply.batch_error = "execute: unsupported bound shape in shared plan";
 
   // Through the actual wire representation: compact JSON text and back.
   const std::string line = daemon::frame(daemon::check_reply_to_json(reply));
@@ -81,6 +82,18 @@ TEST(DaemonProtocol, CheckReplyRoundTripsBitwise) {
                                     formula.probabilities[i]));
   }
   EXPECT_EQ(back.stats_delta.counters.at("daemon.requests"), 7u);
+  EXPECT_EQ(back.batch_error, reply.batch_error);
+}
+
+TEST(DaemonProtocol, BatchErrorIsOmittedWhenEmpty) {
+  // The happy path (no poisoned shared execution) must not grow the wire
+  // format: batch_error only appears in the JSON when non-empty.
+  daemon::CheckReply reply;
+  reply.ok = true;
+  const obs::JsonValue encoded = daemon::check_reply_to_json(reply);
+  EXPECT_EQ(encoded.find("batch_error"), nullptr);
+  const daemon::CheckReply back = daemon::check_reply_from_json(encoded);
+  EXPECT_TRUE(back.batch_error.empty());
 }
 
 TEST(DaemonProtocol, ApplyOverridesRejectsBadNames) {

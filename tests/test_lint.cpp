@@ -107,6 +107,18 @@ TEST(LintFixtures, SimdHygiene) {
   check_fixture("simd_hygiene_bad.cpp", "simd-hygiene", 1);
 }
 
+TEST(LintFixtures, DanglingCacheReference) {
+  check_fixture("src/core/dangling_cache_bad.cpp", "dangling-cache-reference", 1);
+}
+
+TEST(LintFixtures, LockHygiene) {
+  check_fixture("src/daemon/lock_hygiene_bad.cpp", "lock-hygiene", 1);
+}
+
+TEST(LintFixtures, SyscallHygiene) {
+  check_fixture("src/daemon/syscall_hygiene_bad.cpp", "syscall-hygiene", 1);
+}
+
 TEST(LintRules, SimdHygieneExemptsTheDoubleVecHeader) {
   // The one sanctioned home of raw vector machinery: the rule must stay
   // silent on src/core/simd.hpp and fire on the same spelling anywhere else.
@@ -251,7 +263,7 @@ TEST(LintRules, RuleFilterRestrictsExecution) {
 
 TEST(LintRules, CatalogueIsStable) {
   const auto rules = make_default_rules();
-  ASSERT_EQ(rules.size(), 11u);
+  ASSERT_EQ(rules.size(), 14u);
   const std::set<std::string> names = [&] {
     std::set<std::string> out;
     for (const auto& r : rules) out.insert(std::string(r->name()));
@@ -260,7 +272,8 @@ TEST(LintRules, CatalogueIsStable) {
   const std::set<std::string> expected = {
       "float-equality", "unordered-iteration", "unsafe-libm",       "float-narrowing",
       "naked-new",      "solver-stats",        "endl",              "banned-identifier",
-      "pragma-once",    "reserved-identifier", "simd-hygiene"};
+      "pragma-once",    "reserved-identifier", "simd-hygiene",
+      "dangling-cache-reference", "lock-hygiene", "syscall-hygiene"};
   EXPECT_EQ(names, expected);
   for (const auto& r : rules) EXPECT_FALSE(r->description().empty());
 }
@@ -391,6 +404,24 @@ TEST(LintCli, JsonFileOutputParses) {
   EXPECT_FALSE(parsed.at("clean").as_bool());
   EXPECT_FALSE(parsed.at("diagnostics").items().empty());
   std::filesystem::remove(json_path);
+}
+
+TEST(LintCli, SarifFileOutputParses) {
+  const auto sarif_path =
+      std::filesystem::temp_directory_path() / "csrlmrm_lint_cli_report.sarif";
+  std::filesystem::remove(sarif_path);
+  EXPECT_EQ(run_lint_cli("--format=sarif --output='" + sarif_path.string() + "' '" +
+                         fixture_path("endl_bad.cpp") + "'"),
+            1);
+  const obs::JsonValue parsed = obs::parse_json(read_file(sarif_path.string()));
+  EXPECT_EQ(parsed.at("version").as_string(), "2.1.0");
+  const auto& runs = parsed.at("runs").items();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].at("tool").at("driver").at("name").as_string(), "csrlmrm-lint");
+  const auto& results = runs[0].at("results").items();
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].at("ruleId").as_string(), "endl");
+  std::filesystem::remove(sarif_path);
 }
 
 #if defined(CSRLMRM_SOURCE_DIR)

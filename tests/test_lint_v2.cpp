@@ -1,0 +1,562 @@
+// Tests for the v2 flow-aware layer of csrlmrm-lint: the per-file IR pass
+// pipeline (classes, annotations, methods, lock scopes, eviction), companion
+// headers, the incremental cache, parallel-scan determinism, the --fix
+// engine, and the SARIF emitter.
+//
+// The LintMutation suite is the PR's regression armor: it copies *real*
+// sources from the live tree into a temp directory, re-introduces the exact
+// historical bug shapes (the PR 8 TransformCache reference return, a stripped
+// lock_guard in the daemon service, a stripped MSG_NOSIGNAL in the server)
+// and asserts the new rules catch each one while the pristine copies stay
+// clean — so the committed tree exiting 0 is a real verdict, not a tautology.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "cache.hpp"
+#include "context.hpp"
+#include "driver.hpp"
+#include "fix.hpp"
+#include "ir.hpp"
+#include "lexer.hpp"
+#include "obs/json.hpp"
+#include "sarif.hpp"
+
+namespace csrlmrm::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "unreadable: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  fs::create_directories(fs::path(path).parent_path());
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.good()) << "unwritable: " << path;
+  out << text;
+}
+
+/// Replaces every occurrence of `from` in `text`; returns the count so tests
+/// can assert the mutation target still exists in the live source.
+std::size_t replace_all(std::string& text, const std::string& from, const std::string& to) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+    ++count;
+  }
+  return count;
+}
+
+/// A unique scratch directory mirroring the repo layout, so copied sources
+/// keep their src/<subsystem>/ classification and sibling-header pickup.
+struct TempTree {
+  fs::path root;
+
+  TempTree() {
+    static int counter = 0;
+#ifndef _WIN32
+    const int pid = ::getpid();
+#else
+    const int pid = 0;
+#endif
+    root = fs::temp_directory_path() /
+           ("csrlmrm_lint_v2_" + std::to_string(pid) + "_" + std::to_string(counter++));
+    fs::create_directories(root);
+  }
+  ~TempTree() {
+    std::error_code ignored;
+    fs::remove_all(root, ignored);
+  }
+
+  std::string path(const std::string& relative) const { return (root / relative).string(); }
+
+  /// Copies `relative` from the live source tree, preserving its layout.
+  std::string copy_source(const std::string& relative) {
+    const std::string text = read_file(std::string(CSRLMRM_SOURCE_DIR) + "/" + relative);
+    const std::string destination = path(relative);
+    write_file(destination, text);
+    return destination;
+  }
+};
+
+LintOptions only(const std::string& rule) {
+  LintOptions options;
+  options.rule_filter = {rule};
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// IR pass pipeline.
+
+TEST(LintIr, ClassIndexSurvivesInlineMethodBodies) {
+  // The member declarations come *after* two inline bodies — the classes pass
+  // must not swallow them into the method signatures.
+  const FileContext ctx(lex("src/core/cache.hpp",
+                            "#pragma once\n"
+                            "#include <map>\n"
+                            "#include <mutex>\n"
+                            "class Cache {\n"
+                            " public:\n"
+                            "  const int& lookup(int key) { return entries_.at(key); }\n"
+                            "  void evict_oldest() { entries_.erase(entries_.begin()); }\n"
+                            " private:\n"
+                            "  mutable std::mutex mutex_;\n"
+                            "  std::map<int, int> entries_;  // lint:guarded_by(mutex_)\n"
+                            "  std::size_t hits_ = 0;\n"
+                            "};\n"));
+  const FileIr& ir = ctx.ir();
+
+  EXPECT_EQ(ir.container_members.count("entries_"), 1u);
+  ASSERT_EQ(ir.guarded_members.count("entries_"), 1u);
+  EXPECT_EQ(ir.guarded_members.at("entries_"), "mutex_");
+  EXPECT_EQ(ir.guarded_members.count("hits_"), 0u);
+  EXPECT_EQ(ir.eviction_classes.count("Cache"), 1u);
+
+  bool saw_lookup = false;
+  bool saw_evict = false;
+  for (const MethodIr& m : ir.methods) {
+    if (m.name == "lookup") {
+      saw_lookup = true;
+      EXPECT_EQ(m.class_name, "Cache");
+      EXPECT_TRUE(m.returns_ref);
+      EXPECT_FALSE(m.returns_ptr);
+    }
+    if (m.name == "evict_oldest") {
+      saw_evict = true;
+      EXPECT_FALSE(m.returns_ref);
+    }
+  }
+  EXPECT_TRUE(saw_lookup);
+  EXPECT_TRUE(saw_evict);
+}
+
+TEST(LintIr, OutOfClassDefinitionsAndLockScopes) {
+  const FileContext ctx(lex("src/daemon/counter.cpp",
+                            "#include <mutex>\n"
+                            "class Counter {\n"
+                            " public:\n"
+                            "  void bump();\n"
+                            "  unsigned long value() const;\n"
+                            " private:\n"
+                            "  mutable std::mutex mutex_;\n"
+                            "  unsigned long count_ = 0;  // lint:guarded_by(mutex_)\n"
+                            "};\n"
+                            "void Counter::bump() {\n"
+                            "  const std::lock_guard<std::mutex> lock(mutex_);\n"
+                            "  ++count_;\n"
+                            "}\n"
+                            "unsigned long Counter::value() const { return count_; }\n"));
+  const FileIr& ir = ctx.ir();
+
+  bool saw_bump = false;
+  for (const MethodIr& m : ir.methods) {
+    if (m.name == "bump") {
+      saw_bump = true;
+      EXPECT_EQ(m.class_name, "Counter");
+    }
+  }
+  EXPECT_TRUE(saw_bump);
+
+  ASSERT_EQ(ir.lock_scopes.size(), 1u);
+  ASSERT_EQ(ir.lock_scopes[0].mutexes.size(), 1u);
+  EXPECT_EQ(ir.lock_scopes[0].mutexes[0], "mutex_");
+
+  // Occurrences of count_: declaration, under the guard in bump(), bare in
+  // value(). Only the second is covered by the lock scope.
+  std::vector<std::size_t> count_tokens;
+  for (std::size_t i = 0; i < ctx.tokens().size(); ++i) {
+    if (ctx.text(ctx.tokens()[i]) == "count_") count_tokens.push_back(i);
+  }
+  ASSERT_EQ(count_tokens.size(), 3u);
+  EXPECT_FALSE(ir.covered_by_lock(count_tokens[0], "mutex_"));
+  EXPECT_TRUE(ir.covered_by_lock(count_tokens[1], "mutex_"));
+  EXPECT_FALSE(ir.covered_by_lock(count_tokens[2], "mutex_"));
+}
+
+TEST(LintIr, NetworkedGateNeedsSocketHeader) {
+  EXPECT_TRUE(FileContext(lex("src/daemon/a.cpp", "#include <sys/socket.h>\n")).ir().networked);
+  EXPECT_FALSE(FileContext(lex("src/daemon/a.cpp", "#include <vector>\n")).ir().networked);
+}
+
+TEST(LintIr, CompanionHeaderFeedsGuardAnnotations) {
+  // The annotation lives in the header; the racy access lives in the .cpp.
+  // Scanned standalone the .cpp knows nothing about items_ — with the
+  // companion the lock-hygiene rule must fire.
+  const std::string header =
+      "#pragma once\n"
+      "#include <deque>\n"
+      "#include <mutex>\n"
+      "class Queue {\n"
+      " public:\n"
+      "  void push(int v);\n"
+      " private:\n"
+      "  std::mutex mutex_;\n"
+      "  std::deque<int> items_;  // lint:guarded_by(mutex_)\n"
+      "};\n";
+  const std::string source =
+      "#include \"queue.hpp\"\n"
+      "void Queue::push(int v) { items_.push_back(v); }\n";
+
+  const LintReport with_header = lint_source_with_companion(
+      "src/daemon/queue.cpp", source, "src/daemon/queue.hpp", header, only("lock-hygiene"));
+  ASSERT_EQ(with_header.diagnostics.size(), 1u);
+  EXPECT_EQ(with_header.diagnostics[0].rule, "lock-hygiene");
+  EXPECT_EQ(with_header.diagnostics[0].line, 2u);
+
+  EXPECT_TRUE(lint_source("src/daemon/queue.cpp", source, only("lock-hygiene"))
+                  .diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Mutation regression armor over real sources.
+
+#if defined(CSRLMRM_SOURCE_DIR)
+
+TEST(LintMutation, TransformCacheReferenceReturnIsCaught) {
+  TempTree tree;
+  const std::string cpp = tree.copy_source("src/core/transform.cpp");
+  tree.copy_source("src/core/transform.hpp");
+
+  const LintOptions options = only("dangling-cache-reference");
+  EXPECT_TRUE(lint_paths({cpp}, options).clean()) << "pristine copy must be clean";
+
+  // Re-introduce the PR 8 bug: absorbing() returning a reference into the
+  // LRU-evicted entries_ map instead of shared ownership.
+  std::string text = read_file(cpp);
+  ASSERT_EQ(replace_all(text, "std::shared_ptr<const Mrm> TransformCache::absorbing",
+                        "const Mrm& TransformCache::absorbing"),
+            1u);
+  ASSERT_EQ(replace_all(text, "return found->second.model;", "return *found->second.model;"),
+            1u);
+  ASSERT_EQ(replace_all(text, "return built;", "return *built;"), 1u);
+  write_file(cpp, text);
+
+  const LintReport mutated = lint_paths({cpp}, options);
+  ASSERT_FALSE(mutated.diagnostics.empty());
+  for (const Diagnostic& d : mutated.diagnostics) {
+    EXPECT_EQ(d.rule, "dangling-cache-reference");
+  }
+}
+
+TEST(LintMutation, ServiceLockGuardStripIsCaught) {
+  TempTree tree;
+  const std::string cpp = tree.copy_source("src/daemon/service.cpp");
+  tree.copy_source("src/daemon/service.hpp");
+
+  const LintOptions options = only("lock-hygiene");
+  EXPECT_TRUE(lint_paths({cpp}, options).clean()) << "pristine copy must be clean";
+
+  // Strip every lock_guard: the queue_/in_flight_/stopping_ accesses their
+  // scopes covered are now bare, and the guarded_by annotations live in the
+  // companion service.hpp.
+  std::string text = read_file(cpp);
+  ASSERT_GE(replace_all(text, "const std::lock_guard<std::mutex> lock(mutex_);", ""), 1u);
+  write_file(cpp, text);
+
+  const LintReport mutated = lint_paths({cpp}, options);
+  ASSERT_FALSE(mutated.diagnostics.empty());
+  for (const Diagnostic& d : mutated.diagnostics) {
+    EXPECT_EQ(d.rule, "lock-hygiene");
+  }
+}
+
+TEST(LintMutation, ServerNosignalStripIsCaught) {
+  TempTree tree;
+  const std::string cpp = tree.copy_source("src/daemon/server.cpp");
+  tree.copy_source("src/daemon/server.hpp");
+
+  const LintOptions options = only("syscall-hygiene");
+  EXPECT_TRUE(lint_paths({cpp}, options).clean()) << "pristine copy must be clean";
+
+  std::string text = read_file(cpp);
+  ASSERT_GE(replace_all(text, "MSG_NOSIGNAL", "0"), 1u);
+  write_file(cpp, text);
+
+  const LintReport mutated = lint_paths({cpp}, options);
+  ASSERT_FALSE(mutated.diagnostics.empty());
+  for (const Diagnostic& d : mutated.diagnostics) {
+    EXPECT_EQ(d.rule, "syscall-hygiene");
+  }
+}
+
+#endif  // CSRLMRM_SOURCE_DIR
+
+// ---------------------------------------------------------------------------
+// Incremental cache.
+
+constexpr const char* kEndlSnippet =
+    "#include <iostream>\n"
+    "void noisy() { std::cout << std::endl; }\n"
+    "void allowed() { std::cout << std::endl; }  // lint:allow(endl)\n";
+
+TEST(LintIncrementalCache, WarmRunScansNothingAndReplaysVerdicts) {
+  TempTree tree;
+  write_file(tree.path("a.cpp"), "int a = 1;\n");
+  write_file(tree.path("b.cpp"), kEndlSnippet);
+
+  LintOptions options;
+  options.cache_path = tree.path("cache.json");
+  const std::vector<std::string> paths = {tree.path("a.cpp"), tree.path("b.cpp")};
+
+  const LintReport cold = lint_paths(paths, options);
+  EXPECT_EQ(cold.files_scanned, 2u);
+  EXPECT_EQ(cold.files_cached, 0u);
+  ASSERT_EQ(cold.diagnostics.size(), 1u);
+  EXPECT_EQ(cold.suppressed, 1u);
+
+  const LintReport warm = lint_paths(paths, options);
+  EXPECT_EQ(warm.files_scanned, 0u);
+  EXPECT_EQ(warm.files_cached, 2u);
+  ASSERT_EQ(warm.diagnostics.size(), 1u);
+  EXPECT_EQ(warm.suppressed, 1u);
+  EXPECT_EQ(warm.diagnostics[0].rule, cold.diagnostics[0].rule);
+  EXPECT_EQ(warm.diagnostics[0].line, cold.diagnostics[0].line);
+  EXPECT_EQ(warm.diagnostics[0].message, cold.diagnostics[0].message);
+}
+
+TEST(LintIncrementalCache, TouchingOneFileRescansExactlyThatFile) {
+  TempTree tree;
+  write_file(tree.path("a.cpp"), "int a = 1;\n");
+  write_file(tree.path("b.cpp"), kEndlSnippet);
+
+  LintOptions options;
+  options.cache_path = tree.path("cache.json");
+  const std::vector<std::string> paths = {tree.path("a.cpp"), tree.path("b.cpp")};
+
+  lint_paths(paths, options);
+  write_file(tree.path("a.cpp"), "int a = 1;\nint touched = 2;\n");
+
+  const LintReport after_touch = lint_paths(paths, options);
+  EXPECT_EQ(after_touch.files_scanned, 1u);
+  EXPECT_EQ(after_touch.files_cached, 1u);
+  ASSERT_EQ(after_touch.diagnostics.size(), 1u);
+}
+
+TEST(LintIncrementalCache, CompanionHeaderEditInvalidatesTheSource) {
+  // The header feeds the .cpp's IR, so a header-only edit must re-scan the
+  // .cpp even though the .cpp bytes are unchanged.
+  TempTree tree;
+  write_file(tree.path("src/daemon/w.cpp"), "#include \"w.hpp\"\nint w_value = 1;\n");
+  write_file(tree.path("src/daemon/w.hpp"), "#pragma once\nclass W {};\n");
+
+  LintOptions options;
+  options.cache_path = tree.path("cache.json");
+  const std::vector<std::string> paths = {tree.path("src/daemon/w.cpp")};
+
+  lint_paths(paths, options);
+  EXPECT_EQ(lint_paths(paths, options).files_cached, 1u);
+
+  write_file(tree.path("src/daemon/w.hpp"), "#pragma once\nclass W { int touched_; };\n");
+  const LintReport after = lint_paths(paths, options);
+  EXPECT_EQ(after.files_scanned, 1u);
+  EXPECT_EQ(after.files_cached, 0u);
+}
+
+TEST(LintIncrementalCache, RuleSetVersionBumpInvalidatesTheWholeCache) {
+  TempTree tree;
+  write_file(tree.path("a.cpp"), "int a = 1;\n");
+  write_file(tree.path("b.cpp"), kEndlSnippet);
+
+  LintOptions options;
+  options.cache_path = tree.path("cache.json");
+  const std::vector<std::string> paths = {tree.path("a.cpp"), tree.path("b.cpp")};
+  lint_paths(paths, options);
+
+  // Doctor the cache to look like a previous rule-set version wrote it.
+  obs::JsonValue doc = obs::parse_json(read_file(options.cache_path));
+  doc.set("ruleset_version", obs::JsonValue(static_cast<double>(kRuleSetVersion - 1)));
+  write_file(options.cache_path, obs::write_json(doc));
+
+  const LintReport rescans = lint_paths(paths, options);
+  EXPECT_EQ(rescans.files_scanned, 2u);
+  EXPECT_EQ(rescans.files_cached, 0u);
+}
+
+TEST(LintIncrementalCache, RuleFilterChangeInvalidatesTheWholeCache) {
+  TempTree tree;
+  write_file(tree.path("a.cpp"), "int a = 1;\n");
+
+  LintOptions options;
+  options.cache_path = tree.path("cache.json");
+  const std::vector<std::string> paths = {tree.path("a.cpp")};
+  lint_paths(paths, options);
+  EXPECT_EQ(lint_paths(paths, options).files_cached, 1u);
+
+  LintOptions filtered = options;
+  filtered.rule_filter = {"endl"};
+  const LintReport other_signature = lint_paths(paths, filtered);
+  EXPECT_EQ(other_signature.files_scanned, 1u);
+  EXPECT_EQ(other_signature.files_cached, 0u);
+  // And the filtered signature now owns the cache: warm under the filter,
+  // cold again without it.
+  EXPECT_EQ(lint_paths(paths, filtered).files_cached, 1u);
+  EXPECT_EQ(lint_paths(paths, options).files_cached, 0u);
+}
+
+TEST(LintIncrementalCache, HashIsStableFnv1a) {
+  // Pin the hash scheme: a silent change would invalidate every deployed
+  // cache without the version field explaining why.
+  EXPECT_EQ(fnv1a_hash(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a_hash("a"), 12638187200555641996ull);
+  EXPECT_NE(fnv1a_hash("ab"), fnv1a_hash("ba"));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-scan determinism.
+
+TEST(LintParallel, ReportIsByteIdenticalAtEveryThreadCount) {
+  TempTree tree;
+  // Several files with diagnostics, written in non-sorted order, so a merge
+  // bug would actually reorder something.
+  for (const char* name : {"f3.cpp", "f0.cpp", "f2.cpp", "f1.cpp", "f4.cpp", "f5.cpp"}) {
+    write_file(tree.path(name), kEndlSnippet);
+  }
+
+  LintOptions serial;
+  serial.threads = 1;
+  const LintReport base = lint_paths({tree.root.string()}, serial);
+  EXPECT_EQ(base.files_scanned, 6u);
+  EXPECT_EQ(base.diagnostics.size(), 6u);
+  const std::string base_json = obs::write_json(report_to_json(base));
+  const std::string base_text = format_text(base);
+  const std::string base_sarif = obs::write_json(report_to_sarif(base));
+
+  for (const unsigned threads : {2u, 4u, 0u}) {
+    LintOptions options;
+    options.threads = threads;
+    const LintReport report = lint_paths({tree.root.string()}, options);
+    EXPECT_EQ(obs::write_json(report_to_json(report)), base_json) << threads;
+    EXPECT_EQ(format_text(report), base_text) << threads;
+    EXPECT_EQ(obs::write_json(report_to_sarif(report)), base_sarif) << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Autofix engine.
+
+TEST(LintFix, ApplyFixesIsIdempotent) {
+  const std::string source =
+      "#include <iostream>\n"
+      "void f() { std::cout << std::endl; }\n"
+      "void g() { std::cout << std::endl; }\n";
+  const LintReport report = lint_source("tests/a.cpp", source, only("endl"));
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+
+  std::size_t applied = 0;
+  const std::string fixed = apply_fixes(source, report.diagnostics, &applied);
+  EXPECT_EQ(applied, 2u);
+  EXPECT_EQ(fixed.find("std::endl"), std::string::npos);
+  EXPECT_NE(fixed.find("'\\n'"), std::string::npos);
+
+  const LintReport refixed = lint_source("tests/a.cpp", fixed, only("endl"));
+  EXPECT_TRUE(refixed.diagnostics.empty());
+  EXPECT_EQ(apply_fixes(fixed, refixed.diagnostics), fixed);
+}
+
+TEST(LintFix, PragmaOnceFixPrependsTheGuard) {
+  const std::string source = "int x = 1;\n";
+  const LintReport report = lint_source("src/core/t.hpp", source, only("pragma-once"));
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  const std::string fixed = apply_fixes(source, report.diagnostics);
+  EXPECT_EQ(fixed, "#pragma once\nint x = 1;\n");
+  EXPECT_TRUE(lint_source("src/core/t.hpp", fixed, only("pragma-once")).diagnostics.empty());
+}
+
+TEST(LintFix, FixRunRewritesFilesAndConverges) {
+  TempTree tree;
+  write_file(tree.path("e.cpp"),
+             "#include <iostream>\n"
+             "void f() { std::cout << std::endl; }\n");
+  write_file(tree.path("h.hpp"), "int h_value = 1;\n");
+
+  LintOptions fix;
+  fix.fix = true;
+  const std::vector<std::string> paths = {tree.path("e.cpp"), tree.path("h.hpp")};
+
+  const LintReport first = lint_paths(paths, fix);
+  EXPECT_EQ(first.fixes_applied, 2u);
+  // The report reflects the fixed text: both mechanical rules are gone.
+  for (const Diagnostic& d : first.diagnostics) {
+    EXPECT_NE(d.rule, "endl");
+    EXPECT_NE(d.rule, "pragma-once");
+  }
+  EXPECT_NE(read_file(tree.path("e.cpp")).find("'\\n'"), std::string::npos);
+  EXPECT_EQ(read_file(tree.path("h.hpp")).rfind("#pragma once\n", 0), 0u);
+
+  const LintReport second = lint_paths(paths, fix);
+  EXPECT_EQ(second.fixes_applied, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF emitter.
+
+TEST(LintSarif, StructureMatchesTheReport) {
+  const LintReport report = lint_source(
+      "tests/a.cpp",
+      "#include <iostream>\n"
+      "bool f(double x) { std::cout << std::endl; return x == 0.0; }\n");
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+
+  const obs::JsonValue sarif = report_to_sarif(report);
+  EXPECT_EQ(sarif.at("version").as_string(), "2.1.0");
+  const auto& runs = sarif.at("runs").items();
+  ASSERT_EQ(runs.size(), 1u);
+  const obs::JsonValue& driver = runs[0].at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").as_string(), "csrlmrm-lint");
+  EXPECT_EQ(driver.at("rules").items().size(), make_default_rules().size());
+
+  const auto& results = runs[0].at("results").items();
+  ASSERT_EQ(results.size(), report.diagnostics.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].at("ruleId").as_string(), report.diagnostics[i].rule);
+    EXPECT_EQ(results[i].at("level").as_string(), "error");
+    const obs::JsonValue& location =
+        results[i].at("locations").items().at(0).at("physicalLocation");
+    EXPECT_EQ(location.at("artifactLocation").at("uri").as_string(),
+              report.diagnostics[i].file);
+    EXPECT_EQ(location.at("region").at("startLine").as_number(),
+              static_cast<double>(report.diagnostics[i].line));
+  }
+}
+
+#if defined(CSRLMRM_LINT_GOLDEN_DIR)
+TEST(LintSarif, GoldenDocumentIsStable) {
+  // The SARIF document is an interchange contract: CI annotators key on its
+  // exact shape. Any intentional change must regenerate the golden (set
+  // CSRLMRM_UPDATE_GOLDEN=1 and rerun) and show up in review.
+  const LintReport report = lint_source(
+      "tests/golden_input.cpp",
+      "#include <iostream>\n"
+      "bool f(double x) { std::cout << std::endl; return x == 0.0; }\n");
+  const std::string actual = obs::write_json(report_to_sarif(report)) + "\n";
+
+  const std::string path = std::string(CSRLMRM_LINT_GOLDEN_DIR) + "/basic.sarif.json";
+  if (std::getenv("CSRLMRM_UPDATE_GOLDEN") != nullptr) {
+    write_file(path, actual);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  EXPECT_EQ(read_file(path), actual)
+      << "SARIF output drifted; if intentional, regenerate with CSRLMRM_UPDATE_GOLDEN=1";
+}
+#endif  // CSRLMRM_LINT_GOLDEN_DIR
+
+}  // namespace
+}  // namespace csrlmrm::lint

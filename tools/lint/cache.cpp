@@ -1,0 +1,140 @@
+#include "cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace csrlmrm::lint {
+
+namespace {
+
+// Hashes travel as fixed-width hex strings: a JSON number is a double and
+// cannot carry 64 bits losslessly.
+std::string hash_to_hex(std::uint64_t hash) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t hex_to_hash(const std::string& hex) {
+  std::uint64_t hash = 0;
+  for (const char c : hex) {
+    hash <<= 4;
+    if (c >= '0' && c <= '9') {
+      hash |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      hash |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return 0;
+    }
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_hash(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+LintCache LintCache::load(const std::string& path, const std::string& filter_signature) {
+  LintCache cache;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return cache;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    const obs::JsonValue doc = obs::parse_json(buf.str());
+    const obs::JsonValue* version = doc.find("ruleset_version");
+    if (version == nullptr || !version->is_number() ||
+        static_cast<int>(version->as_number()) != kRuleSetVersion) {
+      return cache;
+    }
+    const obs::JsonValue* filter = doc.find("rule_filter");
+    if (filter == nullptr || !filter->is_string() ||
+        filter->as_string() != filter_signature) {
+      return cache;
+    }
+    const obs::JsonValue* entries = doc.find("entries");
+    if (entries == nullptr || !entries->is_object()) return cache;
+    for (const auto& [file, value] : entries->members()) {
+      CacheEntry entry;
+      entry.hash = hex_to_hash(value.at("hash").as_string());
+      entry.companion_hash = hex_to_hash(value.at("companion_hash").as_string());
+      entry.suppressed = static_cast<std::size_t>(value.at("suppressed").as_number());
+      if (const obs::JsonValue* diags = value.find("diagnostics")) {
+        for (const obs::JsonValue& d : diags->items()) {
+          Diagnostic diag;
+          diag.rule = d.at("rule").as_string();
+          diag.file = d.at("file").as_string();
+          diag.line = static_cast<std::size_t>(d.at("line").as_number());
+          diag.column = static_cast<std::size_t>(d.at("column").as_number());
+          diag.message = d.at("message").as_string();
+          entry.diagnostics.push_back(std::move(diag));
+        }
+      }
+      cache.entries_.emplace(file, std::move(entry));
+    }
+  } catch (const std::exception&) {
+    return LintCache{};  // corrupt cache: fall back to a cold scan
+  }
+  return cache;
+}
+
+bool LintCache::lookup(const std::string& file, std::uint64_t hash,
+                       std::uint64_t companion_hash, CacheEntry& out) const {
+  const auto hit = entries_.find(file);
+  if (hit == entries_.end()) return false;
+  if (hit->second.hash != hash || hit->second.companion_hash != companion_hash) {
+    return false;
+  }
+  out = hit->second;
+  return true;
+}
+
+void LintCache::store(const std::string& file, CacheEntry entry) {
+  entries_[file] = std::move(entry);
+}
+
+bool LintCache::save(const std::string& path, const std::string& filter_signature) const {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("tool", obs::JsonValue(std::string("csrlmrm-lint")));
+  doc.set("ruleset_version", obs::JsonValue(static_cast<double>(kRuleSetVersion)));
+  doc.set("rule_filter", obs::JsonValue(filter_signature));
+  obs::JsonValue entries = obs::JsonValue::object();
+  for (const auto& [file, entry] : entries_) {
+    obs::JsonValue value = obs::JsonValue::object();
+    value.set("hash", obs::JsonValue(hash_to_hex(entry.hash)));
+    value.set("companion_hash", obs::JsonValue(hash_to_hex(entry.companion_hash)));
+    value.set("suppressed", obs::JsonValue(static_cast<double>(entry.suppressed)));
+    obs::JsonValue diags = obs::JsonValue::array();
+    for (const Diagnostic& d : entry.diagnostics) {
+      obs::JsonValue item = obs::JsonValue::object();
+      item.set("rule", obs::JsonValue(d.rule));
+      item.set("file", obs::JsonValue(d.file));
+      item.set("line", obs::JsonValue(static_cast<double>(d.line)));
+      item.set("column", obs::JsonValue(static_cast<double>(d.column)));
+      item.set("message", obs::JsonValue(d.message));
+      diags.push_back(std::move(item));
+    }
+    value.set("diagnostics", std::move(diags));
+    entries.set(file, std::move(value));
+  }
+  doc.set("entries", std::move(entries));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << obs::write_json(doc) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace csrlmrm::lint

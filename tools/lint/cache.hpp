@@ -1,0 +1,54 @@
+// Incremental lint cache: content-hash keyed verdicts so a warm whole-tree
+// scan re-analyzes only the files that changed.
+//
+// The cache is a JSON document (obs/json dialect) keyed by file path; each
+// entry stores the FNV-1a hash of the file's bytes, the hash of its companion
+// header (headers feed the .cpp's IR, so a header edit must re-scan the
+// .cpp), and the diagnostics + suppression count of the last scan. The whole
+// cache is invalidated when kRuleSetVersion or the active rule filter
+// changes — a new rule must re-judge every file, not just edited ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace csrlmrm::lint {
+
+/// FNV-1a 64-bit over raw bytes — the same scheme the daemon's model
+/// registry uses for fingerprints; stable across platforms and runs.
+std::uint64_t fnv1a_hash(std::string_view bytes);
+
+/// One cached per-file verdict.
+struct CacheEntry {
+  std::uint64_t hash = 0;            // content hash of the scanned file
+  std::uint64_t companion_hash = 0;  // 0 when the file has no companion header
+  std::size_t suppressed = 0;
+  std::vector<Diagnostic> diagnostics;  // unsuppressed findings of that scan
+};
+
+class LintCache {
+ public:
+  /// Loads `path`; returns an empty cache when the file is missing,
+  /// unparsable, or was written by a different rule-set version / rule
+  /// filter (`filter_signature` — the sorted, comma-joined --rule list).
+  static LintCache load(const std::string& path, const std::string& filter_signature);
+
+  /// True (and fills `out`) when `file` is cached with matching hashes.
+  bool lookup(const std::string& file, std::uint64_t hash, std::uint64_t companion_hash,
+              CacheEntry& out) const;
+
+  void store(const std::string& file, CacheEntry entry);
+
+  /// Writes the cache document; best-effort (returns false on I/O failure).
+  bool save(const std::string& path, const std::string& filter_signature) const;
+
+ private:
+  std::map<std::string, CacheEntry> entries_;
+};
+
+}  // namespace csrlmrm::lint

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "ir.hpp"
+
 namespace csrlmrm::lint {
 
 namespace {
@@ -24,11 +26,24 @@ bool is_decl_tail(std::string_view word) {
 
 }  // namespace
 
-FileContext::FileContext(LexedFile file) : file_(std::move(file)) {
+FileContext::FileContext(LexedFile file) : file_(std::move(file)) { init(); }
+
+FileContext::FileContext(LexedFile file, LexedFile companion_header)
+    : file_(std::move(file)),
+      companion_(std::make_unique<FileContext>(std::move(companion_header))) {
+  init();
+}
+
+FileContext::~FileContext() = default;
+FileContext::FileContext(FileContext&&) noexcept = default;
+FileContext& FileContext::operator=(FileContext&&) noexcept = default;
+
+void FileContext::init() {
   classify_path();
   scan_suppressions();
   scan_functions();
   scan_unordered_declarations();
+  ir_ = std::make_shared<const FileIr>(build_file_ir(*this, companion_.get()));
 }
 
 void FileContext::classify_path() {

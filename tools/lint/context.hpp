@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
@@ -13,6 +14,8 @@
 #include "lexer.hpp"
 
 namespace csrlmrm::lint {
+
+struct FileIr;
 
 /// Which top-level tree the file belongs to, relative to the repo root.
 enum class Tree { kSrc, kTests, kBench, kExamples, kTools, kOther };
@@ -30,6 +33,14 @@ struct FunctionSpan {
 class FileContext {
  public:
   explicit FileContext(LexedFile file);
+  /// Constructs the context with a companion header (the sibling .hpp/.h of a
+  /// scanned .cpp): the companion's member declarations and guarded_by
+  /// annotations feed this file's IR, so definitions are checked against the
+  /// class shape their header declares.
+  FileContext(LexedFile file, LexedFile companion_header);
+  ~FileContext();
+  FileContext(FileContext&&) noexcept;
+  FileContext& operator=(FileContext&&) noexcept;
 
   const LexedFile& file() const { return file_; }
   const std::vector<Token>& tokens() const { return file_.tokens; }
@@ -61,7 +72,14 @@ class FileContext {
   /// (std::unordered_map / std::unordered_set / flavors thereof).
   const std::set<std::string>& unordered_names() const { return unordered_names_; }
 
+  /// The flow-aware IR (fields, methods, lock scopes, eviction classes) built
+  /// by the pass pipeline in ir.cpp; includes companion-header declarations.
+  const FileIr& ir() const { return *ir_; }
+  /// The companion header context, or nullptr when scanned standalone.
+  const FileContext* companion() const { return companion_.get(); }
+
  private:
+  void init();
   void classify_path();
   void scan_suppressions();
   void scan_functions();
@@ -76,6 +94,8 @@ class FileContext {
   std::set<std::string, std::less<>> file_allows_;
   std::vector<FunctionSpan> functions_;
   std::set<std::string> unordered_names_;
+  std::unique_ptr<FileContext> companion_;
+  std::shared_ptr<const FileIr> ir_;
 };
 
 }  // namespace csrlmrm::lint

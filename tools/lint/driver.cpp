@@ -5,8 +5,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "cache.hpp"
 #include "context.hpp"
+#include "fix.hpp"
 #include "lexer.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace csrlmrm::lint {
 
@@ -19,6 +22,11 @@ bool lintable_extension(const fs::path& p) {
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" || ext == ".cxx";
 }
 
+bool implementation_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx";
+}
+
 // Directories never descended into: generated trees, VCS metadata, and the
 // fixture corpus of intentional violations.
 bool skipped_directory(const fs::path& p) {
@@ -27,11 +35,43 @@ bool skipped_directory(const fs::path& p) {
          name.rfind("build", 0) == 0;
 }
 
-void lint_one(const std::string& path, std::string source,
-              const std::vector<std::unique_ptr<Rule>>& rules,
-              const LintOptions& options, LintReport& report) {
-  FileContext ctx(lex(path, std::move(source)));
-  ++report.files_scanned;
+/// Sibling header of an implementation file, or "" when none exists on disk.
+std::string companion_header_path(const std::string& path) {
+  const fs::path p(path);
+  if (!implementation_extension(p)) return {};
+  for (const char* ext : {".hpp", ".h"}) {
+    fs::path sibling = p;
+    sibling.replace_extension(ext);
+    std::error_code ec;
+    if (fs::is_regular_file(sibling, ec)) return sibling.string();
+  }
+  return {};
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = std::move(buf).str();
+  return true;
+}
+
+/// The per-file unit of work; everything the merge step needs, so worker
+/// threads never touch shared state.
+struct FileResult {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t suppressed = 0;
+  std::size_t fixes_applied = 0;
+  bool scanned = false;
+  bool cached = false;
+  std::string error;  // non-empty on read failure
+  CacheEntry cache_entry;
+};
+
+void run_rules(const FileContext& ctx, const std::vector<std::unique_ptr<Rule>>& rules,
+               const LintOptions& options, std::vector<Diagnostic>& diagnostics,
+               std::size_t& suppressed) {
   std::vector<Diagnostic> raw;
   for (const auto& rule : rules) {
     if (!options.rule_filter.empty() &&
@@ -43,11 +83,96 @@ void lint_one(const std::string& path, std::string source,
   }
   for (Diagnostic& d : raw) {
     if (ctx.suppressed(d.rule, d.line)) {
-      ++report.suppressed;
+      ++suppressed;
     } else {
-      report.diagnostics.push_back(std::move(d));
+      diagnostics.push_back(std::move(d));
     }
   }
+}
+
+void lint_buffer(const std::string& path, std::string source,
+                 const std::string& companion_path, std::string companion,
+                 const std::vector<std::unique_ptr<Rule>>& rules,
+                 const LintOptions& options, std::vector<Diagnostic>& diagnostics,
+                 std::size_t& suppressed) {
+  if (companion_path.empty()) {
+    const FileContext ctx(lex(path, std::move(source)));
+    run_rules(ctx, rules, options, diagnostics, suppressed);
+  } else {
+    const FileContext ctx(lex(path, std::move(source)),
+                          lex(companion_path, std::move(companion)));
+    run_rules(ctx, rules, options, diagnostics, suppressed);
+  }
+}
+
+/// Scans one on-disk file into `result`, consulting (and feeding) the cache.
+void scan_file(const std::string& path, const std::vector<std::unique_ptr<Rule>>& rules,
+               const LintOptions& options, const LintCache* cache, FileResult& result) {
+  std::string source;
+  if (!read_file(path, source)) {
+    result.error = path + ": unreadable";
+    return;
+  }
+  const std::string companion_path = companion_header_path(path);
+  std::string companion;
+  if (!companion_path.empty()) read_file(companion_path, companion);
+
+  const std::uint64_t hash = fnv1a_hash(source);
+  const std::uint64_t companion_hash =
+      companion_path.empty() ? 0 : fnv1a_hash(companion);
+  if (cache != nullptr && !options.fix) {
+    CacheEntry hit;
+    if (cache->lookup(path, hash, companion_hash, hit)) {
+      result.diagnostics = hit.diagnostics;
+      result.suppressed = hit.suppressed;
+      result.cached = true;
+      result.cache_entry = std::move(hit);
+      return;
+    }
+  }
+
+  lint_buffer(path, source, companion_path, companion, rules, options,
+              result.diagnostics, result.suppressed);
+  result.scanned = true;
+
+  if (options.fix) {
+    std::size_t applied = 0;
+    const std::string fixed = apply_fixes(source, result.diagnostics, &applied);
+    if (applied > 0 && fixed != source) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out || !(out << fixed)) {
+        result.error = path + ": cannot write fixes";
+        return;
+      }
+      result.fixes_applied = applied;
+      // Re-lint the fixed text so the report describes what is now on disk.
+      result.diagnostics.clear();
+      result.suppressed = 0;
+      lint_buffer(path, fixed, companion_path, std::move(companion), rules, options,
+                  result.diagnostics, result.suppressed);
+    }
+  }
+
+  result.cache_entry.hash = options.fix ? fnv1a_hash(source) : hash;
+  result.cache_entry.companion_hash = companion_hash;
+  result.cache_entry.suppressed = result.suppressed;
+  result.cache_entry.diagnostics = result.diagnostics;
+  if (result.fixes_applied > 0) {
+    // The on-disk bytes changed; recompute so the next warm run trusts it.
+    std::string now_on_disk;
+    if (read_file(path, now_on_disk)) result.cache_entry.hash = fnv1a_hash(now_on_disk);
+  }
+}
+
+std::string filter_signature(const LintOptions& options) {
+  std::vector<std::string> names = options.rule_filter;
+  std::sort(names.begin(), names.end());
+  std::string joined;
+  for (const std::string& n : names) {
+    if (!joined.empty()) joined += ',';
+    joined += n;
+  }
+  return joined;
 }
 
 }  // namespace
@@ -56,7 +181,20 @@ LintReport lint_source(std::string virtual_path, std::string source,
                        const LintOptions& options) {
   LintReport report;
   const auto rules = make_default_rules();
-  lint_one(virtual_path, std::move(source), rules, options, report);
+  lint_buffer(virtual_path, std::move(source), {}, {}, rules, options,
+              report.diagnostics, report.suppressed);
+  report.files_scanned = 1;
+  return report;
+}
+
+LintReport lint_source_with_companion(std::string virtual_path, std::string source,
+                                      std::string companion_path, std::string companion,
+                                      const LintOptions& options) {
+  LintReport report;
+  const auto rules = make_default_rules();
+  lint_buffer(virtual_path, std::move(source), companion_path, std::move(companion),
+              rules, options, report.diagnostics, report.suppressed);
+  report.files_scanned = 1;
   return report;
 }
 
@@ -90,16 +228,39 @@ LintReport lint_paths(const std::vector<std::string>& paths, const LintOptions& 
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  for (const std::string& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      report.errors.push_back(path + ": unreadable");
+  const std::string signature = filter_signature(options);
+  LintCache cache;
+  const bool caching = !options.cache_path.empty();
+  if (caching) cache = LintCache::load(options.cache_path, signature);
+
+  // Scan in parallel into per-file slots; the merge below walks the slots in
+  // sorted-path order, so the report is byte-identical at every thread count.
+  std::vector<FileResult> results(files.size());
+  parallel::parallel_for(files.size(), options.threads,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             scan_file(files[i], rules, options,
+                                       caching ? &cache : nullptr, results[i]);
+                           }
+                         });
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    FileResult& r = results[i];
+    if (!r.error.empty()) {
+      report.errors.push_back(r.error);
       continue;
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    lint_one(path, std::move(buf).str(), rules, options, report);
+    if (r.cached) {
+      ++report.files_cached;
+    } else {
+      ++report.files_scanned;
+    }
+    report.suppressed += r.suppressed;
+    report.fixes_applied += r.fixes_applied;
+    for (Diagnostic& d : r.diagnostics) report.diagnostics.push_back(std::move(d));
+    if (caching) cache.store(files[i], std::move(r.cache_entry));
   }
 
   std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
@@ -107,15 +268,19 @@ LintReport lint_paths(const std::vector<std::string>& paths, const LintOptions& 
                      if (a.file != b.file) return a.file < b.file;
                      return a.line < b.line;
                    });
+
+  if (caching) cache.save(options.cache_path, signature);
   return report;
 }
 
 obs::JsonValue report_to_json(const LintReport& report) {
   obs::JsonValue root = obs::JsonValue::object();
   root.set("tool", obs::JsonValue(std::string("csrlmrm-lint")));
-  root.set("version", obs::JsonValue(1.0));
+  root.set("version", obs::JsonValue(2.0));
   root.set("files_scanned", obs::JsonValue(static_cast<double>(report.files_scanned)));
+  root.set("files_cached", obs::JsonValue(static_cast<double>(report.files_cached)));
   root.set("suppressed", obs::JsonValue(static_cast<double>(report.suppressed)));
+  root.set("fixes_applied", obs::JsonValue(static_cast<double>(report.fixes_applied)));
   root.set("clean", obs::JsonValue(report.clean()));
   obs::JsonValue diags = obs::JsonValue::array();
   for (const Diagnostic& d : report.diagnostics) {
@@ -141,8 +306,11 @@ std::string format_text(const LintReport& report) {
         << d.message << '\n';
   }
   for (const std::string& e : report.errors) out << "error: " << e << '\n';
-  out << report.files_scanned << " file(s) scanned, " << report.diagnostics.size()
-      << " diagnostic(s), " << report.suppressed << " suppressed\n";
+  out << report.files_scanned << " file(s) scanned, " << report.files_cached
+      << " cached, " << report.diagnostics.size() << " diagnostic(s), "
+      << report.suppressed << " suppressed";
+  if (report.fixes_applied > 0) out << ", " << report.fixes_applied << " fix(es) applied";
+  out << '\n';
   return std::move(out).str();
 }
 

@@ -1,7 +1,13 @@
 // Lint driver: collects files, runs the rule set, applies suppression
 // comments, and renders reports (human text via format_text, machine JSON via
 // report_to_json — the same src/obs/json model the stats layer emits, so
-// downstream tooling parses one dialect).
+// downstream tooling parses one dialect; SARIF via sarif.hpp).
+//
+// v2: files are scanned in parallel through src/parallel's deterministic
+// chunk layout with results merged in sorted-path order — the report is
+// byte-identical at every thread count. An optional incremental cache
+// (cache.hpp) keyed by content hash skips unchanged files on warm runs, and
+// --fix applies the mechanical autofix edits in place.
 #pragma once
 
 #include <cstddef>
@@ -16,12 +22,25 @@ namespace csrlmrm::lint {
 struct LintOptions {
   /// When non-empty, only rules whose name appears here run.
   std::vector<std::string> rule_filter;
+  /// Worker threads for the file scan; 0 = the process default
+  /// (CSRLMRM_THREADS / hardware concurrency), 1 = serial. Output is
+  /// identical at every setting.
+  unsigned threads = 1;
+  /// Path of the incremental cache file; empty disables caching. The cache
+  /// self-invalidates on rule-set version or rule-filter changes.
+  std::string cache_path;
+  /// Apply mechanical autofixes in place (endl, pragma-once). Files are
+  /// re-linted after fixing so the report reflects the fixed text. Fix runs
+  /// bypass the incremental cache.
+  bool fix = false;
 };
 
 struct LintReport {
   std::vector<Diagnostic> diagnostics;  // unsuppressed, in file/line order
-  std::size_t files_scanned = 0;
+  std::size_t files_scanned = 0;  // files actually analyzed this run
+  std::size_t files_cached = 0;   // files satisfied from the incremental cache
   std::size_t suppressed = 0;  // matches silenced by lint:allow comments
+  std::size_t fixes_applied = 0;  // autofix edits written by --fix
   std::vector<std::string> errors;  // unreadable paths etc.
 
   bool clean() const { return diagnostics.empty() && errors.empty(); }
@@ -31,14 +50,23 @@ struct LintReport {
 LintReport lint_source(std::string virtual_path, std::string source,
                        const LintOptions& options = {});
 
+/// Lints one in-memory buffer with a companion header, as the tree scan does
+/// for a .cpp with a sibling .hpp: the header's member declarations and
+/// guarded_by annotations feed the source's IR.
+LintReport lint_source_with_companion(std::string virtual_path, std::string source,
+                                      std::string companion_path, std::string companion,
+                                      const LintOptions& options = {});
+
 /// Lints files and directory trees. Directories are walked recursively for
 /// .cpp/.hpp/.h, skipping build trees, VCS dirs, and `lint_fixtures` corpora
-/// (which contain intentional violations).
+/// (which contain intentional violations). A scanned .cpp/.cc/.cxx picks up
+/// its sibling .hpp/.h as companion header automatically.
 LintReport lint_paths(const std::vector<std::string>& paths,
                       const LintOptions& options = {});
 
-/// JSON schema: {tool, version, files_scanned, suppressed, clean,
-/// diagnostics: [{rule, file, line, column, message}], errors: [...]}.
+/// JSON schema: {tool, version, files_scanned, files_cached, suppressed,
+/// fixes_applied, clean, diagnostics: [{rule, file, line, column, message}],
+/// errors: [...]}.
 obs::JsonValue report_to_json(const LintReport& report);
 
 /// One "file:line:col: [rule] message" line per diagnostic plus a summary.

@@ -1,0 +1,45 @@
+#include "fix.hpp"
+
+#include <algorithm>
+
+namespace csrlmrm::lint {
+
+std::string apply_fixes(std::string_view source, const std::vector<Diagnostic>& diagnostics,
+                        std::size_t* applied) {
+  std::vector<FixEdit> edits;
+  for (const Diagnostic& d : diagnostics) {
+    for (const FixEdit& fix : d.fixes) {
+      if (fix.offset > source.size() || fix.offset + fix.length > source.size()) continue;
+      edits.push_back(fix);
+    }
+  }
+  std::stable_sort(edits.begin(), edits.end(), [](const FixEdit& a, const FixEdit& b) {
+    return a.offset < b.offset;
+  });
+  // Drop overlaps (keep the first): two rules rewriting the same bytes must
+  // not compose into garbage.
+  std::vector<FixEdit> kept;
+  std::size_t consumed_to = 0;
+  bool first = true;
+  for (const FixEdit& e : edits) {
+    if (!first && e.offset < consumed_to) continue;
+    // A second pure insertion at the same offset is also dropped (a repeat
+    // of the same fix must be a no-op for idempotency).
+    if (!kept.empty() && e.offset == kept.back().offset && e.length == 0 &&
+        kept.back().length == 0) {
+      continue;
+    }
+    kept.push_back(e);
+    consumed_to = e.offset + std::max<std::size_t>(e.length, 1);
+    first = false;
+  }
+
+  std::string out(source);
+  for (auto it = kept.rbegin(); it != kept.rend(); ++it) {
+    out.replace(it->offset, it->length, it->replacement);
+  }
+  if (applied != nullptr) *applied = kept.size();
+  return out;
+}
+
+}  // namespace csrlmrm::lint

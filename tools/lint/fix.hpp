@@ -1,0 +1,22 @@
+// --fix engine: applies the mechanical FixEdits attached to diagnostics
+// (endl -> '\n', missing #pragma once). Pure string-to-string so tests can
+// pin idempotency (fix twice == fix once) without touching the filesystem.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace csrlmrm::lint {
+
+/// Applies every FixEdit carried by `diagnostics` to `source` and returns
+/// the fixed text. Edits are applied back-to-front so earlier offsets stay
+/// valid; overlapping edits keep the first (in offset order) and drop the
+/// rest. `applied`, when non-null, receives the number of edits applied.
+std::string apply_fixes(std::string_view source, const std::vector<Diagnostic>& diagnostics,
+                        std::size_t* applied = nullptr);
+
+}  // namespace csrlmrm::lint

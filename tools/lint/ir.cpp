@@ -1,0 +1,435 @@
+#include "ir.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "context.hpp"
+
+namespace csrlmrm::lint {
+
+namespace {
+
+bool is_container_word(std::string_view word) {
+  static constexpr std::array<std::string_view, 12> kContainers = {
+      "map",  "set",  "multimap", "multiset", "unordered_map", "unordered_set",
+      "unordered_multimap", "unordered_multiset", "vector", "deque", "list",
+      "forward_list"};
+  return std::find(kContainers.begin(), kContainers.end(), word) != kContainers.end();
+}
+
+bool is_lock_type(std::string_view word) {
+  static constexpr std::array<std::string_view, 4> kLocks = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+  return std::find(kLocks.begin(), kLocks.end(), word) != kLocks.end();
+}
+
+bool is_eviction_call(std::string_view word) {
+  static constexpr std::array<std::string_view, 4> kCalls = {"erase", "pop_front",
+                                                            "pop_back", "clear"};
+  return std::find(kCalls.begin(), kCalls.end(), word) != kCalls.end();
+}
+
+/// A class/struct definition block found in one file.
+struct ClassBlock {
+  std::string name;
+  std::size_t open_brace = 0;
+  std::size_t close_brace = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Pass 1: match every brace pair.
+void blocks_pass(const FileContext& ctx, FileIr& ir) {
+  const auto& toks = ctx.tokens();
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    const std::string_view t = ctx.text(toks[i]);
+    if (t == "{") {
+      stack.push_back(i);
+    } else if (t == "}" && !stack.empty()) {
+      ir.blocks.emplace_back(stack.back(), i);
+      stack.pop_back();
+    }
+  }
+  std::sort(ir.blocks.begin(), ir.blocks.end());
+}
+
+std::size_t matching_close(const FileIr& ir, std::size_t open) {
+  for (const auto& [o, c] : ir.blocks) {
+    if (o == open) return c;
+  }
+  return open;  // unmatched (truncated file): degrade to a zero-length block
+}
+
+/// Innermost block containing `tok`, or (0,0) when outside every block.
+std::pair<std::size_t, std::size_t> innermost_block(const FileIr& ir, std::size_t tok) {
+  std::pair<std::size_t, std::size_t> best{0, 0};
+  bool found = false;
+  for (const auto& [open, close] : ir.blocks) {
+    if (open < tok && tok <= close && (!found || open > best.first)) {
+      best = {open, close};
+      found = true;
+    }
+  }
+  return found ? best : std::pair<std::size_t, std::size_t>{0, 0};
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: index class/struct member fields. Within a class body, nested
+// braces (method bodies, nested types, brace initializers) are skipped; the
+// remaining depth-1 tokens split into declarations at ';'. A declaration
+// whose top-level shape ends in an identifier — after truncating `= init`
+// trailers and that contains no top-level '(' — is a member field.
+void classes_pass(const FileContext& ctx, const FileIr& self_ir, FileIr& ir,
+                  std::vector<ClassBlock>& class_blocks) {
+  const auto& toks = ctx.tokens();
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    const std::string_view kw = ctx.text(toks[i]);
+    if (kw != "class" && kw != "struct") continue;
+    if (i > 0 && ctx.text(toks[i - 1]) == "enum") continue;  // enum class
+    if (toks[i + 1].kind != TokenKind::kIdentifier) continue;
+    const std::string class_name(ctx.text(toks[i + 1]));
+    // Find the body '{' (skipping a base-clause) or bail on a forward decl.
+    std::size_t open = 0;
+    for (std::size_t j = i + 2; j < toks.size(); ++j) {
+      if (toks[j].kind != TokenKind::kPunct) continue;
+      const std::string_view w = ctx.text(toks[j]);
+      if (w == ";") break;  // forward declaration
+      if (w == "{") {
+        open = j;
+        break;
+      }
+    }
+    if (open == 0) continue;
+    const std::size_t close = matching_close(self_ir, open);
+    class_blocks.push_back({class_name, open, close});
+
+    std::vector<std::size_t> decl;  // token indices of the current declaration
+    auto flush = [&]() {
+      std::vector<std::size_t> stmt;
+      stmt.swap(decl);
+      if (stmt.size() < 2) return;
+      const std::string_view head = ctx.text(toks[stmt[0]]);
+      if (head == "using" || head == "typedef" || head == "friend" || head == "static" ||
+          head == "enum" || head == "class" || head == "struct" || head == "template") {
+        return;
+      }
+      // Truncate an `= initializer` trailer (top level only).
+      int angle = 0;
+      int paren = 0;
+      std::size_t end = stmt.size();
+      bool has_top_paren = false;
+      for (std::size_t k = 0; k < stmt.size(); ++k) {
+        const Token& t = toks[stmt[k]];
+        if (t.kind != TokenKind::kPunct) continue;
+        const std::string_view w = ctx.text(t);
+        if (w == "<") ++angle;
+        if (w == ">") angle = std::max(0, angle - 1);
+        if (w == ">>") angle = std::max(0, angle - 2);
+        if (angle == 0 && w == "(") {
+          ++paren;
+          has_top_paren = true;
+        }
+        if (angle == 0 && w == ")") paren = std::max(0, paren - 1);
+        if (angle == 0 && paren == 0 && w == "=") {
+          end = k;
+          break;
+        }
+      }
+      if (has_top_paren || end == 0) return;  // method declaration (or malformed)
+      const Token& name_tok = toks[stmt[end - 1]];
+      if (name_tok.kind != TokenKind::kIdentifier) return;
+      MemberField field;
+      field.class_name = class_name;
+      field.name = std::string(ctx.text(name_tok));
+      field.decl_line = name_tok.line;
+      for (std::size_t k = 0; k + 1 < end; ++k) {
+        if (!field.type_text.empty()) field.type_text += ' ';
+        field.type_text += std::string(ctx.text(toks[stmt[k]]));
+        if (toks[stmt[k]].kind == TokenKind::kIdentifier &&
+            is_container_word(ctx.text(toks[stmt[k]]))) {
+          field.is_container = true;
+        }
+      }
+      if (field.type_text.empty()) return;
+      ir.fields.push_back(std::move(field));
+    };
+
+    // Whether the declaration in progress contains a top-level '(' — the
+    // discriminator between an inline method definition (its `{...}` body has
+    // no trailing ';', so the declaration must be discarded) and a member
+    // brace initializer (`std::atomic<bool> running_{false};` keeps its
+    // prefix and flushes at the ';').
+    auto decl_has_paren = [&]() {
+      int angle = 0;
+      for (const std::size_t idx : decl) {
+        if (toks[idx].kind != TokenKind::kPunct) continue;
+        const std::string_view w = ctx.text(toks[idx]);
+        if (w == "<") ++angle;
+        if (w == ">") angle = std::max(0, angle - 1);
+        if (w == ">>") angle = std::max(0, angle - 2);
+        if (angle == 0 && w == "(") return true;
+      }
+      return false;
+    };
+
+    for (std::size_t j = open + 1; j < close && j < toks.size(); ++j) {
+      const std::string_view w = ctx.text(toks[j]);
+      if (toks[j].kind == TokenKind::kPunct && w == "{") {
+        if (decl_has_paren()) decl.clear();  // inline method body: not a field
+        j = matching_close(self_ir, j);
+        continue;
+      }
+      if (toks[j].kind == TokenKind::kIdentifier &&
+          (w == "public" || w == "private" || w == "protected") && j + 1 < close &&
+          ctx.text(toks[j + 1]) == ":") {
+        decl.clear();
+        ++j;
+        continue;
+      }
+      if (toks[j].kind == TokenKind::kPunct && w == ";") {
+        flush();
+        continue;
+      }
+      if (toks[j].kind == TokenKind::kPreprocessor) continue;
+      decl.push_back(j);
+    }
+    // Skip past this class body so nested classes are not re-indexed with the
+    // outer loop (they were already walked above as opaque nested blocks —
+    // their own pass iteration still finds them via `class` keyword).
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: attach `lint:guarded_by(<mutex>)` comments to member fields. The
+// annotation sits on the declaration line or on a comment-only line directly
+// above it (same placement contract as lint:allow).
+void annotations_pass(const FileContext& ctx, FileIr& ir) {
+  const LexedFile& file = ctx.file();
+  std::set<std::size_t> code_lines;
+  for (const Token& t : file.tokens) code_lines.insert(t.line);
+
+  std::map<std::size_t, std::string> line_guards;  // code line -> mutex name
+  static constexpr std::string_view kNeedle = "lint:guarded_by";
+  for (const Comment& c : file.comments) {
+    const std::string_view body = file.text(c);
+    const std::size_t at = body.find(kNeedle);
+    if (at == std::string_view::npos) continue;
+    std::size_t cursor = at + kNeedle.size();
+    if (cursor >= body.size() || body[cursor] != '(') continue;
+    const std::size_t close = body.find(')', cursor);
+    if (close == std::string_view::npos) continue;
+    std::string_view name = body.substr(cursor + 1, close - cursor - 1);
+    const std::size_t b = name.find_first_not_of(" \t");
+    const std::size_t e = name.find_last_not_of(" \t");
+    if (b == std::string_view::npos) continue;
+    name = name.substr(b, e - b + 1);
+    if (c.owns_line && !code_lines.count(c.line)) {
+      const auto next = code_lines.upper_bound(c.end_line);
+      if (next != code_lines.end()) line_guards[*next] = std::string(name);
+    } else {
+      line_guards[c.line] = std::string(name);
+    }
+  }
+  if (line_guards.empty()) return;
+  for (MemberField& field : ir.fields) {
+    const auto hit = line_guards.find(field.decl_line);
+    if (hit == line_guards.end()) continue;
+    field.guarded_by = hit->second;
+    ir.guarded_members[field.name] = hit->second;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: enrich FunctionSpans into MethodIr — recover the name token, the
+// `Class::` qualifier (or the enclosing class block for inline methods), and
+// whether the return type is a raw reference/pointer (the token immediately
+// before the qualified name).
+void methods_pass(const FileContext& ctx, const std::vector<ClassBlock>& class_blocks,
+                  FileIr& ir) {
+  const auto& toks = ctx.tokens();
+  for (const FunctionSpan& f : ctx.functions()) {
+    MethodIr method;
+    method.name = f.name;
+    method.open_brace = f.open_brace;
+    method.close_brace = f.close_brace;
+
+    // The name token: nearest `name (` pair scanning back from the brace.
+    const std::size_t window = f.open_brace > 256 ? f.open_brace - 256 : 0;
+    for (std::size_t k = f.open_brace; k-- > window;) {
+      if (toks[k].kind == TokenKind::kIdentifier && ctx.text(toks[k]) == f.name &&
+          k + 1 < toks.size() && ctx.text(toks[k + 1]) == "(") {
+        method.name_tok = k;
+        break;
+      }
+    }
+    if (method.name_tok != 0) {
+      // Walk back over `Outer::Inner::` qualifiers; the nearest qualifier is
+      // the class, the token before the whole chain types the return.
+      std::size_t start = method.name_tok;
+      while (start >= 2 && ctx.text(toks[start - 1]) == "::" &&
+             toks[start - 2].kind == TokenKind::kIdentifier) {
+        if (method.class_name.empty()) {
+          method.class_name = std::string(ctx.text(toks[start - 2]));
+        }
+        start -= 2;
+      }
+      if (start > 0) {
+        const std::string_view before = ctx.text(toks[start - 1]);
+        method.returns_ref = before == "&";
+        method.returns_ptr = before == "*";
+      }
+    }
+    if (method.class_name.empty()) {
+      for (const ClassBlock& block : class_blocks) {
+        if (block.open_brace < f.open_brace && f.close_brace < block.close_brace) {
+          method.class_name = block.name;  // innermost wins: keep iterating
+        }
+      }
+    }
+    ir.methods.push_back(std::move(method));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 5: RAII lock scopes. A `lock_guard<...> name(args)` declaration
+// covers from its type token to the closing brace of the innermost enclosing
+// block; every identifier among the constructor arguments counts as a locked
+// mutex name (so member access through `owner.mutex_` still matches).
+void locks_pass(const FileContext& ctx, FileIr& ir) {
+  const auto& toks = ctx.tokens();
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier || !is_lock_type(ctx.text(toks[i]))) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].kind == TokenKind::kPunct && ctx.text(toks[j]) == "<") {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].kind != TokenKind::kPunct) continue;
+        const std::string_view w = ctx.text(toks[j]);
+        if (w == "<") ++depth;
+        if (w == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+        if (w == ">>") {
+          depth -= 2;
+          if (depth <= 0) {
+            ++j;
+            break;
+          }
+        }
+        if (w == ";") break;
+      }
+    }
+    if (j >= toks.size() || toks[j].kind != TokenKind::kIdentifier) continue;  // not a decl
+    std::size_t open_paren = j + 1;
+    if (open_paren >= toks.size() || ctx.text(toks[open_paren]) != "(") continue;
+    LockScope scope;
+    scope.begin_tok = i;
+    int depth = 0;
+    for (std::size_t k = open_paren; k < toks.size(); ++k) {
+      if (toks[k].kind == TokenKind::kIdentifier) {
+        scope.mutexes.push_back(std::string(ctx.text(toks[k])));
+        continue;
+      }
+      if (toks[k].kind != TokenKind::kPunct) continue;
+      const std::string_view w = ctx.text(toks[k]);
+      if (w == "(") ++depth;
+      if (w == ")" && --depth == 0) break;
+    }
+    if (scope.mutexes.empty()) continue;
+    const auto block = innermost_block(ir, i);
+    scope.end_tok = block.second != 0 ? block.second : toks.size() - 1;
+    ir.lock_scopes.push_back(std::move(scope));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 6: eviction classes — a method body erasing/popping/clearing a member
+// container, or a method named evict*/trim*.
+void eviction_pass(const FileContext& ctx, FileIr& ir) {
+  const auto& toks = ctx.tokens();
+  for (const MethodIr& method : ir.methods) {
+    if (method.class_name.empty()) continue;
+    if (method.name.rfind("evict", 0) == 0 || method.name.rfind("trim", 0) == 0) {
+      ir.eviction_classes.insert(method.class_name);
+      continue;
+    }
+    for (std::size_t k = method.open_brace; k + 3 <= method.close_brace && k < toks.size();
+         ++k) {
+      if (toks[k].kind != TokenKind::kIdentifier) continue;
+      if (!ir.container_members.count(std::string(ctx.text(toks[k])))) continue;
+      if (ctx.text(toks[k + 1]) != ".") continue;
+      if (toks[k + 2].kind != TokenKind::kIdentifier ||
+          !is_eviction_call(ctx.text(toks[k + 2]))) {
+        continue;
+      }
+      if (k + 3 >= toks.size() || ctx.text(toks[k + 3]) != "(") continue;
+      ir.eviction_classes.insert(method.class_name);
+      break;
+    }
+  }
+}
+
+void networked_pass(const FileContext& ctx, FileIr& ir) {
+  for (const Token& t : ctx.tokens()) {
+    if (t.kind != TokenKind::kPreprocessor) continue;
+    const std::string_view text = ctx.text(t);
+    if (text.find("include") == std::string_view::npos) continue;
+    if (text.find("sys/socket.h") != std::string_view::npos ||
+        text.find("sys/un.h") != std::string_view::npos ||
+        text.find("netinet/") != std::string_view::npos) {
+      ir.networked = true;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool FileIr::covered_by_lock(std::size_t tok, const std::string& mutex_name) const {
+  for (const LockScope& scope : lock_scopes) {
+    if (scope.begin_tok <= tok && tok <= scope.end_tok &&
+        std::find(scope.mutexes.begin(), scope.mutexes.end(), mutex_name) !=
+            scope.mutexes.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FileIr build_file_ir(const FileContext& ctx, const FileContext* companion) {
+  FileIr ir;
+  std::vector<ClassBlock> class_blocks;
+  blocks_pass(ctx, ir);
+  classes_pass(ctx, ir, ir, class_blocks);
+  annotations_pass(ctx, ir);
+  // Companion header declarations merge into the same field index: a .cpp is
+  // checked against the members (and guarded_by annotations) its header
+  // declares. Bodies, locks, and eviction detection stay file-local.
+  if (companion != nullptr) {
+    FileIr companion_blocks_only;
+    std::vector<ClassBlock> companion_classes;
+    blocks_pass(*companion, companion_blocks_only);
+    classes_pass(*companion, companion_blocks_only, companion_blocks_only,
+                 companion_classes);
+    annotations_pass(*companion, companion_blocks_only);
+    for (MemberField& field : companion_blocks_only.fields) {
+      ir.fields.push_back(std::move(field));
+    }
+    for (const auto& [member, mutex] : companion_blocks_only.guarded_members) {
+      ir.guarded_members.emplace(member, mutex);
+    }
+  }
+  for (const MemberField& field : ir.fields) {
+    if (field.is_container) ir.container_members.insert(field.name);
+  }
+  methods_pass(ctx, class_blocks, ir);
+  locks_pass(ctx, ir);
+  eviction_pass(ctx, ir);
+  networked_pass(ctx, ir);
+  return ir;
+}
+
+}  // namespace csrlmrm::lint

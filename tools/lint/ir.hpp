@@ -1,0 +1,99 @@
+// Lightweight per-function IR for the flow-aware lint rules.
+//
+// The token-level rules of PR 4 can see spellings but not structure: whether
+// a returned reference points into an LRU-evicted member container, whether a
+// guarded member is read outside its lock's scope, whether a raw socket call
+// sits in a function with an EINTR retry. This IR recovers exactly that much
+// structure from the lexer's token stream — no more: it indexes classes and
+// their member fields (with `// lint:guarded_by(<mutex>)` annotations),
+// recovers method definitions with their class qualifier and return-type
+// refness, computes lock-guard scopes, and marks classes with an eviction
+// path. It is built by an explicit pass pipeline (see build_file_ir) so each
+// analysis reads the product of the previous one, mirroring how the real
+// compiler repos split their pass stacks.
+//
+// Headers declare, sources define: when a .cpp is scanned, the declarations
+// (member fields, guarded_by annotations) of its companion header feed the
+// same IR, so `TransformCache::absorbing` in transform.cpp is checked against
+// the `entries_` declared in transform.hpp.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace csrlmrm::lint {
+
+class FileContext;
+
+/// One member-variable declaration inside a class/struct body.
+struct MemberField {
+  std::string class_name;
+  std::string name;
+  std::string type_text;   // declaration tokens before the name, joined by ' '
+  bool is_container = false;  // map/set/vector/deque/list/unordered_* flavors
+  std::string guarded_by;  // mutex member named by lint:guarded_by(...); "" if none
+  std::size_t decl_line = 0;
+};
+
+/// The extent of one lock_guard/unique_lock/scoped_lock/shared_lock object:
+/// from its declaration token to the closing brace of the innermost enclosing
+/// block. `mutexes` holds every identifier in the constructor argument list,
+/// so `lock(mutex_)` and `lock(owner.mutex_)` both cover "mutex_".
+struct LockScope {
+  std::vector<std::string> mutexes;
+  std::size_t begin_tok = 0;
+  std::size_t end_tok = 0;  // inclusive token index of the closing brace
+};
+
+/// One function definition in the scanned file, enriched over
+/// FileContext::FunctionSpan with the class it belongs to (from a
+/// `Class::method` qualifier or the enclosing class block) and whether its
+/// return type is a raw reference or pointer.
+struct MethodIr {
+  std::string class_name;  // empty for free functions
+  std::string name;
+  std::size_t name_tok = 0;    // token index of the name, 0 if unrecovered
+  std::size_t open_brace = 0;  // token indices into the scanned file
+  std::size_t close_brace = 0;
+  bool returns_ref = false;
+  bool returns_ptr = false;
+};
+
+/// The per-file IR the flow-aware rules read. Declarations are merged from
+/// the scanned file and its companion header; bodies (methods, lock scopes)
+/// come from the scanned file only.
+struct FileIr {
+  std::vector<MemberField> fields;
+  /// member name -> mutex name, for every field with a guarded_by annotation.
+  std::map<std::string, std::string> guarded_members;
+  /// Names of container-typed member fields (for the dangling-reference rule).
+  std::set<std::string> container_members;
+  /// Classes with an eviction path: a method body that erases/pops/clears a
+  /// member container, or a method named evict*/trim*.
+  std::set<std::string> eviction_classes;
+  std::vector<MethodIr> methods;
+  std::vector<LockScope> lock_scopes;
+  /// Every matched brace pair (open token index, close token index).
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  /// True when the file includes a socket-layer header (<sys/socket.h> et
+  /// al.) — the scope gate of the syscall-hygiene rule.
+  bool networked = false;
+
+  /// True when token `tok` lies inside a lock scope covering `mutex_name`.
+  bool covered_by_lock(std::size_t tok, const std::string& mutex_name) const;
+};
+
+/// Builds the IR for `ctx` through the pass pipeline:
+///   1. blocks      — match every brace pair
+///   2. classes     — index class/struct member fields (self + companion)
+///   3. annotations — attach lint:guarded_by(<mutex>) comments to fields
+///   4. methods     — recover definitions with qualifier and return refness
+///   5. locks       — compute RAII lock-object scopes
+///   6. eviction    — mark classes whose methods erase from member containers
+/// `companion` may be null (headers, single-file scans).
+FileIr build_file_ir(const FileContext& ctx, const FileContext* companion);
+
+}  // namespace csrlmrm::lint

@@ -1,26 +1,36 @@
 // csrlmrm-lint CLI.
 //
-//   csrlmrm-lint [--json[=FILE]] [--rule=NAME ...] [--list-rules] [--quiet]
-//                <file-or-directory> ...
+//   csrlmrm-lint [--json[=FILE]] [--format=sarif] [--output=FILE]
+//                [--rule=NAME ...] [--threads=N] [--cache=FILE] [--fix]
+//                [--list-rules] [--quiet] <file-or-directory> ...
 //
 // Exit codes: 0 = clean, 1 = diagnostics found, 2 = usage or I/O error.
 // Directories are walked recursively for C++ sources; build trees and
 // tests/lint_fixtures are skipped. `ctest -L lint` runs this binary over
 // src/ tests/ bench/ examples/ tools/.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "driver.hpp"
+#include "sarif.hpp"
 
 namespace {
 
 int usage(std::ostream& out, int code) {
-  out << "usage: csrlmrm-lint [--json[=FILE]] [--rule=NAME ...] [--list-rules] "
-         "[--quiet] <path>...\n"
+  out << "usage: csrlmrm-lint [--json[=FILE]] [--format=sarif] [--output=FILE]\n"
+         "                    [--rule=NAME ...] [--threads=N] [--cache=FILE] [--fix]\n"
+         "                    [--list-rules] [--quiet] <path>...\n"
          "  --json[=FILE]  write the machine-readable report to stdout (or FILE)\n"
+         "  --format=FMT   machine output format: json or sarif (SARIF 2.1.0)\n"
+         "  --output=FILE  write the --format document to FILE instead of stdout\n"
          "  --rule=NAME    run only rule NAME (repeatable)\n"
+         "  --threads=N    scan files with N worker threads (0 = process default;\n"
+         "                 output is identical at every thread count)\n"
+         "  --cache=FILE   incremental cache: warm reruns skip unchanged files\n"
+         "  --fix          apply mechanical autofixes (endl, pragma-once) in place\n"
          "  --list-rules   print the rule catalogue and exit\n"
          "  --quiet        suppress the human-readable diagnostic listing\n";
   return code;
@@ -32,8 +42,10 @@ int main(int argc, char** argv) {
   using namespace csrlmrm::lint;
 
   bool json = false;
+  bool sarif = false;
   bool quiet = false;
   std::string json_file;
+  std::string output_file;
   LintOptions options;
   std::vector<std::string> paths;
 
@@ -51,8 +63,33 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       json = true;
       json_file = arg.substr(7);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string format = arg.substr(9);
+      if (format == "json") {
+        json = true;
+      } else if (format == "sarif") {
+        sarif = true;
+      } else {
+        std::cerr << "csrlmrm-lint: unknown format '" << format
+                  << "' (json or sarif)\n";
+        return 2;
+      }
+    } else if (arg.rfind("--output=", 0) == 0) {
+      output_file = arg.substr(9);
     } else if (arg.rfind("--rule=", 0) == 0) {
       options.rule_filter.push_back(arg.substr(7));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      const long value = std::strtol(arg.c_str() + 10, &end, 10);
+      if (end == nullptr || *end != '\0' || value < 0) {
+        std::cerr << "csrlmrm-lint: bad thread count in '" << arg << "'\n";
+        return 2;
+      }
+      options.threads = static_cast<unsigned>(value);
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      options.cache_path = arg.substr(8);
+    } else if (arg == "--fix") {
+      options.fix = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -87,18 +124,26 @@ int main(int argc, char** argv) {
   const LintReport report = lint_paths(paths, options);
 
   if (!quiet) std::cerr << format_text(report);
+  auto emit = [&](const std::string& doc, const std::string& file) -> bool {
+    if (file.empty()) {
+      std::cout << doc << '\n';
+      return true;
+    }
+    std::ofstream out(file);
+    if (!out) {
+      std::cerr << "csrlmrm-lint: cannot write '" << file << "'\n";
+      return false;
+    }
+    out << doc << '\n';
+    return true;
+  };
   if (json) {
     const std::string doc = csrlmrm::obs::write_json(report_to_json(report));
-    if (json_file.empty()) {
-      std::cout << doc << '\n';
-    } else {
-      std::ofstream out(json_file);
-      if (!out) {
-        std::cerr << "csrlmrm-lint: cannot write '" << json_file << "'\n";
-        return 2;
-      }
-      out << doc << '\n';
-    }
+    if (!emit(doc, json_file.empty() ? output_file : json_file)) return 2;
+  }
+  if (sarif) {
+    const std::string doc = csrlmrm::obs::write_json(report_to_sarif(report));
+    if (!emit(doc, output_file)) return 2;
   }
 
   if (!report.errors.empty()) return 2;

@@ -4,6 +4,9 @@
 #include <array>
 #include <cctype>
 #include <map>
+#include <set>
+
+#include "ir.hpp"
 
 namespace csrlmrm::lint {
 
@@ -12,7 +15,7 @@ namespace {
 void report(std::vector<Diagnostic>& out, std::string_view rule, const FileContext& ctx,
             const Token& tok, std::string message) {
   out.push_back(Diagnostic{std::string(rule), ctx.path(), tok.line, tok.column,
-                           std::move(message)});
+                           std::move(message), {}});
 }
 
 // ---------------------------------------------------------------------------
@@ -285,11 +288,18 @@ class EndlRule : public Rule {
            "explicitly where needed";
   }
   void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
-    for (std::size_t i = 0; i < ctx.tokens().size(); ++i) {
-      const Token& t = ctx.tokens()[i];
-      if (t.kind == TokenKind::kIdentifier && ctx.text(t) == "endl") {
-        report(out, name(), ctx, t, "std::endl flushes the stream; use '\\n'");
+    const auto& toks = ctx.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kIdentifier || ctx.text(t) != "endl") continue;
+      report(out, name(), ctx, t, "std::endl flushes the stream; use '\\n'");
+      // Autofix: rewrite `std::endl` / `::endl` / `endl` to the literal '\n'.
+      std::size_t start = t.offset;
+      if (i >= 1 && ctx.text(toks[i - 1]) == "::") {
+        start = toks[i - 1].offset;
+        if (i >= 2 && ctx.text(toks[i - 2]) == "std") start = toks[i - 2].offset;
       }
+      out.back().fixes.push_back(FixEdit{start, t.offset + t.length - start, "'\\n'"});
     }
   }
 };
@@ -360,7 +370,10 @@ class PragmaOnceRule : public Rule {
       }
     }
     out.push_back(Diagnostic{std::string(name()), ctx.path(), 1, 1,
-                             "header is missing #pragma once"});
+                             "header is missing #pragma once", {}});
+    // Autofix: prepend the guard. Inserting at offset 0 keeps the edit
+    // position-independent of comments and whitespace.
+    out.back().fixes.push_back(FixEdit{0, 0, "#pragma once\n"});
   }
 };
 
@@ -450,6 +463,234 @@ class SimdHygieneRule : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// dangling-cache-reference: the PR 8 bug class. TransformCache::absorbing
+// originally returned `const Mrm&` into an LRU-evicted map — any later insert
+// could erase the referent while a caller still held the reference. The rule
+// reads the flow IR: in src/, a method of a class with an eviction path
+// (erase/pop on a member container, or an evict*/trim* method) must not
+// return a raw reference or pointer whose return expression reaches a member
+// container — directly, or through a local derived from find()/begin()/
+// emplace() on one.
+class DanglingCacheReferenceRule : public Rule {
+ public:
+  std::string_view name() const override { return "dangling-cache-reference"; }
+  std::string_view description() const override {
+    return "methods of classes with an eviction path (erase/pop/evict on a "
+           "member container) must not return references/pointers into that "
+           "container; return by value or shared_ptr (see core/transform.hpp)";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    if (ctx.tree() != Tree::kSrc) return;
+    const FileIr& ir = ctx.ir();
+    if (ir.eviction_classes.empty()) return;
+    const auto& toks = ctx.tokens();
+
+    static constexpr std::array<std::string_view, 7> kDeriving = {
+        "find", "begin", "at", "emplace", "try_emplace", "insert", "lower_bound"};
+
+    for (const MethodIr& method : ir.methods) {
+      if (!method.returns_ref && !method.returns_ptr) continue;
+      if (!ir.eviction_classes.count(method.class_name)) continue;
+
+      // Locals derived from container lookups inside this body: `auto it =
+      // entries_.find(key)` makes `it` (and structured bindings likewise)
+      // carry container aliasing.
+      std::set<std::string> derived;
+      for (std::size_t i = method.open_brace; i + 3 < method.close_brace && i < toks.size();
+           ++i) {
+        if (toks[i].kind != TokenKind::kIdentifier ||
+            !ir.container_members.count(std::string(ctx.text(toks[i])))) {
+          continue;
+        }
+        if (ctx.text(toks[i + 1]) != ".") continue;
+        const std::string_view call = ctx.text(toks[i + 2]);
+        if (toks[i + 2].kind != TokenKind::kIdentifier ||
+            std::find(kDeriving.begin(), kDeriving.end(), call) == kDeriving.end() ||
+            i + 3 >= toks.size() || ctx.text(toks[i + 3]) != "(") {
+          continue;
+        }
+        // Walk back across `=` to the declared name(s).
+        std::size_t k = i;
+        while (k > method.open_brace && ctx.text(toks[k - 1]) != "=" &&
+               ctx.text(toks[k - 1]) != ";" && ctx.text(toks[k - 1]) != "{") {
+          --k;
+        }
+        if (k == method.open_brace || ctx.text(toks[k - 1]) != "=") continue;
+        for (std::size_t b = k - 1; b-- > method.open_brace;) {
+          const std::string_view w = ctx.text(toks[b]);
+          if (toks[b].kind == TokenKind::kIdentifier) {
+            if (w != "auto" && w != "const") derived.insert(std::string(w));
+            if (w == "auto" || w == "const") break;
+          } else if (w != "[" && w != "]" && w != "," && w != "&" && w != "*") {
+            break;
+          }
+        }
+      }
+
+      for (std::size_t i = method.open_brace; i < method.close_brace && i < toks.size();
+           ++i) {
+        if (toks[i].kind != TokenKind::kIdentifier || ctx.text(toks[i]) != "return") continue;
+        for (std::size_t j = i + 1; j < method.close_brace && ctx.text(toks[j]) != ";"; ++j) {
+          if (toks[j].kind != TokenKind::kIdentifier) continue;
+          const std::string word(ctx.text(toks[j]));
+          const bool direct = ir.container_members.count(word) > 0;
+          if (direct || derived.count(word)) {
+            report(out, name(), ctx, toks[i],
+                   "'" + method.class_name + "::" + method.name + "' returns a " +
+                       (method.returns_ptr ? std::string("pointer") : std::string("reference")) +
+                       (direct ? " into member container '" + word + "'"
+                               : " through '" + word +
+                                     "', a local derived from a member-container lookup,") +
+                       " while the class has an eviction path; the referent can "
+                       "be erased under the caller — return by value or "
+                       "std::shared_ptr (the PR 8 TransformCache bug)");
+            i = j;
+            break;
+          }
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// lock-hygiene: members annotated `// lint:guarded_by(<mutex>)` (on the
+// declaration line or the comment line above it, header annotations included
+// via the companion mechanism) may only be touched inside a lock_guard/
+// unique_lock/scoped_lock/shared_lock scope naming that mutex. Functions
+// whose name ends in `_locked` are exempt — the project convention for
+// helpers documented to require the lock already held.
+class LockHygieneRule : public Rule {
+ public:
+  std::string_view name() const override { return "lock-hygiene"; }
+  std::string_view description() const override {
+    return "members annotated lint:guarded_by(<mutex>) must only be accessed "
+           "under a lock_guard/unique_lock/scoped_lock on that mutex "
+           "(helpers named *_locked are exempt)";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    const FileIr& ir = ctx.ir();
+    if (ir.guarded_members.empty()) return;
+    const auto& toks = ctx.tokens();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier) continue;
+      const auto guarded = ir.guarded_members.find(std::string(ctx.text(toks[i])));
+      if (guarded == ir.guarded_members.end()) continue;
+      // Member access through another object (`other.queue_`) or a qualifier
+      // is not an access to *this* instance's member.
+      if (i > 0) {
+        const std::string_view before = ctx.text(toks[i - 1]);
+        if (before == "." || before == "->" || before == "::") continue;
+      }
+      // Only accesses inside a function body count: declarations and default
+      // member initializers live outside every span.
+      const auto enclosing = ctx.enclosing_functions(i);
+      if (enclosing.empty()) continue;
+      bool exempt = false;
+      for (const std::string& fn : enclosing) {
+        if (fn.size() > 7 && fn.rfind("_locked") == fn.size() - 7) exempt = true;
+      }
+      if (exempt) continue;
+      if (ir.covered_by_lock(i, guarded->second)) continue;
+      report(out, name(), ctx, toks[i],
+             "guarded member '" + guarded->first + "' accessed outside a lock on '" +
+                 guarded->second +
+                 "' (lint:guarded_by); take std::lock_guard/std::unique_lock "
+                 "first, or move the access into a *_locked helper");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// syscall-hygiene: the daemon retrofits of PR 7/8, mechanized. In files that
+// include a socket header: every raw `::send` must pass MSG_NOSIGNAL (a hung-
+// up peer must surface as EPIPE, not a process-killing SIGPIPE), and every
+// raw `::read`/`::recv`/`::accept` must sit in a function that handles EINTR
+// (a stray signal must not be misread as connection loss).
+class SyscallHygieneRule : public Rule {
+ public:
+  std::string_view name() const override { return "syscall-hygiene"; }
+  std::string_view description() const override {
+    return "in networked code (socket headers included): ::send must pass "
+           "MSG_NOSIGNAL, and ::read/::recv/::accept must sit in a function "
+           "with an EINTR retry";
+  }
+  void check(const FileContext& ctx, std::vector<Diagnostic>& out) const override {
+    if (ctx.tree() != Tree::kSrc) return;
+    const FileIr& ir = ctx.ir();
+    if (!ir.networked) return;
+    const auto& toks = ctx.tokens();
+    for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier) continue;
+      if (ctx.text(toks[i - 1]) != "::") continue;
+      // Require the *global* qualifier: `obj::send` / `Type::read` have an
+      // identifier (or template tail) before the `::` — but keywords like
+      // `return ::read(...)` still start a global-qualified expression.
+      if (i >= 2) {
+        const std::string_view before = ctx.text(toks[i - 2]);
+        static constexpr std::array<std::string_view, 7> kExprKeywords = {
+            "return", "throw", "case", "else", "do", "co_return", "co_yield"};
+        const bool keyword = std::find(kExprKeywords.begin(), kExprKeywords.end(),
+                                       before) != kExprKeywords.end();
+        if (!keyword && (toks[i - 2].kind == TokenKind::kIdentifier || before == ">" ||
+                         before == ")")) {
+          continue;
+        }
+      }
+      if (ctx.text(toks[i + 1]) != "(") continue;
+      const std::string_view call = ctx.text(toks[i]);
+      if (call == "send") {
+        bool has_nosignal = false;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+          if (toks[j].kind == TokenKind::kIdentifier &&
+              ctx.text(toks[j]) == "MSG_NOSIGNAL") {
+            has_nosignal = true;
+          }
+          if (toks[j].kind != TokenKind::kPunct) continue;
+          const std::string_view w = ctx.text(toks[j]);
+          if (w == "(") ++depth;
+          if (w == ")" && --depth == 0) break;
+        }
+        if (!has_nosignal) {
+          report(out, name(), ctx, toks[i],
+                 "::send without MSG_NOSIGNAL: a peer that hung up raises "
+                 "SIGPIPE and kills the daemon; pass MSG_NOSIGNAL and handle "
+                 "the EPIPE return instead");
+        }
+        continue;
+      }
+      if (call != "read" && call != "recv" && call != "accept") continue;
+      // The enclosing function must mention EINTR (an `errno == EINTR`
+      // retry). Innermost span wins; free-standing calls fall back to a
+      // whole-file search.
+      std::size_t begin = 0;
+      std::size_t end = toks.size();
+      for (const FunctionSpan& f : ctx.functions()) {
+        if (f.open_brace <= i && i <= f.close_brace) {
+          begin = f.open_brace;
+          end = f.close_brace;
+        }
+      }
+      bool has_eintr = false;
+      for (std::size_t j = begin; j <= end && j < toks.size(); ++j) {
+        if (toks[j].kind == TokenKind::kIdentifier && ctx.text(toks[j]) == "EINTR") {
+          has_eintr = true;
+          break;
+        }
+      }
+      if (!has_eintr) {
+        report(out, name(), ctx, toks[i],
+               "::" + std::string(call) +
+                   " without an EINTR retry in the enclosing function: a stray "
+                   "signal makes the call fail spuriously and gets misread as "
+                   "connection loss; check errno == EINTR and retry");
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> make_default_rules() {
@@ -465,6 +706,9 @@ std::vector<std::unique_ptr<Rule>> make_default_rules() {
   rules.push_back(std::make_unique<PragmaOnceRule>());
   rules.push_back(std::make_unique<ReservedIdentifierRule>());
   rules.push_back(std::make_unique<SimdHygieneRule>());
+  rules.push_back(std::make_unique<DanglingCacheReferenceRule>());
+  rules.push_back(std::make_unique<LockHygieneRule>());
+  rules.push_back(std::make_unique<SyscallHygieneRule>());
   return rules;
 }
 

@@ -18,12 +18,28 @@
 
 namespace csrlmrm::lint {
 
+/// Monotonic rule-set version: bump whenever a rule is added, removed, or its
+/// matching logic changes, so the incremental cache (cache.hpp) invalidates
+/// stale verdicts. v1 = the PR 4 token catalogue; v2 = the flow-aware rules
+/// (dangling-cache-reference, lock-hygiene, syscall-hygiene) + autofixes.
+inline constexpr int kRuleSetVersion = 2;
+
+/// One mechanical source edit attached to a diagnostic, applied by --fix.
+/// Replaces `length` bytes at `offset` in the original source with
+/// `replacement` (length 0 inserts).
+struct FixEdit {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  std::string replacement;
+};
+
 struct Diagnostic {
   std::string rule;
   std::string file;
   std::size_t line = 0;
   std::size_t column = 0;
   std::string message;
+  std::vector<FixEdit> fixes;  // empty when the rule has no autofix
 };
 
 class Rule {
@@ -40,7 +56,8 @@ class Rule {
 /// The full rule catalogue, in stable order:
 ///   float-equality, unordered-iteration, unsafe-libm, float-narrowing,
 ///   naked-new, solver-stats, endl, banned-identifier, pragma-once,
-///   reserved-identifier, simd-hygiene
+///   reserved-identifier, simd-hygiene, dangling-cache-reference,
+///   lock-hygiene, syscall-hygiene
 std::vector<std::unique_ptr<Rule>> make_default_rules();
 
 }  // namespace csrlmrm::lint

@@ -1,0 +1,66 @@
+#include "sarif.hpp"
+
+namespace csrlmrm::lint {
+
+using obs::JsonValue;
+
+obs::JsonValue report_to_sarif(const LintReport& report) {
+  JsonValue driver = JsonValue::object();
+  driver.set("name", JsonValue(std::string("csrlmrm-lint")));
+  driver.set("version", JsonValue(std::string("2.0.0")));
+  driver.set("informationUri",
+             JsonValue(std::string("https://example.invalid/csrlmrm-lint")));
+  JsonValue rules = JsonValue::array();
+  for (const auto& rule : make_default_rules()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("id", JsonValue(std::string(rule->name())));
+    JsonValue text = JsonValue::object();
+    text.set("text", JsonValue(std::string(rule->description())));
+    entry.set("shortDescription", std::move(text));
+    rules.push_back(std::move(entry));
+  }
+  driver.set("rules", std::move(rules));
+
+  JsonValue tool = JsonValue::object();
+  tool.set("driver", std::move(driver));
+
+  JsonValue results = JsonValue::array();
+  for (const Diagnostic& d : report.diagnostics) {
+    JsonValue result = JsonValue::object();
+    result.set("ruleId", JsonValue(d.rule));
+    result.set("level", JsonValue(std::string("error")));
+    JsonValue message = JsonValue::object();
+    message.set("text", JsonValue(d.message));
+    result.set("message", std::move(message));
+    JsonValue artifact = JsonValue::object();
+    artifact.set("uri", JsonValue(d.file));
+    JsonValue region = JsonValue::object();
+    region.set("startLine", JsonValue(static_cast<double>(d.line)));
+    region.set("startColumn", JsonValue(static_cast<double>(d.column)));
+    JsonValue physical = JsonValue::object();
+    physical.set("artifactLocation", std::move(artifact));
+    physical.set("region", std::move(region));
+    JsonValue location = JsonValue::object();
+    location.set("physicalLocation", std::move(physical));
+    JsonValue locations = JsonValue::array();
+    locations.push_back(std::move(location));
+    result.set("locations", std::move(locations));
+    results.push_back(std::move(result));
+  }
+
+  JsonValue run = JsonValue::object();
+  run.set("tool", std::move(tool));
+  run.set("results", std::move(results));
+  JsonValue runs = JsonValue::array();
+  runs.push_back(std::move(run));
+
+  JsonValue root = JsonValue::object();
+  root.set("$schema",
+           JsonValue(std::string(
+               "https://json.schemastore.org/sarif-2.1.0.json")));
+  root.set("version", JsonValue(std::string("2.1.0")));
+  root.set("runs", std::move(runs));
+  return root;
+}
+
+}  // namespace csrlmrm::lint

@@ -1,0 +1,17 @@
+// SARIF 2.1.0 emitter (--format=sarif): the static-analysis interchange
+// format CI annotators and editors consume. Built on obs/json so the writer
+// shares one JSON dialect with --stats and the --json report.
+#pragma once
+
+#include "driver.hpp"
+#include "obs/json.hpp"
+
+namespace csrlmrm::lint {
+
+/// Renders `report` as a minimal SARIF 2.1.0 document: one run, the full
+/// rule catalogue under tool.driver.rules (stable order), one result per
+/// diagnostic in file/line order. Deterministic for a given report, so a
+/// golden-file test can pin the output byte-for-byte.
+obs::JsonValue report_to_sarif(const LintReport& report);
+
+}  // namespace csrlmrm::lint
