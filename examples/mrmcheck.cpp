@@ -18,6 +18,7 @@
 
 #include "checker/sat.hpp"
 #include "io/model_files.hpp"
+#include "models/generator.hpp"
 #include "lang/builder.hpp"
 #include "logic/parser.hpp"
 #include "logic/printer.hpp"
@@ -34,7 +35,18 @@ void usage() {
                "usage: mrmcheck <model.tra> <model.lab> <model.rewr> [model.rewi]\n"
                "                [u=<w> | d=<step>] [NP] \"<CSRL formula>\"\n"
                "       mrmcheck <model.spec> [u=<w> | d=<step>] [NP] \"<CSRL formula>\"\n"
+               "       mrmcheck --model-gen=<family:k=v,...> [options] \"<CSRL formula>\"\n"
                "\n"
+               "  --model-gen=<spec>  build the model from a streamed generator instead\n"
+               "            of model files (must be the first argument). Families:\n"
+               "            grid  (mesh network:   width, height, hop, drift, energy, power)\n"
+               "            crowd (epidemic:       population, contact, recovery,\n"
+               "                                   treatment, outbreak)\n"
+               "            virus (host infection: hosts, infect, recover, damage)\n"
+               "            e.g. --model-gen=grid:width=256,height=256\n"
+               "  --steady-detect[=eps]  let uniformization series stop early once the\n"
+               "            iterate is steady within eps (default 1e-12); the cut's\n"
+               "            error is accounted into the reported value intervals\n"
                "  u=<w>     until formulas by uniformization, truncation probability w\n"
                "            (default: u=1e-8)\n"
                "  d=<step>  until formulas by discretization with the given step\n"
@@ -220,13 +232,24 @@ int main(int argc, char** argv) {
 
   try {
     int arg = 1;
-    const bool from_spec = ends_with(argv[1], ".spec");
+    std::string model_gen;
+    if (std::string(argv[1]).rfind("--model-gen=", 0) == 0) {
+      model_gen = std::string(argv[1]).substr(12);
+      if (model_gen.empty()) {
+        std::fprintf(stderr, "mrmcheck: --model-gen= expects family:key=value,...\n");
+        return 2;
+      }
+      ++arg;
+    }
+    const bool from_spec = model_gen.empty() && ends_with(argv[1], ".spec");
     std::string tra;
     std::string lab;
     std::string rewr;
     std::string rewi;
     std::string spec_path;
-    if (from_spec) {
+    if (!model_gen.empty()) {
+      // the generator spec replaces every positional model argument
+    } else if (from_spec) {
       spec_path = argv[arg++];
     } else {
       if (argc < 5) {
@@ -283,6 +306,13 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "mrmcheck: --stats= expects a file path\n");
             return 2;
           }
+        }
+      } else if (token == "--steady-detect" || token.rfind("--steady-detect=", 0) == 0) {
+        options.transient.detect_steady_state = true;
+        if (token.rfind("--steady-detect=", 0) == 0 &&
+            !parse_positive_double(token.substr(16), "--steady-detect=",
+                                   options.transient.steady_epsilon)) {
+          return 2;
         }
       } else if (token == "--strict") {
         strict = true;
@@ -375,8 +405,9 @@ int main(int argc, char** argv) {
       }
     }
 
-    const core::Mrm model =
-        from_spec ? load_spec_model(spec_path) : io::load_mrm(tra, lab, rewr, rewi);
+    const core::Mrm model = !model_gen.empty() ? models::make_generated_mrm(model_gen)
+                            : from_spec        ? load_spec_model(spec_path)
+                                               : io::load_mrm(tra, lab, rewr, rewi);
     std::printf("model: %zu states, %zu transitions, impulse rewards: %s\n",
                 model.num_states(), model.rates().matrix().non_zeros(),
                 model.has_impulse_rewards() ? "yes" : "no");

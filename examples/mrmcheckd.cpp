@@ -11,8 +11,10 @@
 // execution; results are bitwise-identical to a cold one-shot mrmcheck run.
 //
 // --preload registers models at startup: `name=<file.spec>` builds from a
-// guarded-command spec, `name=<prefix>` reads <prefix>.tra/.lab/.rewr (and
-// .rewi when present).
+// guarded-command spec, `name=gen:<family:k=v,...>` explores a streamed
+// generator (src/models/generator.hpp) without ever materializing model
+// files, and `name=<prefix>` reads <prefix>.tra/.lab/.rewr (and .rewi when
+// present).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +24,7 @@
 #include "daemon/server.hpp"
 #include "io/model_files.hpp"
 #include "lang/builder.hpp"
+#include "models/generator.hpp"
 #include "obs/stats.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -38,8 +41,10 @@ void usage() {
                "                    degraded (default 64)\n"
                "  --models N        resident model capacity (default 8, LRU)\n"
                "  --stats           enable engine statistics collection\n"
-               "  --preload name=<model.spec or prefix>  register a model at\n"
-               "                    startup under the given name\n");
+               "  --preload name=<model.spec or prefix or gen:spec>  register a\n"
+               "                    model at startup under the given name;\n"
+               "                    gen:<family:k=v,...> streams it from a model\n"
+               "                    generator (families: crowd, grid, virus)\n");
 }
 
 bool parse_count(const std::string& text, const char* flag, std::size_t& out) {
@@ -63,6 +68,7 @@ bool ends_with(const std::string& text, const char* suffix) {
 
 csrlmrm::core::Mrm load_preload_model(const std::string& path) {
   using namespace csrlmrm;
+  if (path.rfind("gen:", 0) == 0) return models::make_generated_mrm(path.substr(4));
   if (ends_with(path, ".spec")) {
     std::ifstream in(path);
     if (!in) throw std::runtime_error("cannot open '" + path + "'");

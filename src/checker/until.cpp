@@ -21,6 +21,13 @@ namespace csrlmrm::checker {
 
 namespace {
 
+/// Model size from which the P1 class switches from the per-start forward
+/// fan-out to one backward column series (numeric::transient_hit_probabilities).
+/// The backward sum associates the same series differently, so results differ
+/// in the last ulps; the threshold keeps every small-model expectation (and
+/// all cross-engine pinned tests) on the historical forward path.
+constexpr std::size_t kBackwardUntilMinStates = 4096;
+
 void require_masks(const core::Mrm& model, const std::vector<bool>& sat_phi,
                    const std::vector<bool>& sat_psi) {
   if (sat_phi.size() != model.num_states() || sat_psi.size() != model.num_states()) {
@@ -421,6 +428,27 @@ std::vector<UntilValue> until_probabilities(const core::Mrm& model,
       } else {
         starts.push_back(s);
       }
+    }
+    if (n >= kBackwardUntilMinStates) {
+      // One backward column series u_{k+1} = P u_k answers every start state
+      // at once in O(nnz * terms), where the per-start fan-out below costs a
+      // full series per start — quadratic at a million states. Since Psi is
+      // absorbing in M[!Phi v Psi], the hit probability at t equals the
+      // until probability. The backward sum is a numerically different
+      // (equally valid) association of the same series, so it only engages
+      // above a size where no pinned small-model expectation can change.
+      const auto hit = numeric::transient_hit_probabilities(
+          transformed.rates(), sat_psi, time_bound.upper(), options.transient);
+      const double lost = options.transient.epsilon;  // one-sided Fox-Glynn loss
+      const double steady = hit.steady_error;         // two-sided fold error
+      for (const core::StateIndex s : starts) {
+        const double p = hit.values[s];
+        // True value lies in [p - steady, p + lost + steady]; with detection
+        // off (steady == 0) this is the usual truncation enclosure.
+        values[s] = {p, lost + steady,
+                     ProbabilityBound::from_point_error(p, steady, lost + steady)};
+      }
+      return values;
     }
     const auto distributions = numeric::transient_distributions_from_states(
         transformed.rates(), starts, time_bound.upper(), options.transient);

@@ -24,6 +24,9 @@ class ImpulseRewardsBuilder {
   /// or non-finite rewards.
   void add(StateIndex from, StateIndex to, double reward);
 
+  /// Pre-allocates room for `entries` impulses (see CsrBuilder::reserve).
+  void reserve(std::size_t entries) { builder_.reserve(entries); }
+
   linalg::CsrMatrix build() const { return builder_.build(); }
 
  private:

@@ -29,6 +29,9 @@ class RateMatrixBuilder {
   /// negative or non-finite rates, std::out_of_range for bad states.
   void add(StateIndex from, StateIndex to, double rate);
 
+  /// Pre-allocates room for `transitions` entries (see CsrBuilder::reserve).
+  void reserve(std::size_t transitions) { builder_.reserve(transitions); }
+
   std::size_t num_states() const { return builder_.rows(); }
 
   RateMatrix build() const;

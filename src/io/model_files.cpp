@@ -1,6 +1,9 @@
 #include "io/model_files.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -55,6 +58,48 @@ void require_line_consumed(std::istringstream& parse, std::size_t line) {
   }
 }
 
+/// Single-pass field scanner over one content line: strtol/strtod advance a
+/// cursor directly over the line buffer, so the million-line body of a large
+/// .tra/.rewi file is tokenized exactly once. (The previous istringstream
+/// path built a stream per line and re-tokenized it a second time for the
+/// trailing-token check.) Errors still carry the 1-based line number.
+class FieldScanner {
+ public:
+  explicit FieldScanner(const std::string& line) : cursor_(line.c_str()) {}
+
+  /// Parses the next base-10 integer field; false when none is present.
+  bool next_long(long& value) {
+    char* end = nullptr;
+    value = std::strtol(cursor_, &end, 10);
+    if (end == cursor_) return false;
+    cursor_ = end;
+    return true;
+  }
+
+  /// Parses the next floating-point field; false when none is present.
+  bool next_double(double& value) {
+    char* end = nullptr;
+    value = std::strtod(cursor_, &end);
+    if (end == cursor_) return false;
+    cursor_ = end;
+    return true;
+  }
+
+  /// Rejects extra tokens after the expected fields ("1 2 0.5 oops" must not
+  /// parse as "1 2 0.5"); a trailing '%...' comment is fine.
+  void require_consumed(std::size_t line) const {
+    const char* p = cursor_;
+    while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (*p == '\0' || *p == '%') return;
+    const char* start = p;
+    while (*p != '\0' && !std::isspace(static_cast<unsigned char>(*p))) ++p;
+    throw ModelFileError("unexpected trailing token '" + std::string(start, p) + "'", line);
+  }
+
+ private:
+  const char* cursor_;
+};
+
 /// Does the line's first whitespace-separated token equal `expected`?
 /// (Header keywords like '#END' must stand alone — an atomic proposition
 /// merely *containing* the keyword must not terminate a section.)
@@ -97,16 +142,19 @@ core::RateMatrix read_tra(std::istream& in) {
   }
 
   core::RateMatrixBuilder builder(num_states);
+  // One allocation for the announced count; capped so a corrupt header
+  // cannot drive a huge speculative allocation before any line is parsed.
+  builder.reserve(std::min(num_transitions, std::size_t{1} << 24));
   std::size_t seen = 0;
   while (reader.next(line)) {
-    std::istringstream parse(line);
+    FieldScanner scan(line);
     long from = 0;
     long to = 0;
     double rate = 0.0;
-    if (!(parse >> from >> to >> rate)) {
+    if (!scan.next_long(from) || !scan.next_long(to) || !scan.next_double(rate)) {
       throw ModelFileError("expected 'state1 state2 rate'", reader.line_number());
     }
-    require_line_consumed(parse, reader.line_number());
+    scan.require_consumed(reader.line_number());
     if (!std::isfinite(rate) || rate <= 0.0) {
       throw ModelFileError("transition rate must be a positive finite number, got " +
                                std::to_string(rate),
@@ -174,13 +222,13 @@ std::vector<double> read_rewr(std::istream& in, std::size_t num_states) {
   std::vector<double> rewards(num_states, 0.0);
   std::string line;
   while (reader.next(line)) {
-    std::istringstream parse(line);
+    FieldScanner scan(line);
     long state = 0;
     double reward = 0.0;
-    if (!(parse >> state >> reward)) {
+    if (!scan.next_long(state) || !scan.next_double(reward)) {
       throw ModelFileError("expected 'state reward'", reader.line_number());
     }
-    require_line_consumed(parse, reader.line_number());
+    scan.require_consumed(reader.line_number());
     if (!std::isfinite(reward) || reward < 0.0) {
       throw ModelFileError("state reward must be a finite non-negative number, got " +
                                std::to_string(reward),
@@ -207,16 +255,17 @@ linalg::CsrMatrix read_rewi(std::istream& in, std::size_t num_states) {
     require_line_consumed(parse, reader.line_number());
   }
   core::ImpulseRewardsBuilder builder(num_states);
+  builder.reserve(std::min(announced, std::size_t{1} << 24));  // capped, see read_tra
   std::size_t seen = 0;
   while (reader.next(line)) {
-    std::istringstream parse(line);
+    FieldScanner scan(line);
     long from = 0;
     long to = 0;
     double reward = 0.0;
-    if (!(parse >> from >> to >> reward)) {
+    if (!scan.next_long(from) || !scan.next_long(to) || !scan.next_double(reward)) {
       throw ModelFileError("expected 'state1 state2 reward'", reader.line_number());
     }
-    require_line_consumed(parse, reader.line_number());
+    scan.require_consumed(reader.line_number());
     if (!std::isfinite(reward) || reward < 0.0) {
       throw ModelFileError("impulse reward must be a finite non-negative number, got " +
                                std::to_string(reward),

@@ -1,0 +1,95 @@
+#include "linalg/blocked_csr.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "obs/stats.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace csrlmrm::linalg {
+
+BlockedCsrMatrix::BlockedCsrMatrix(const CsrMatrix& matrix)
+    : rows_(matrix.rows()), cols_(matrix.cols()), non_zeros_(matrix.non_zeros()) {
+  if (cols_ > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("BlockedCsrMatrix: " + std::to_string(cols_) +
+                                " columns exceed the 32-bit index range");
+  }
+  const std::size_t chunks = (rows_ + kChunkRows - 1) / kChunkRows;
+  chunk_ptr_.assign(chunks + 1, 0);
+
+  // Pass 1: chunk widths (the widest row of each chunk) fix the layout.
+  std::size_t total_slots = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::size_t width = 0;
+    const std::size_t row_end = std::min(rows_, (c + 1) * kChunkRows);
+    for (std::size_t r = c * kChunkRows; r < row_end; ++r) {
+      width = std::max(width, matrix.row(r).size());
+    }
+    total_slots += width * kChunkRows;
+    chunk_ptr_[c + 1] = total_slots;
+  }
+
+  // Pass 2: scatter entries slot-major. Padding slots keep value 0.0 and
+  // column 0 — a no-op term for any finite x (see the header rationale).
+  values_.assign(total_slots, 0.0);
+  columns_.assign(total_slots, 0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t base = chunk_ptr_[c];
+    const std::size_t row_end = std::min(rows_, (c + 1) * kChunkRows);
+    for (std::size_t r = c * kChunkRows; r < row_end; ++r) {
+      const std::size_t lane = r - c * kChunkRows;
+      const auto row = matrix.row(r);
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        const std::size_t slot = base + j * kChunkRows + lane;
+        values_[slot] = row[j].value;
+        columns_[slot] = static_cast<std::uint32_t>(row[j].col);
+      }
+    }
+  }
+  obs::counter_add("spmv.blocked_builds");
+  obs::counter_add("spmv.blocked_padding", total_slots - non_zeros_);
+}
+
+void BlockedCsrMatrix::multiply_into(const std::vector<double>& x, std::vector<double>& y,
+                                     unsigned threads) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("BlockedCsrMatrix::multiply_into: size mismatch");
+  }
+  if (y.size() != rows_) {
+    throw std::invalid_argument("BlockedCsrMatrix::multiply_into: output size mismatch");
+  }
+  if (&x == &y) {
+    throw std::invalid_argument("BlockedCsrMatrix::multiply_into: x and y must not alias");
+  }
+  obs::counter_add("spmv.blocked_calls");
+  obs::counter_add("spmv.blocked_rows", rows_);
+  const std::size_t chunks = chunk_ptr_.size() - 1;
+  const unsigned effective = parallel::choose_thread_count(threads, non_zeros_);
+  // Chunks are disjoint row slices, so the parallel_for chunking can never
+  // change which accumulation produces a given y[r].
+  parallel::parallel_for(chunks, effective, [&](std::size_t begin, std::size_t end) {
+    double gathered[kChunkRows];
+    double lanes[kChunkRows];
+    for (std::size_t c = begin; c < end; ++c) {
+      const std::size_t base = chunk_ptr_[c];
+      const std::size_t width = (chunk_ptr_[c + 1] - base) / kChunkRows;
+      core::simd::DoubleVec acc = core::simd::DoubleVec::broadcast(0.0);
+      for (std::size_t j = 0; j < width; ++j) {
+        const std::size_t slot = base + j * kChunkRows;
+        for (std::size_t lane = 0; lane < kChunkRows; ++lane) {
+          gathered[lane] = x[columns_[slot + lane]];
+        }
+        acc = acc + core::simd::DoubleVec::load(values_.data() + slot) *
+                        core::simd::DoubleVec::load(gathered);
+      }
+      acc.store(lanes);
+      const std::size_t row0 = c * kChunkRows;
+      const std::size_t live = std::min(kChunkRows, rows_ - row0);
+      for (std::size_t lane = 0; lane < live; ++lane) y[row0 + lane] = lanes[lane];
+    }
+  });
+}
+
+}  // namespace csrlmrm::linalg

@@ -26,11 +26,23 @@ void CsrBuilder::add(std::size_t row, std::size_t col, double value) {
   triplets_.push_back({row, col, value});
 }
 
+void CsrBuilder::reserve(std::size_t entries) { triplets_.reserve(entries); }
+
 CsrMatrix CsrBuilder::build() const {
-  std::vector<Triplet> sorted = triplets_;
-  std::sort(sorted.begin(), sorted.end(), [](const Triplet& a, const Triplet& b) {
+  const auto row_major = [](const Triplet& a, const Triplet& b) {
     return a.row != b.row ? a.row < b.row : a.col < b.col;
-  });
+  };
+  // Streamed producers (BFS generators, the model-file readers) append
+  // triplets in row-major order already; detecting that skips both the
+  // O(nnz log nnz) sort and its full working copy, making the common
+  // large-model build a single pass over the input.
+  const bool presorted = std::is_sorted(triplets_.begin(), triplets_.end(), row_major);
+  std::vector<Triplet> copy;
+  if (!presorted) {
+    copy = triplets_;
+    std::sort(copy.begin(), copy.end(), row_major);
+  }
+  const std::vector<Triplet>& sorted = presorted ? triplets_ : copy;
 
   std::vector<std::size_t> row_ptr(rows_ + 1, 0);
   std::vector<Entry> entries;

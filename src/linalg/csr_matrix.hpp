@@ -34,6 +34,12 @@ class CsrBuilder {
   /// values.
   void add(std::size_t row, std::size_t col, double value);
 
+  /// Pre-allocates room for `entries` triplets. Streamed producers that know
+  /// the transition count up front (model-file headers, generator hints) call
+  /// this once so a million-entry build performs one allocation instead of a
+  /// doubling cascade.
+  void reserve(std::size_t entries);
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 

@@ -1,0 +1,78 @@
+#include "models/crowd_epidemic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csrlmrm::models {
+
+namespace {
+
+class CrowdEpidemicGenerator final : public StateGenerator {
+ public:
+  explicit CrowdEpidemicGenerator(const CrowdEpidemicConfig& config)
+      : config_(config),
+        outbreak_count_(static_cast<std::size_t>(
+            std::ceil(config.outbreak_fraction * static_cast<double>(config.population)))) {}
+
+  std::vector<std::uint64_t> initial_states() const override {
+    return {key(config_.population - 1, 1)};
+  }
+
+  void expand(std::uint64_t state, GeneratedState& out) const override {
+    const std::size_t n = config_.population;
+    const std::size_t susceptible = static_cast<std::size_t>(state) / (n + 1);
+    const std::size_t infected = static_cast<std::size_t>(state) % (n + 1);
+
+    if (susceptible == n - 1 && infected == 1) out.label_mask |= 1u << 0;  // start
+    if (infected == 0) out.label_mask |= 1u << 1;                          // extinct
+    if (infected >= outbreak_count_) out.label_mask |= 1u << 2;            // outbreak
+    out.state_reward = static_cast<double>(infected);
+
+    if (infected == 0) return;  // no infected left: absorbing
+    if (susceptible > 0) {
+      const double infection = config_.contact_rate * static_cast<double>(susceptible) *
+                               static_cast<double>(infected) / static_cast<double>(n);
+      out.transitions.push_back({key(susceptible - 1, infected + 1), infection, 0.0});
+    }
+    const double recovery = config_.recovery_rate * static_cast<double>(infected);
+    out.transitions.push_back({key(susceptible, infected - 1), recovery, config_.treatment_cost});
+  }
+
+  std::vector<std::string> propositions() const override {
+    return {"start", "extinct", "outbreak"};
+  }
+
+  std::size_t expected_states() const override {
+    const std::size_t n = config_.population;
+    return (n + 1) * (n + 2) / 2;
+  }
+  std::size_t expected_transitions() const override { return 2 * expected_states(); }
+
+ private:
+  std::uint64_t key(std::size_t susceptible, std::size_t infected) const {
+    return static_cast<std::uint64_t>(susceptible) * (config_.population + 1) + infected;
+  }
+
+  CrowdEpidemicConfig config_;
+  std::size_t outbreak_count_;
+};
+
+}  // namespace
+
+std::unique_ptr<StateGenerator> make_crowd_epidemic(const CrowdEpidemicConfig& config) {
+  if (config.population < 2) {
+    throw std::invalid_argument("crowd: population must be at least 2");
+  }
+  if (!(config.contact_rate > 0.0) || !(config.recovery_rate > 0.0)) {
+    throw std::invalid_argument("crowd: contact and recovery rates must be positive");
+  }
+  if (config.treatment_cost < 0.0) {
+    throw std::invalid_argument("crowd: treatment cost must be >= 0");
+  }
+  if (!(config.outbreak_fraction > 0.0) || config.outbreak_fraction > 1.0) {
+    throw std::invalid_argument("crowd: outbreak fraction must be in (0, 1]");
+  }
+  return std::make_unique<CrowdEpidemicGenerator>(config);
+}
+
+}  // namespace csrlmrm::models

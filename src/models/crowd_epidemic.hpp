@@ -1,0 +1,35 @@
+// Crowd/epidemic spread generator: the stochastic SIR model over a closed
+// crowd of `population` individuals, in the counting abstraction — state
+// (s, i) = (susceptible, infected), recovered = population - s - i. The
+// state space is the triangle s + i <= population, so states grow
+// quadratically in the crowd size (population 1400 ~ 1e6 states).
+//
+// Infections fire at contact_rate * s * i / population (mass-action
+// contact), recoveries at recovery_rate * i. Each recovery pays a
+// treatment_cost impulse (the discrete cost of treating one person); the
+// state reward is the infected head count i, so cumulative reward measures
+// infection-days and the impulse total measures treatments administered.
+//
+// Labels: "start" ((population-1, 1)), "extinct" (i = 0, absorbing),
+// "outbreak" (i >= outbreak_fraction * population).
+#pragma once
+
+#include <memory>
+
+#include "models/generator.hpp"
+
+namespace csrlmrm::models {
+
+struct CrowdEpidemicConfig {
+  std::size_t population = 40;
+  double contact_rate = 0.6;      // beta in beta * s * i / N
+  double recovery_rate = 0.25;    // gamma per infected individual
+  double treatment_cost = 1.0;    // impulse per recovery
+  double outbreak_fraction = 0.25;  // "outbreak" label threshold on i / N
+};
+
+/// Throws std::invalid_argument for population < 2, non-positive rates,
+/// negative cost, or an outbreak fraction outside (0, 1].
+std::unique_ptr<StateGenerator> make_crowd_epidemic(const CrowdEpidemicConfig& config = {});
+
+}  // namespace csrlmrm::models

@@ -1,0 +1,74 @@
+#include "models/grid_network.hpp"
+
+#include <stdexcept>
+
+namespace csrlmrm::models {
+
+namespace {
+
+class GridNetworkGenerator final : public StateGenerator {
+ public:
+  explicit GridNetworkGenerator(const GridNetworkConfig& config) : config_(config) {}
+
+  std::vector<std::uint64_t> initial_states() const override { return {key(0, 0)}; }
+
+  void expand(std::uint64_t state, GeneratedState& out) const override {
+    const std::size_t x = static_cast<std::size_t>(state) % config_.width;
+    const std::size_t y = static_cast<std::size_t>(state) / config_.width;
+    const std::size_t sink_x = config_.width - 1;
+    const std::size_t sink_y = config_.height - 1;
+
+    if (x == 0 && y == 0) out.label_mask |= 1u << 0;  // start
+    if (x == sink_x && y == sink_y) {
+      out.label_mask |= 1u << 1;  // delivered: the absorbing sink
+      out.state_reward = 0.0;
+      return;
+    }
+    if (x == 0 || y == 0 || x == sink_x || y == sink_y) out.label_mask |= 1u << 2;  // edge
+    out.state_reward = config_.idle_power;
+
+    // Lateral hops; sink-ward moves (here: +x and +y) carry the drift.
+    const auto hop = [&](std::size_t nx, std::size_t ny, bool toward_sink) {
+      const double rate = config_.hop_rate + (toward_sink ? config_.drift_rate : 0.0);
+      out.transitions.push_back({key(nx, ny), rate, config_.hop_energy});
+    };
+    if (x > 0) hop(x - 1, y, false);
+    if (x + 1 < config_.width) hop(x + 1, y, true);
+    if (y > 0) hop(x, y - 1, false);
+    if (y + 1 < config_.height) hop(x, y + 1, true);
+  }
+
+  std::vector<std::string> propositions() const override {
+    return {"start", "delivered", "edge"};
+  }
+
+  std::size_t expected_states() const override { return config_.width * config_.height; }
+  std::size_t expected_transitions() const override {
+    // 4 neighbors minus the boundary deficit; an upper bound is fine.
+    return 4 * config_.width * config_.height;
+  }
+
+ private:
+  std::uint64_t key(std::size_t x, std::size_t y) const {
+    return static_cast<std::uint64_t>(y) * config_.width + x;
+  }
+
+  GridNetworkConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<StateGenerator> make_grid_network(const GridNetworkConfig& config) {
+  if (config.width < 2 || config.height < 2) {
+    throw std::invalid_argument("grid: width and height must be at least 2");
+  }
+  if (!(config.hop_rate > 0.0)) {
+    throw std::invalid_argument("grid: hop rate must be positive");
+  }
+  if (config.drift_rate < 0.0 || config.hop_energy < 0.0 || config.idle_power < 0.0) {
+    throw std::invalid_argument("grid: drift, energy, and power must be >= 0");
+  }
+  return std::make_unique<GridNetworkGenerator>(config);
+}
+
+}  // namespace csrlmrm::models

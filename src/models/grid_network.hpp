@@ -1,0 +1,35 @@
+// Grid/mesh network generator: a packet random-walks over a width x height
+// mesh toward a sink in the far corner — the canonical mesh-interconnect
+// delivery model, and the family that scales to the million-state rows of
+// BENCH_large.json (states = width * height, ~4 transitions per state).
+//
+// State = the cell holding the packet. Each hop to a lateral neighbor fires
+// at hop_rate; hops that shrink the Manhattan distance to the sink get
+// drift_rate on top (a routed network, not a pure diffusion). Every hop pays
+// a hop_energy impulse (link energy); every non-sink cell accrues idle_power
+// reward per time unit (the packet occupies a router). The sink absorbs.
+//
+// Labels: "start" (cell 0,0), "delivered" (the sink), "edge" (boundary
+// cells).
+#pragma once
+
+#include <memory>
+
+#include "models/generator.hpp"
+
+namespace csrlmrm::models {
+
+struct GridNetworkConfig {
+  std::size_t width = 64;
+  std::size_t height = 64;
+  double hop_rate = 1.0;    // base rate per lateral neighbor
+  double drift_rate = 2.0;  // extra rate on sink-ward hops
+  double hop_energy = 0.1;  // impulse per hop
+  double idle_power = 1.0;  // state reward off the sink
+};
+
+/// Throws std::invalid_argument for a degenerate mesh (either side < 2) or
+/// non-positive hop_rate / negative drift, energy, or power.
+std::unique_ptr<StateGenerator> make_grid_network(const GridNetworkConfig& config = {});
+
+}  // namespace csrlmrm::models

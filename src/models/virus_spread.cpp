@@ -1,0 +1,89 @@
+#include "models/virus_spread.hpp"
+
+#include <stdexcept>
+
+namespace csrlmrm::models {
+
+namespace {
+
+class VirusSpreadGenerator final : public StateGenerator {
+ public:
+  explicit VirusSpreadGenerator(const VirusSpreadConfig& config) : config_(config) {
+    // Ring edges plus the chord 0 -- hosts/2 (the hub shortcut).
+    const unsigned k = config_.hosts;
+    neighbors_.assign(k, 0);
+    for (unsigned h = 0; h < k; ++h) {
+      neighbors_[h] |= 1u << ((h + 1) % k);
+      neighbors_[h] |= 1u << ((h + k - 1) % k);
+    }
+    neighbors_[0] |= 1u << (k / 2);
+    neighbors_[k / 2] |= 1u << 0;
+  }
+
+  std::vector<std::uint64_t> initial_states() const override { return {1}; }
+
+  void expand(std::uint64_t state, GeneratedState& out) const override {
+    const std::uint32_t infected = static_cast<std::uint32_t>(state);
+    const unsigned k = config_.hosts;
+    const std::uint32_t all = (k < 32) ? ((1u << k) - 1u) : ~0u;
+
+    if (infected == 1u) out.label_mask |= 1u << 0;    // start
+    if (infected == 0u) out.label_mask |= 1u << 1;    // clean (absorbing)
+    if (infected == all) out.label_mask |= 1u << 2;   // epidemic
+    unsigned count = 0;
+    for (unsigned h = 0; h < k; ++h) {
+      if ((infected >> h) & 1u) ++count;
+    }
+    out.state_reward = static_cast<double>(count);
+    if (infected == 0u) return;
+
+    for (unsigned h = 0; h < k; ++h) {
+      if ((infected >> h) & 1u) {
+        // Detection and cleanup of an infected host.
+        out.transitions.push_back({state & ~(std::uint64_t{1} << h), config_.recover_rate, 0.0});
+      } else {
+        // Infection pressure: one rate per infected neighbor.
+        unsigned pressure = 0;
+        std::uint32_t adjacent = neighbors_[h] & infected;
+        while (adjacent != 0) {
+          adjacent &= adjacent - 1;
+          ++pressure;
+        }
+        if (pressure > 0) {
+          out.transitions.push_back({state | (std::uint64_t{1} << h),
+                                     config_.infect_rate * pressure, config_.damage_cost});
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> propositions() const override {
+    return {"start", "clean", "epidemic"};
+  }
+
+  std::size_t expected_states() const override { return std::size_t{1} << config_.hosts; }
+  std::size_t expected_transitions() const override {
+    return (std::size_t{1} << config_.hosts) * config_.hosts;
+  }
+
+ private:
+  VirusSpreadConfig config_;
+  std::vector<std::uint32_t> neighbors_;  // adjacency bitmask per host
+};
+
+}  // namespace
+
+std::unique_ptr<StateGenerator> make_virus_spread(const VirusSpreadConfig& config) {
+  if (config.hosts < 3 || config.hosts > 26) {
+    throw std::invalid_argument("virus: hosts must be in [3, 26]");
+  }
+  if (!(config.infect_rate > 0.0) || !(config.recover_rate > 0.0)) {
+    throw std::invalid_argument("virus: infection and recovery rates must be positive");
+  }
+  if (config.damage_cost < 0.0) {
+    throw std::invalid_argument("virus: damage cost must be >= 0");
+  }
+  return std::make_unique<VirusSpreadGenerator>(config);
+}
+
+}  // namespace csrlmrm::models

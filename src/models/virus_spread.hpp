@@ -1,0 +1,35 @@
+// Virus propagation generator: an SIS infection process over a fixed host
+// topology (a ring of `hosts` machines plus a chord from host 0 to the
+// opposite side — a hub-and-ring network). State = the bitmask of infected
+// hosts, so the reachable space grows as 2^hosts (hosts = 20 ~ 1e6 states)
+// with up to `hosts` transitions per state — the dense-row stress test among
+// the generator families.
+//
+// A clean host with k infected neighbors is infected at infect_rate * k;
+// every infection pays a damage_cost impulse (the compromise). Each infected
+// host is detected and cleaned at recover_rate, with no impulse. The
+// all-clean state is absorbing; the state reward is the infected host count
+// (compromised machines accrue exposure per time unit).
+//
+// Labels: "start" (only host 0 infected), "clean" (no host infected),
+// "epidemic" (every host infected).
+#pragma once
+
+#include <memory>
+
+#include "models/generator.hpp"
+
+namespace csrlmrm::models {
+
+struct VirusSpreadConfig {
+  unsigned hosts = 10;       // ring size; capped at 26 (2^26 states)
+  double infect_rate = 0.8;  // per infected neighbor
+  double recover_rate = 0.6; // detection/cleanup per infected host
+  double damage_cost = 2.0;  // impulse per successful infection
+};
+
+/// Throws std::invalid_argument for hosts outside [3, 26], non-positive
+/// rates, or negative damage cost.
+std::unique_ptr<StateGenerator> make_virus_spread(const VirusSpreadConfig& config = {});
+
+}  // namespace csrlmrm::models

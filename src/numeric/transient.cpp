@@ -1,11 +1,13 @@
 #include "numeric/transient.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <stdexcept>
 
 #include "core/approx.hpp"
 #include "core/simd.hpp"
+#include "linalg/blocked_csr.hpp"
 #include "numeric/fox_glynn.hpp"
 #include "numeric/poisson.hpp"
 #include "obs/stats.hpp"
@@ -14,6 +16,13 @@
 namespace csrlmrm::numeric {
 
 namespace {
+
+/// Model size from which a series repacks its gather matrix into the blocked
+/// SELL-C layout (linalg/blocked_csr.hpp): below this the one-off repack
+/// costs more than the few dozen products save; above it the halved index
+/// bandwidth and SIMD chunk accumulation win (BENCH_large.json records the
+/// crossover). Bitwise-neutral either way, so the threshold only moves time.
+constexpr std::size_t kBlockedSpmvMinStates = 2048;
 
 void require_distribution(const core::RateMatrix& rates, const std::vector<double>& initial) {
   if (initial.size() != rates.num_states()) {
@@ -35,38 +44,86 @@ void require_time(double t) {
   }
 }
 
-/// Two reused buffers driving term = term * P: the gather form over P^T when
-/// a transpose is supplied (row-parallel), the serial scatter otherwise.
-/// Both accumulate each output entry in ascending source-state order, so
-/// they agree bitwise.
-void advance_term(const linalg::CsrMatrix& P, const linalg::CsrMatrix* P_transposed,
-                  unsigned threads, std::vector<double>& term, std::vector<double>& scratch) {
-  if (P_transposed != nullptr) {
-    P_transposed->multiply_into(term, scratch, threads);
-  } else {
-    P.left_multiply_into(term, scratch);
-  }
-  term.swap(scratch);
-}
+/// One step of term = term * P (forward) or u = P * u (backward), driven by
+/// whichever operator the entry point prepared: the blocked gather for large
+/// models, the row-parallel CSR gather, or the serial scatter. All three
+/// accumulate every output entry in the same ascending source order, so the
+/// choice is bitwise-invisible (tests/test_blocked_spmv.cpp pins this).
+struct SeriesAdvance {
+  const linalg::CsrMatrix* scatter = nullptr;         // serial x^T * P
+  const linalg::CsrMatrix* gather = nullptr;          // row-parallel gather
+  const linalg::BlockedCsrMatrix* blocked = nullptr;  // blocked gather
+  unsigned threads = 1;
 
-/// Body of transient_distribution once the window and matrix exist; shared
-/// with the batched per-start-state fan-out.
-std::vector<double> accumulate_series(const linalg::CsrMatrix& P,
-                                      const linalg::CsrMatrix* P_transposed, unsigned threads,
-                                      const FoxGlynnWeights& window,
-                                      std::vector<double> initial) {
-  obs::counter_add("transient.series_terms", window.right + 1);
-  std::vector<double> term = std::move(initial);  // p(0) * P^i
+  void operator()(std::vector<double>& term, std::vector<double>& scratch) const {
+    if (blocked != nullptr) {
+      blocked->multiply_into(term, scratch, threads);
+    } else if (gather != nullptr) {
+      gather->multiply_into(term, scratch, threads);
+    } else {
+      scatter->left_multiply_into(term, scratch);
+    }
+    term.swap(scratch);
+  }
+};
+
+/// Norm the steady-state criterion contracts in: the forward (row-vector)
+/// iteration is non-expansive in the 1-norm, the backward (column-vector)
+/// iteration in the max norm. Either norm bounds every per-state error.
+enum class SteadyNorm { kL1, kMax };
+
+/// Body of every uniformization series: accumulate the Fox-Glynn-weighted
+/// terms, optionally cutting the series once successive iterates have
+/// stabilized. With detection off the operation sequence is exactly the
+/// historical one, so results are bitwise unchanged.
+TransientResult accumulate_series(const SeriesAdvance& advance, const FoxGlynnWeights& window,
+                                  std::vector<double> initial, const TransientOptions& options,
+                                  SteadyNorm norm) {
+  TransientResult out;
+  std::vector<double> term = std::move(initial);  // p(0) * P^i (or P^i * u0)
   std::vector<double> scratch(term.size(), 0.0);
-  std::vector<double> result(term.size(), 0.0);
+  out.values.assign(term.size(), 0.0);
   for (std::size_t i = 0; i <= window.right; ++i) {
+    ++out.series_terms;
     if (i >= window.left) {
       const double weight = window.probability(i - window.left);
-      core::simd::axpy(result.data(), term.data(), result.size(), weight);
+      core::simd::axpy(out.values.data(), term.data(), out.values.size(), weight);
     }
-    if (i < window.right) advance_term(P, P_transposed, threads, term, scratch);
+    if (i == window.right) break;
+    advance(term, scratch);
+    // After the swap `scratch` holds the previous iterate, so the
+    // steady-state test compares successive terms without extra storage.
+    if (options.detect_steady_state && i + 1 < window.right) {
+      const std::size_t remaining = window.right - (i + 1);
+      double delta = 0.0;
+      if (norm == SteadyNorm::kL1) {
+        for (std::size_t s = 0; s < term.size(); ++s) delta += std::abs(term[s] - scratch[s]);
+      } else {
+        for (std::size_t s = 0; s < term.size(); ++s) {
+          delta = std::max(delta, std::abs(term[s] - scratch[s]));
+        }
+      }
+      if (delta * static_cast<double>(remaining) <= options.steady_epsilon) {
+        // The uniformized step is non-expansive in `norm`, so every future
+        // iterate stays within remaining * delta of the current one; folding
+        // the whole remaining (normalized) Poisson mass onto the current
+        // iterate therefore closes the series with a per-state error of at
+        // most steady_error — accounted into the caller's interval.
+        double tail_mass = 0.0;
+        for (std::size_t k = std::max(window.left, i + 1); k <= window.right; ++k) {
+          tail_mass += window.probability(k - window.left);
+        }
+        core::simd::axpy(out.values.data(), term.data(), out.values.size(), tail_mass);
+        out.steady_error = delta * static_cast<double>(remaining);
+        out.steady_state_detected = true;
+        obs::counter_add("uniformization.steady_detected");
+        obs::counter_add("uniformization.terms_saved", remaining);
+        break;
+      }
+    }
   }
-  return result;
+  obs::counter_add("transient.series_terms", out.series_terms);
+  return out;
 }
 
 }  // namespace
@@ -78,6 +135,7 @@ linalg::CsrMatrix uniformized_transition_matrix(const core::RateMatrix& rates,
   lambda_out = max_exit > 0.0 ? max_exit : 1.0;
 
   linalg::CsrBuilder builder(n, n);
+  builder.reserve(rates.matrix().non_zeros() + n);
   for (core::StateIndex s = 0; s < n; ++s) {
     double off_diagonal = 0.0;
     for (const auto& e : rates.transitions(s)) {
@@ -91,15 +149,18 @@ linalg::CsrMatrix uniformized_transition_matrix(const core::RateMatrix& rates,
   return builder.build();
 }
 
-std::vector<double> transient_distribution(const core::RateMatrix& rates,
-                                           const std::vector<double>& initial, double t,
-                                           const TransientOptions& options) {
+TransientResult transient_distribution_checked(const core::RateMatrix& rates,
+                                               const std::vector<double>& initial, double t,
+                                               const TransientOptions& options) {
   obs::ScopedTimer timer("transient.distribution");
   obs::counter_add("transient.calls");
   require_distribution(rates, initial);
   require_time(t);
-  if (core::exactly_zero(t)) return initial;
-  if (core::exactly_zero(rates.max_exit_rate())) return initial;  // every state absorbing
+  TransientResult out;
+  if (core::exactly_zero(t) || core::exactly_zero(rates.max_exit_rate())) {
+    out.values = initial;  // nothing moves (t = 0 or every state absorbing)
+    return out;
+  }
 
   double lambda = 0.0;
   const linalg::CsrMatrix P = uniformized_transition_matrix(rates, lambda);
@@ -111,10 +172,30 @@ std::vector<double> transient_distribution(const core::RateMatrix& rates,
 
   const unsigned threads =
       parallel::choose_thread_count(options.threads, P.non_zeros() * (window.right + 1));
-  std::optional<linalg::CsrMatrix> P_transposed;
-  if (threads > 1 && !parallel::in_parallel_region()) P_transposed = P.transposed();
+  std::optional<linalg::CsrMatrix> transpose;
+  std::optional<linalg::BlockedCsrMatrix> blocked;
+  SeriesAdvance advance;
+  advance.threads = threads;
+  const bool parallel_gather = threads > 1 && !parallel::in_parallel_region();
+  const bool large = rates.num_states() >= kBlockedSpmvMinStates;
+  if (parallel_gather || large) {
+    transpose = P.transposed();
+    if (large) {
+      blocked.emplace(*transpose);
+      advance.blocked = &*blocked;
+    } else {
+      advance.gather = &*transpose;
+    }
+  } else {
+    advance.scatter = &P;
+  }
+  return accumulate_series(advance, window, initial, options, SteadyNorm::kL1);
+}
 
-  return accumulate_series(P, P_transposed ? &*P_transposed : nullptr, threads, window, initial);
+std::vector<double> transient_distribution(const core::RateMatrix& rates,
+                                           const std::vector<double>& initial, double t,
+                                           const TransientOptions& options) {
+  return transient_distribution_checked(rates, initial, t, options).values;
 }
 
 std::vector<double> transient_distribution_from(const core::RateMatrix& rates,
@@ -155,6 +236,14 @@ std::vector<std::vector<double>> transient_distributions_from_states(
   const linalg::CsrMatrix P = uniformized_transition_matrix(rates, lambda);
   const auto window = fox_glynn(lambda * t, options.epsilon);
 
+  // This fan-out returns bare vectors with no error accounting beyond the
+  // Fox-Glynn epsilon, so the steady-state cut (whose extra error callers
+  // could not see) is forced off for every row.
+  TransientOptions row_options = options;
+  row_options.detect_steady_state = false;
+  SeriesAdvance serial;
+  serial.scatter = &P;
+
   // Fan out over start states; every state runs the serial series (nested
   // regions stay inline), so chunking cannot change any row's result.
   const unsigned threads = parallel::choose_thread_count(
@@ -163,10 +252,53 @@ std::vector<std::vector<double>> transient_distributions_from_states(
     for (std::size_t i = begin; i < end; ++i) {
       std::vector<double> initial(n, 0.0);
       initial[starts[i]] = 1.0;
-      results[i] = accumulate_series(P, nullptr, 1, window, std::move(initial));
+      results[i] =
+          accumulate_series(serial, window, std::move(initial), row_options, SteadyNorm::kL1)
+              .values;
     }
   });
   return results;
+}
+
+TransientResult transient_hit_probabilities(const core::RateMatrix& rates,
+                                            const std::vector<bool>& target, double t,
+                                            const TransientOptions& options) {
+  obs::ScopedTimer timer("transient.hit_probabilities");
+  obs::counter_add("transient.hit_calls");
+  const std::size_t n = rates.num_states();
+  if (target.size() != n) {
+    throw std::invalid_argument("transient_hit_probabilities: target mask size mismatch");
+  }
+  require_time(t);
+
+  std::vector<double> indicator(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (target[s]) indicator[s] = 1.0;
+  }
+  TransientResult out;
+  if (core::exactly_zero(t) || core::exactly_zero(rates.max_exit_rate())) {
+    out.values = std::move(indicator);  // the chain never leaves its start
+    return out;
+  }
+
+  double lambda = 0.0;
+  const linalg::CsrMatrix P = uniformized_transition_matrix(rates, lambda);
+  const auto window = fox_glynn(lambda * t, options.epsilon);
+
+  // The backward series gathers over P itself (u_{k+1} = P u_k): no
+  // transpose is ever materialized.
+  const unsigned threads =
+      parallel::choose_thread_count(options.threads, P.non_zeros() * (window.right + 1));
+  std::optional<linalg::BlockedCsrMatrix> blocked;
+  SeriesAdvance advance;
+  advance.threads = threads;
+  if (n >= kBlockedSpmvMinStates) {
+    blocked.emplace(P);
+    advance.blocked = &*blocked;
+  } else {
+    advance.gather = &P;
+  }
+  return accumulate_series(advance, window, std::move(indicator), options, SteadyNorm::kMax);
 }
 
 std::vector<double> expected_occupation_times(const core::RateMatrix& rates,
@@ -198,8 +330,23 @@ std::vector<double> expected_occupation_times(const core::RateMatrix& rates,
 
   const unsigned threads =
       parallel::choose_thread_count(options.threads, P.non_zeros() * hard_cap);
-  std::optional<linalg::CsrMatrix> P_transposed;
-  if (threads > 1 && !parallel::in_parallel_region()) P_transposed = P.transposed();
+  std::optional<linalg::CsrMatrix> transpose;
+  std::optional<linalg::BlockedCsrMatrix> blocked;
+  SeriesAdvance advance;
+  advance.threads = threads;
+  const bool parallel_gather = threads > 1 && !parallel::in_parallel_region();
+  const bool large = n >= kBlockedSpmvMinStates;
+  if (parallel_gather || large) {
+    transpose = P.transposed();
+    if (large) {
+      blocked.emplace(*transpose);
+      advance.blocked = &*blocked;
+    } else {
+      advance.gather = &*transpose;
+    }
+  } else {
+    advance.scatter = &P;
+  }
 
   std::vector<double> term = initial;
   std::vector<double> scratch(n, 0.0);
@@ -210,7 +357,7 @@ std::vector<double> expected_occupation_times(const core::RateMatrix& rates,
     if (weight <= 0.0) break;
     ++terms;
     core::simd::axpy(result.data(), term.data(), n, weight);
-    advance_term(P, P_transposed ? &*P_transposed : nullptr, threads, term, scratch);
+    advance(term, scratch);
   }
   obs::counter_add("transient.series_terms", terms);
   return result;

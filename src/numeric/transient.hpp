@@ -29,6 +29,35 @@ struct TransientOptions {
   /// per-start-state fan-out; 0 = the process default (CSRLMRM_THREADS or
   /// hardware concurrency).
   unsigned threads = 0;
+  /// Steady-state detection (Malhotra '94 / Reibman-Trivedi '88 style): once
+  /// successive series terms differ by delta with
+  /// delta * (terms remaining) <= steady_epsilon, the remaining Poisson mass
+  /// is folded into the current term in one axpy instead of advancing the
+  /// series to the Fox-Glynn right edge, so depth stops scaling with
+  /// Lambda*t on stiff models. The cut is sound — the contraction of the
+  /// uniformized iteration bounds the per-state error by the reported
+  /// TransientResult::steady_error <= steady_epsilon — but the folded result
+  /// is numerically different from the full series, so detection is opt-in
+  /// (off by default; paper-scale results stay bitwise unchanged).
+  bool detect_steady_state = false;
+  /// Absolute per-state error budget for the steady-state fold.
+  double steady_epsilon = 1e-12;
+};
+
+/// A transient solve plus the accounting a sound interval verdict needs.
+struct TransientResult {
+  /// The per-state result vector (a distribution for the forward series, hit
+  /// probabilities for the backward series).
+  std::vector<double> values;
+  /// Bound on the additional two-sided per-state error introduced by the
+  /// steady-state fold; 0.0 when detection is off or never fired. The
+  /// one-sided Fox-Glynn truncation budget `epsilon` is accounted separately
+  /// by callers, as before.
+  double steady_error = 0.0;
+  /// True iff the series was cut by steady-state detection.
+  bool steady_state_detected = false;
+  /// Series terms actually accumulated (1 + the number of matrix products).
+  std::size_t series_terms = 0;
 };
 
 /// State occupation probabilities at time t >= 0 starting from distribution
@@ -37,6 +66,27 @@ struct TransientOptions {
 std::vector<double> transient_distribution(const core::RateMatrix& rates,
                                            const std::vector<double>& initial, double t,
                                            const TransientOptions& options = {});
+
+/// transient_distribution with the steady-state accounting exposed: the
+/// distribution plus the fold error, detection flag, and term count. With
+/// options.detect_steady_state == false the values are bitwise identical to
+/// transient_distribution's.
+TransientResult transient_distribution_checked(const core::RateMatrix& rates,
+                                               const std::vector<double>& initial, double t,
+                                               const TransientOptions& options = {});
+
+/// Backward uniformization: values[s] = Pr{ X(t) is in `target` | X(0) = s }
+/// for EVERY state s, from one column-vector series u_{k+1} = P u_k started
+/// at the indicator of `target` — O(nnz * terms) total, where the forward
+/// route costs one full series per start state. For an absorbing target set
+/// (the P1 until transform M[!Phi v Psi]) this is the probability of
+/// reaching `target` within t. The per-state truncation error is bounded by
+/// options.epsilon (one-sided, lost mass) plus the reported steady_error
+/// (two-sided) when detection fires; the backward iteration contracts in the
+/// max norm, which makes the steady-state criterion sound here.
+TransientResult transient_hit_probabilities(const core::RateMatrix& rates,
+                                            const std::vector<bool>& target, double t,
+                                            const TransientOptions& options = {});
 
 /// Convenience: transient distribution started from a single state.
 std::vector<double> transient_distribution_from(const core::RateMatrix& rates,

@@ -65,6 +65,61 @@ TEST(FoxGlynn, HugeMeanStaysFiniteAndNormalized) {
   EXPECT_GT(window.right, 5e6);
 }
 
+// Extreme means (q*t in 1e4..1e6) are the regime the million-state
+// benchmarks drive the window into. Pin the overflow/denormal guards: every
+// weight finite and non-negative, the mode weight agreeing with the stable
+// pmf, and the window still conserving the requested Poisson mass.
+class FoxGlynnExtremeMeans : public ::testing::TestWithParam<double> {};
+
+TEST_P(FoxGlynnExtremeMeans, GuardsKeepWeightsFiniteAndMassConserved) {
+  const double mean = GetParam();
+  const double epsilon = 1e-12;
+  const auto window = fox_glynn(mean, epsilon);
+  EXPECT_TRUE(std::isfinite(window.total_weight));
+  EXPECT_GT(window.total_weight, 0.0);
+  for (std::size_t i = 0; i < window.weights.size(); ++i) {
+    const double w = window.weights[i];
+    EXPECT_TRUE(std::isfinite(w)) << "mean=" << mean << " offset=" << i;
+    EXPECT_GE(w, 0.0) << "mean=" << mean << " offset=" << i;
+  }
+
+  const auto mode = static_cast<std::size_t>(mean);
+  ASSERT_GE(mode, window.left);
+  ASSERT_LE(mode, window.right);
+  const double exact_mode = poisson_pmf(mode, mean);
+  EXPECT_NEAR(window.probability(mode - window.left) / exact_mode, 1.0, 1e-9)
+      << "mean=" << mean;
+
+  // Mass conservation: the normalized weights sum to 1 and the window itself
+  // holds at least 1 - epsilon of the true Poisson mass.
+  double normalized = 0.0;
+  for (std::size_t i = 0; i < window.weights.size(); ++i) {
+    normalized += window.probability(i);
+  }
+  EXPECT_NEAR(normalized, 1.0, 1e-12) << "mean=" << mean;
+  const double below = window.left == 0 ? 0.0 : poisson_cdf(window.left - 1, mean);
+  const double inside = poisson_cdf(window.right, mean) - below;
+  EXPECT_GE(inside, 1.0 - 1e-9) << "mean=" << mean;
+}
+
+INSTANTIATE_TEST_SUITE_P(ExtremeMeans, FoxGlynnExtremeMeans,
+                         ::testing::Values(1.0e4, 2.5e5, 1.0e6));
+
+TEST(FoxGlynn, TinyEpsilonHitsDenormalGuardNotUnderflow) {
+  // With an extreme mean and a very small epsilon the edge recurrences would
+  // historically walk into denormals; the guard stops them while keeping the
+  // kept weights positive and the mode anchored.
+  const auto window = fox_glynn(1.0e6, 1e-300);
+  EXPECT_TRUE(std::isfinite(window.total_weight));
+  EXPECT_GT(window.total_weight, 0.0);
+  const auto mode = static_cast<std::size_t>(1.0e6);
+  EXPECT_GT(window.probability(mode - window.left), 0.0);
+  for (const double w : window.weights) {
+    EXPECT_TRUE(std::isfinite(w));
+    EXPECT_GE(w, 0.0);
+  }
+}
+
 TEST(FoxGlynn, RejectsBadArguments) {
   EXPECT_THROW(fox_glynn(-1.0, 1e-6), std::invalid_argument);
   EXPECT_THROW(fox_glynn(1.0, 0.0), std::invalid_argument);

@@ -443,6 +443,22 @@ TEST(LintCli, DaemonSubsystemIsCleanAndInScope) {
   ASSERT_TRUE(std::filesystem::is_directory(daemon_dir)) << daemon_dir;
   EXPECT_EQ(run_lint_cli("'" + daemon_dir + "'"), 0);
 }
+
+// Same pin for the model generators: src/models gained the streamed
+// generator families (generator.cpp and the grid/crowd/virus sources) —
+// BFS exploration with bitmask state encodings and raw strtol/strtod spec
+// parsing, exactly the integer/double mixing the linter should keep honest.
+// The existence checks make the pin fail loudly if the files are ever moved
+// out of the scanned tree instead of silently shrinking the scan.
+TEST(LintCli, ModelGeneratorsAreCleanAndInScope) {
+  const std::string models_dir = std::string(CSRLMRM_SOURCE_DIR) + "/src/models";
+  ASSERT_TRUE(std::filesystem::is_directory(models_dir)) << models_dir;
+  for (const char* file : {"generator.hpp", "generator.cpp", "grid_network.cpp",
+                           "crowd_epidemic.cpp", "virus_spread.cpp"}) {
+    ASSERT_TRUE(std::filesystem::exists(models_dir + "/" + file)) << file;
+  }
+  EXPECT_EQ(run_lint_cli("'" + models_dir + "'"), 0);
+}
 #endif  // CSRLMRM_SOURCE_DIR
 
 #endif  // CSRLMRM_LINT_BINARY && !_WIN32
